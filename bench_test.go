@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/field"
+	"repro/internal/shares"
+)
+
+// Experiment benches — one per table/figure of the evaluation (DESIGN.md
+// §4). Each iteration regenerates the experiment in quick mode; run
+// cmd/experiments for the full-fidelity sweeps.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiment.RunConfig{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTableDensity(b *testing.B)      { benchExperiment(b, "T1-density") }
+func BenchmarkTableClusterShape(b *testing.B) { benchExperiment(b, "T2-clusters") }
+func BenchmarkFigCoverage(b *testing.B)       { benchExperiment(b, "F1-coverage") }
+func BenchmarkFigOverhead(b *testing.B)       { benchExperiment(b, "F2-overhead") }
+func BenchmarkFigAccuracy(b *testing.B)       { benchExperiment(b, "F3-accuracy") }
+func BenchmarkFigPrivacy(b *testing.B)        { benchExperiment(b, "F4-privacy") }
+func BenchmarkFigIntegrity(b *testing.B)      { benchExperiment(b, "F5-integrity") }
+func BenchmarkFigAgreement(b *testing.B)      { benchExperiment(b, "F6-agreement") }
+func BenchmarkFigLocalization(b *testing.B)   { benchExperiment(b, "F7-localization") }
+func BenchmarkFigCollusion(b *testing.B)      { benchExperiment(b, "F8-collusion") }
+func BenchmarkAblationKeyScheme(b *testing.B) { benchExperiment(b, "F9-keyscheme") }
+
+// Protocol round benches: one full aggregation round per iteration at the
+// papers' N=400 reference density (lossy channel).
+
+func benchProtocolRound(b *testing.B, run func(dep *Deployment) (Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dep, err := NewDeployment(Options{Nodes: 400, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run(dep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundCluster(b *testing.B) {
+	benchProtocolRound(b, func(dep *Deployment) (Result, error) {
+		return dep.RunCluster(ClusterOptions{})
+	})
+}
+
+func BenchmarkRoundTAG(b *testing.B) {
+	benchProtocolRound(b, func(dep *Deployment) (Result, error) {
+		return dep.RunTAG()
+	})
+}
+
+func BenchmarkRoundIPDA(b *testing.B) {
+	benchProtocolRound(b, func(dep *Deployment) (Result, error) {
+		return dep.RunIPDA(IPDAOptions{})
+	})
+}
+
+// Primitive micro-benches for the hot algebra.
+
+func BenchmarkFieldMul(b *testing.B) {
+	x, y := field.New(123456789), field.New(987654321)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkFieldInv(b *testing.B) {
+	x := field.New(123456789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Inv().Add(1)
+	}
+	_ = x
+}
+
+func benchAlgebra(b *testing.B, m int) {
+	seeds := make([]field.Element, m)
+	for i := range seeds {
+		seeds[i] = shares.SeedFor(i)
+	}
+	algebra, err := shares.NewAlgebra(seeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := make([]shares.Shares, m)
+		for j := range all {
+			all[j] = algebra.Generate(rng, field.New(uint64(j)))
+		}
+		assembled := make([]field.Element, m)
+		for j := 0; j < m; j++ {
+			var col field.Element
+			for k := 0; k < m; k++ {
+				col = col.Add(all[k].ForMember[j])
+			}
+			assembled[j] = col
+		}
+		if _, err := algebra.RecoverSum(assembled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterAlgebra(b *testing.B) {
+	for _, m := range []int{3, 5, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchAlgebra(b, m) })
+	}
+}
+
+func BenchmarkDisclosureCheck(b *testing.B) {
+	p, err := DisclosureProbability(PrivacyScenario{ClusterSize: 5, Px: 0.3}, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = p
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DisclosureProbability(PrivacyScenario{ClusterSize: 5, Px: 0.3}, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

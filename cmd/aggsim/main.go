@@ -1,0 +1,127 @@
+// Command aggsim runs a single aggregation round of one protocol on a fresh
+// deployment and prints the base station's view.
+//
+// Usage:
+//
+//	aggsim -protocol cluster -nodes 400 -seed 7
+//	aggsim -protocol tag -nodes 600 -ideal
+//	aggsim -protocol ipda -slices 3 -count
+//	aggsim -protocol cluster -polluter auto -delta 5000 -localize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aggsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aggsim", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "cluster", "protocol: cluster | tag | ipda")
+		nodes    = fs.Int("nodes", 400, "total nodes including the base station")
+		field    = fs.Float64("field", 400, "square field side, meters")
+		radio    = fs.Float64("range", 50, "radio range, meters")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		ideal    = fs.Bool("ideal", false, "error-free channel")
+		count    = fs.Bool("count", false, "COUNT query (unit readings)")
+		grid     = fs.Bool("grid", false, "jittered-grid deployment")
+		pc       = fs.Float64("pc", 0, "cluster-head probability (cluster protocol)")
+		slices   = fs.Int("slices", 0, "slices per tree (ipda)")
+		polluter = fs.String("polluter", "", "attacker node ID, or 'auto'")
+		delta    = fs.Int64("delta", 1000, "pollution delta")
+		localize = fs.Bool("localize", false, "run O(log N) attacker localization")
+		traceCap = fs.Int("trace", 0, "record and dump up to N protocol trace events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := repro.Options{
+		Nodes:      *nodes,
+		FieldSize:  *field,
+		Range:      *radio,
+		Seed:       *seed,
+		Ideal:      *ideal,
+		CountQuery: *count,
+		Grid:       *grid,
+	}
+
+	attacker := 0
+	if *polluter == "auto" {
+		id, err := repro.PickPolluter(opts, false)
+		if err != nil {
+			return err
+		}
+		if id <= 0 {
+			return fmt.Errorf("no suitable attacker in this topology")
+		}
+		attacker = id
+		fmt.Printf("auto-selected polluter: node %d\n", attacker)
+	} else if *polluter != "" {
+		if _, err := fmt.Sscanf(*polluter, "%d", &attacker); err != nil {
+			return fmt.Errorf("bad -polluter %q: %w", *polluter, err)
+		}
+	}
+
+	dep, err := repro.NewDeployment(opts)
+	if err != nil {
+		return err
+	}
+	var dumpTrace func(io.Writer) error
+	if *traceCap > 0 {
+		dumpTrace = dep.EnableTrace(*traceCap)
+	}
+	fmt.Printf("deployment: %d nodes, avg degree %.1f, connected=%v, true sum %d\n",
+		dep.Size(), dep.AverageDegree(), dep.Connected(), dep.TrueSum())
+
+	var res repro.Result
+	switch *protocol {
+	case "cluster":
+		copts := repro.ClusterOptions{Pc: *pc, Polluter: attacker, PollutionDelta: *delta}
+		if *localize {
+			loc, err := dep.LocalizePolluter(copts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("localization: suspect=%d rounds=%d\n", loc.Suspect, loc.Rounds)
+			return nil
+		}
+		res, err = dep.RunCluster(copts)
+	case "tag":
+		res, err = dep.RunTAG()
+	case "ipda":
+		res, err = dep.RunIPDA(repro.IPDAOptions{Slices: *slices, Polluter: attacker, PollutionDelta: *delta})
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if dumpTrace != nil {
+		fmt.Println("\n--- protocol trace ---")
+		if err := dumpTrace(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printResult(r repro.Result) {
+	fmt.Printf("protocol:      %s\n", r.Protocol)
+	fmt.Printf("reported sum:  %d (true %d, accuracy %.3f)\n", r.ReportedSum, r.TrueSum, r.Accuracy())
+	fmt.Printf("reported cnt:  %d of %d (participation %.3f)\n", r.ReportedCnt, r.TrueCount, r.ParticipationRate())
+	fmt.Printf("covered:       %d\n", r.Covered)
+	fmt.Printf("accepted:      %v (alarms %d)\n", r.Accepted, r.Alarms)
+	fmt.Printf("traffic:       %d bytes, %d frames (%d app frames)\n", r.TxBytes, r.TxMessages, r.AppMessages)
+}

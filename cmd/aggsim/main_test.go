@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunProtocols(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal"},
+		{"-protocol", "tag", "-nodes", "120", "-seed", "3", "-ideal"},
+		{"-protocol", "ipda", "-nodes", "120", "-seed", "3", "-ideal"},
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal", "-trace", "10"},
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-count", "-grid"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "bogus"},
+		{"-nodes", "1"},
+		{"-polluter", "notanumber"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunLocalize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("localization runs several rounds")
+	}
+	args := []string{"-protocol", "cluster", "-nodes", "200", "-seed", "5",
+		"-ideal", "-polluter", "auto", "-delta", "5000", "-localize"}
+	if err := run(args); err != nil {
+		t.Errorf("localize run: %v", err)
+	}
+}

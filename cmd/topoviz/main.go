@@ -1,0 +1,109 @@
+// Command topoviz renders a deployment and its cluster structure as an SVG
+// (or a plain-text summary) for eyeballing formation behaviour.
+//
+// Usage:
+//
+//	topoviz -nodes 400 -seed 7 -o topology.svg
+//	topoviz -nodes 400 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/wsn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	var (
+		nodes   = fs.Int("nodes", 400, "total nodes")
+		seed    = fs.Int64("seed", 1, "seed")
+		pc      = fs.Float64("pc", 0.25, "head probability")
+		out     = fs.String("o", "", "SVG output path (default stdout)")
+		summary = fs.Bool("summary", false, "print a text summary instead of SVG")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := wsn.DefaultConfig(*nodes, *seed)
+	cfg.Radio.Ideal = true
+	env, err := wsn.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	pcfg := core.DefaultConfig()
+	pcfg.Pc = *pc
+	p, err := core.New(env, pcfg)
+	if err != nil {
+		return err
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		return err
+	}
+	if *summary {
+		fmt.Printf("nodes=%d degree=%.1f heads=%d participation=%.3f accuracy=%.3f\n",
+			env.Net.Size(), env.Net.AverageDegree(), len(p.Heads()),
+			res.ParticipationRate(), res.Accuracy())
+		for _, h := range p.Heads() {
+			fmt.Printf("  head %4d: %2d members\n", h, p.ClusterSize(h))
+		}
+		return nil
+	}
+	svg := renderSVG(env, p)
+	if *out == "" {
+		fmt.Println(svg)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(svg), 0o644)
+}
+
+// renderSVG draws nodes coloured by role, radio-range disc for the base
+// station, and head-membership edges.
+func renderSVG(env *wsn.Env, p *core.Protocol) string {
+	var b strings.Builder
+	w := env.Cfg.FieldSize
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="800" height="800" viewBox="0 0 %g %g">`+"\n", w, w)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="#fafafa"/>`+"\n", w, w)
+	heads := make(map[topo.NodeID]bool)
+	for _, h := range p.Heads() {
+		heads[h] = true
+	}
+	// Membership edges first (under the nodes).
+	for i := 1; i < env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		h := p.HeadOf(id)
+		if h < 0 || h == id {
+			continue
+		}
+		a, c := env.Net.Position(id), env.Net.Position(h)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbccdd" stroke-width="0.6"/>`+"\n",
+			a.X, a.Y, c.X, c.Y)
+	}
+	for i := 0; i < env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		pos := env.Net.Position(id)
+		switch {
+		case id == topo.BaseStationID:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="#222"/>`+"\n", pos.X-5, pos.Y-5)
+		case heads[id]:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#d9534f"/>`+"\n", pos.X, pos.Y)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="#5b8db8"/>`+"\n", pos.X, pos.Y)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	if err := run([]string{"-nodes", "150", "-seed", "2", "-summary"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.svg")
+	if err := run([]string{"-nodes", "150", "-seed", "2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "</svg>", "circle", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-nodes", "1"}); err == nil {
+		t.Error("single-node network should fail")
+	}
+}

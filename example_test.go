@@ -1,0 +1,67 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleDeployment_RunCluster runs one privacy-preserving,
+// integrity-enforcing aggregation round on an error-free channel.
+func ExampleDeployment_RunCluster() {
+	dep, err := repro.NewDeployment(repro.Options{Nodes: 200, Seed: 12, Ideal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.RunCluster(repro.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol:", res.Protocol)
+	fmt.Println("accepted:", res.Accepted)
+	fmt.Println("alarms:", res.Alarms)
+	// Output:
+	// protocol: icpda
+	// accepted: true
+	// alarms: 0
+}
+
+// ExampleDeployment_RunQuery answers a COUNT query; on the error-free
+// channel every covered sensor is counted.
+func ExampleDeployment_RunQuery() {
+	dep, err := repro.NewDeployment(repro.Options{Nodes: 200, Seed: 12, Ideal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := dep.RunQuery(repro.QueryCount, repro.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rounds:", ans.Rounds)
+	fmt.Println("accepted:", ans.Accepted)
+	// Output:
+	// rounds: 1
+	// accepted: true
+}
+
+// ExampleDisclosureProbability shows the collusion threshold: with all
+// other members colluding, a reading is fully determined; below the
+// threshold it stays hidden.
+func ExampleDisclosureProbability() {
+	safe, err := repro.DisclosureProbability(
+		repro.PrivacyScenario{ClusterSize: 4, Px: 0, Colluders: 2}, 50, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	broken, err := repro.DisclosureProbability(
+		repro.PrivacyScenario{ClusterSize: 4, Px: 0, Colluders: 3}, 50, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2 of 4 colluding: %.0f\n", safe)
+	fmt.Printf("3 of 4 colluding: %.0f\n", broken)
+	// Output:
+	// 2 of 4 colluding: 0
+	// 3 of 4 colluding: 1
+}

@@ -1,0 +1,71 @@
+// Smart-meter scenario: the advanced-metering motivation from the paper's
+// introduction. A utility reads the neighbourhood's total consumption every
+// hour. Individual household curves must stay private (occupancy profiling)
+// and the totals must be tamper-evident (billing fraud).
+//
+// The deployment forms clusters once, then runs 24 hourly epochs on the
+// retained structure with fresh readings each hour — the protocol's
+// steady-state mode. From hour 18, a compromised aggregator starts shifting
+// 400 kWh out of the peak-price bucket; the concentrator rejects exactly
+// those epochs.
+//
+//	go run ./examples/smartmeter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const meters = 256
+	const attackHour = 18 // epoch numbering starts at 1: hour h = round h+1
+	opts := repro.Options{
+		Nodes:     meters + 1, // + the concentrator (base station)
+		FieldSize: 320,
+		Range:     60,
+		Seed:      1001,
+		Grid:      true,
+	}
+
+	// The attacker compromises one cluster head; it behaves honestly until
+	// the evening peak. Same seed => PickPolluter's head exists in our run.
+	polluter, err := repro.PickPolluter(opts, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if polluter <= 0 {
+		log.Fatal("no suitable aggregator to compromise")
+	}
+
+	dep, err := repro.NewDeployment(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day, err := dep.RunClusterRounds(24, repro.ClusterOptions{
+		Polluter:       polluter,
+		PollutionDelta: -400,
+		PolluteFrom:    attackHour + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Advanced metering: 256 meters on a street grid, 24 hourly epochs")
+	fmt.Println("hour  reported_kWh  accuracy  accepted")
+	for hour, res := range day {
+		marker := ""
+		if hour >= attackHour {
+			marker = fmt.Sprintf("  <- node %d under-reports 400 kWh", polluter)
+		}
+		fmt.Printf("%4d  %-12d  %-8.3f  %v%s\n",
+			hour, res.ReportedSum, res.Accuracy(), res.Accepted, marker)
+	}
+
+	fmt.Println("\nEvery epoch from 18:00 on is rejected by the concentrator:")
+	fmt.Println("cluster members witness the compromised head announcing totals")
+	fmt.Println("inconsistent with the committed share vectors. Household readings")
+	fmt.Println("were never visible to any single node throughout the day.")
+}

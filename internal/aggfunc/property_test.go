@@ -1,0 +1,124 @@
+package aggfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// clampReadings maps arbitrary fuzz input into the query's reading domain.
+func clampReadings(raw []int64, min, max int64) []int64 {
+	if len(raw) == 0 {
+		return []int64{min}
+	}
+	out := make([]int64, len(raw))
+	span := max - min + 1
+	for i, r := range raw {
+		v := r % span
+		if v < 0 {
+			v += span
+		}
+		out[i] = min + v
+	}
+	return out
+}
+
+// Property: AVERAGE computed through the additive reduction equals the
+// direct average, for any population.
+func TestPropertyAverageMatchesDirect(t *testing.T) {
+	q := Query{Kind: Average, ReadingMin: 10, ReadingMax: 100}
+	f := func(raw []int64) bool {
+		readings := clampReadings(raw, 10, 100)
+		comps, err := q.Components()
+		if err != nil {
+			return false
+		}
+		sums := make([]int64, len(comps))
+		var direct float64
+		for _, r := range readings {
+			direct += float64(r)
+			for i, c := range comps {
+				sums[i] += c(r)
+			}
+		}
+		direct /= float64(len(readings))
+		got, err := q.Finish(sums)
+		return err == nil && math.Abs(got-direct) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VARIANCE through the reduction equals the direct population
+// variance (within floating-point tolerance).
+func TestPropertyVarianceMatchesDirect(t *testing.T) {
+	q := Query{Kind: Variance, ReadingMin: 10, ReadingMax: 100}
+	f := func(raw []int64) bool {
+		readings := clampReadings(raw, 10, 100)
+		comps, err := q.Components()
+		if err != nil {
+			return false
+		}
+		sums := make([]int64, len(comps))
+		var mean float64
+		for _, r := range readings {
+			mean += float64(r)
+			for i, c := range comps {
+				sums[i] += c(r)
+			}
+		}
+		mean /= float64(len(readings))
+		var direct float64
+		for _, r := range readings {
+			d := float64(r) - mean
+			direct += d * d
+		}
+		direct /= float64(len(readings))
+		got, err := q.Finish(sums)
+		return err == nil && math.Abs(got-direct) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram MAX is never below the true max minus one bucket and
+// never above the domain ceiling; MIN symmetrically.
+func TestPropertyHistogramExtremaBounds(t *testing.T) {
+	f := func(raw []int64) bool {
+		readings := clampReadings(raw, 10, 100)
+		bucketSpan := 90.0 / (BucketCount - 1)
+		for _, kind := range []Kind{Max, Min} {
+			q := Query{Kind: kind, ReadingMin: 10, ReadingMax: 100}
+			comps, err := q.Components()
+			if err != nil {
+				return false
+			}
+			sums := make([]int64, len(comps))
+			truth := float64(readings[0])
+			for _, r := range readings {
+				if kind == Max && float64(r) > truth {
+					truth = float64(r)
+				}
+				if kind == Min && float64(r) < truth {
+					truth = float64(r)
+				}
+				for i, c := range comps {
+					sums[i] += c(r)
+				}
+			}
+			got, err := q.Finish(sums)
+			if err != nil {
+				return false
+			}
+			if math.Abs(got-truth) > bucketSpan+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

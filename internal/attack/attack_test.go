@@ -1,0 +1,160 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []ClusterScenario{
+		{M: 2, Px: 0.1},
+		{M: 4, Px: -0.1},
+		{M: 4, Px: 1.1},
+		{M: 4, Px: 0.1, Colluders: -1},
+		{M: 4, Px: 0.1, Colluders: 4},
+		{M: 4, Px: 0.1, RelayFraction: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scenario %d should be invalid", i)
+		}
+	}
+	good := ClusterScenario{M: 3, Px: 0.5, Colluders: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestNoEavesdropNoCollusionNoDisclosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := DisclosureProbability(rng, ClusterScenario{M: 4, Px: 0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P = %g, want 0", p)
+	}
+}
+
+func TestFullCompromiseAlwaysDiscloses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := DisclosureProbability(rng, ClusterScenario{M: 4, Px: 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("P = %g, want 1", p)
+	}
+}
+
+func TestMaxCollusionDiscloses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := DisclosureProbability(rng, ClusterScenario{M: 4, Px: 0, Colluders: 3}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("m-1 colluders: P = %g, want 1", p)
+	}
+}
+
+func TestSubThresholdCollusionSafeWithoutEavesdropping(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for c := 0; c < 3; c++ {
+		p, err := DisclosureProbability(rng, ClusterScenario{M: 5, Px: 0, Colluders: c}, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0 {
+			t.Errorf("colluders=%d: P = %g, want 0", c, p)
+		}
+	}
+}
+
+func TestDisclosureMonotoneInPx(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prev := -1.0
+	for _, px := range []float64{0.1, 0.4, 0.8} {
+		p, err := DisclosureProbability(rng, ClusterScenario{M: 3, Px: px}, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-0.05 {
+			t.Errorf("px=%g: P=%g decreased from %g", px, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMonteCarloTracksClosedForm(t *testing.T) {
+	// At high px the closed form px^(2(m-1)) should approximate the MC
+	// estimate for m=3.
+	rng := rand.New(rand.NewSource(6))
+	px := 0.7
+	p, err := DisclosureProbability(rng, ClusterScenario{M: 3, Px: px}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ClusterDisclosureClosedForm(px, 3)
+	if diff := p - want; diff < -0.1 || diff > 0.1 {
+		t.Errorf("MC %g vs closed form %g", p, want)
+	}
+}
+
+func TestLargerClustersDiscloseLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p3, err := DisclosureProbability(rng, ClusterScenario{M: 3, Px: 0.5}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := DisclosureProbability(rng, ClusterScenario{M: 5, Px: 0.5}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5 >= p3 {
+		t.Errorf("m=5 P=%g should be below m=3 P=%g", p5, p3)
+	}
+}
+
+func TestDisclosureProbabilityValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := DisclosureProbability(rng, ClusterScenario{M: 3}, 0); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := DisclosureProbability(rng, ClusterScenario{M: 1}, 5); err == nil {
+		t.Error("invalid scenario should fail")
+	}
+}
+
+func TestIPDADisclosureShape(t *testing.T) {
+	// Matches the paper's example: l=3, d=10 (nl = 2l-1 = 5), px = 0.1
+	// gives ~0.001.
+	p := IPDADisclosure(0.1, 3, 5)
+	if p < 0.0005 || p > 0.002 {
+		t.Errorf("IPDA disclosure = %g, want ~0.001", p)
+	}
+	if IPDADisclosure(0, 2, 3) != 0 {
+		t.Error("px=0 must give 0")
+	}
+	if IPDADisclosure(1, 2, 3) != 1 {
+		t.Error("px=1 must give 1")
+	}
+	if IPDADisclosure(0.05, 2, 3) >= IPDADisclosure(0.1, 2, 3) {
+		t.Error("monotone in px")
+	}
+	if IPDADisclosure(0.1, 3, 5) >= IPDADisclosure(0.1, 2, 5) {
+		t.Error("more slices must disclose less")
+	}
+}
+
+func TestClusterClosedFormShape(t *testing.T) {
+	if ClusterDisclosureClosedForm(0, 3) != 0 {
+		t.Error("px=0 gives 0")
+	}
+	if ClusterDisclosureClosedForm(1, 3) != 1 {
+		t.Error("px=1 gives 1")
+	}
+	if ClusterDisclosureClosedForm(0.1, 4) >= ClusterDisclosureClosedForm(0.1, 3) {
+		t.Error("bigger clusters disclose less")
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/topo"
+)
+
+// scheduleAnnounces arranges every head's single up-tree transmission,
+// deepest flood levels first so children report before their parents.
+func (p *Protocol) scheduleAnnounces() {
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role != roleHead {
+			continue
+		}
+		slot := p.cfg.MaxHops - st.hops
+		if slot < 0 {
+			slot = 0
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(p.cfg.EpochSlot / 2)))
+		at := time.Duration(slot)*p.cfg.EpochSlot + jitter
+		p.env.Eng.After(at, func() { p.announce(id) })
+	}
+}
+
+// announceTarget picks where a head sends its announce: the shallowest head
+// in direct radio range that sits strictly closer to the base station
+// (enabling the child-echo witness), else the base station itself when in
+// range, else the head's flood parent, which relays hop by hop along the
+// flood tree (reverse-path forwarding).
+func (p *Protocol) announceTarget(id topo.NodeID) (to topo.NodeID, directHead bool) {
+	st := &p.nodes[id]
+	best := topo.NodeID(-1)
+	bestHops := st.hops
+	for _, c := range st.heardCH {
+		if c.id == id {
+			continue
+		}
+		if c.hops < bestHops {
+			best = c.id
+			bestHops = c.hops
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	if st.bsDirect {
+		return topo.BaseStationID, false
+	}
+	return st.helloParent, false
+}
+
+// clusterContribution solves the head's own cluster, honouring the
+// undersized policy and the localization active-set. A nil sums vector
+// means the cluster contributes nothing this round.
+func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32) {
+	st := &p.nodes[id]
+	if p.cfg.ActiveClusters != nil && !p.cfg.ActiveClusters[id] {
+		return nil, 0
+	}
+	if viableCluster(st) {
+		if sums, cnt, ok := p.solveCluster(st); ok {
+			return sums, cnt
+		}
+		return nil, 0 // incomplete exchange: cluster fails the round
+	}
+	if p.cfg.Undersized == UndersizedPlain {
+		// Head's own reading plus whatever members reported plainly.
+		sums := make([]field.Element, p.nComponents())
+		reading := p.readingVector(id)
+		for k := range sums {
+			sums[k] = reading[k]
+			if k < len(st.plainSums) {
+				sums[k] = sums[k].Add(st.plainSums[k])
+			}
+		}
+		return sums, st.plainCnt + 1
+	}
+	return nil, 0
+}
+
+// announce transmits the head's Announce toward the base station (ARQ
+// unicast; the cluster's witnesses and a direct parent head's children
+// overhear it promiscuously).
+func (p *Protocol) announce(id topo.NodeID) {
+	st := &p.nodes[id]
+	target, direct := p.announceTarget(id)
+	if target < 0 {
+		return // never reached by the flood
+	}
+	c := p.nComponents()
+	sums, cnt := p.clusterContribution(id)
+	a := message.Announce{
+		Origin:      id,
+		ClusterSums: sums,
+		ClusterCnt:  cnt,
+		Components:  uint8(c),
+		Children:    append([]message.ChildEntry(nil), st.children...),
+	}
+	// Echo the solved F matrix so members can witness the cluster sums
+	// (skipped under the NoWitness ablation).
+	if cnt > 0 && viableCluster(st) && !p.cfg.NoWitness {
+		m := len(st.roster.Entries)
+		a.FMatrix = make([]field.Element, m*c)
+		for i := 0; i < m; i++ {
+			for k := 0; k < c; k++ {
+				a.FMatrix[i*c+k] = st.fSeen[i].Fs[k]
+			}
+		}
+	}
+	// Pollution attack: tamper with the outgoing aggregate (component 0).
+	if id == p.cfg.Polluter && p.round >= p.cfg.PolluteFromRound &&
+		(p.cfg.ActiveClusters == nil || p.cfg.ActiveClusters[id]) {
+		delta := field.FromInt(p.cfg.PollutionDelta)
+		polluteOwn := func() {
+			if a.ClusterSums == nil {
+				a.ClusterSums = make([]field.Element, c)
+			}
+			a.ClusterSums[0] = a.ClusterSums[0].Add(delta)
+		}
+		switch p.cfg.Target {
+		case PolluteOwnSum:
+			polluteOwn()
+		case PolluteChild:
+			if len(a.Children) > 0 && len(a.Children[0].Totals) > 0 {
+				a.Children[0].Totals[0] = a.Children[0].Totals[0].Add(delta)
+			} else {
+				polluteOwn()
+			}
+		}
+	}
+	st.myAnnounce = &a
+	if direct {
+		st.sentTo = target
+	}
+	p.env.Tracef(id, "announce", "sum0=%v cnt=%d children=%d to=%d direct=%v",
+		a.ClusterSumOrZero(), a.ClusterCnt, len(a.Children), target, direct)
+	payload, err := message.MarshalAnnounce(a)
+	if err != nil {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindAnnounce, id, target, p.round, payload))
+}
+
+// onAnnounce handles every announce reception: witnessing (overheard first
+// transmissions), absorption (heads and the base station), and reverse-path
+// relaying (members).
+func (p *Protocol) onAnnounce(at topo.NodeID, msg *message.Message) {
+	a, err := message.UnmarshalAnnounce(msg.Payload)
+	if err != nil {
+		return
+	}
+	st := &p.nodes[at]
+
+	// Witnessing applies to the origin's own transmission only (relays are
+	// not re-witnessed; the relay path cannot aggregate or modify without
+	// detection at the absorbing head's own witnesses).
+	if msg.From == a.Origin && at != topo.BaseStationID && !p.cfg.NoWitness {
+		p.witnessAnnounce(at, a)
+	}
+
+	if msg.To != at {
+		return
+	}
+	// Structural sanity applies to every absorbed or relayed announce: a
+	// failed cluster (count 0) must contribute nothing.
+	if a.ClusterCnt == 0 && !p.cfg.NoWitness {
+		for _, s := range a.ClusterSums {
+			if s != 0 {
+				p.raiseAlarm(at, a.Origin, s, 0)
+				return
+			}
+		}
+	}
+	if at == topo.BaseStationID {
+		total := a.Total()
+		for k := 0; k < len(p.bsSums) && k < len(total); k++ {
+			p.bsSums[k] = p.bsSums[k].Add(total[k])
+		}
+		p.bsCount += a.TotalCount()
+		return
+	}
+	switch st.role {
+	case roleHead:
+		st.children = append(st.children, message.ChildEntry{
+			Child:  a.Origin,
+			Totals: a.Total(),
+			Count:  a.TotalCount(),
+		})
+	case roleMember:
+		if st.helloParent >= 0 {
+			p.env.MAC.Send(message.Build(message.KindAnnounce, at, st.helloParent, msg.Round, msg.Payload))
+		}
+	}
+}
+
+// witnessAnnounce runs the two witness checks against an overheard
+// first-transmission announce.
+func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
+	st := &p.nodes[at]
+
+	// Witness check 1: members of the announcing head's cluster verify the
+	// announce against the echoed F vector. Three sub-checks:
+	//   (a) the claimed participant count matches the roster;
+	//   (b) my own F entry matches what I sent — a head forging the vector
+	//       is caught by the member whose entry it altered;
+	//   (c) solving the echoed vector yields the announced ClusterSum — a
+	//       head announcing a sum inconsistent with the committed inputs is
+	//       caught by every member.
+	if st.role == roleMember && st.head == a.Origin && viableCluster(st) && a.ClusterCnt > 0 {
+		m := len(st.roster.Entries)
+		c := p.nComponents()
+		switch {
+		case int(a.Components) != c || len(a.FMatrix) != m*c ||
+			int(a.ClusterCnt) != m || len(a.ClusterSums) != c:
+			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+		default:
+			if p.forgedOwnRow(st, a) {
+				p.raiseAlarm(at, a.Origin, a.FMatrix[st.myIdx*c], st.fSeen[st.myIdx].Fs[0])
+				return
+			}
+			column := make([]field.Element, m)
+			for k := 0; k < c; k++ {
+				for i := 0; i < m; i++ {
+					column[i] = a.FMatrix[i*c+k]
+				}
+				sum, err := st.algebra.RecoverSum(column)
+				if err == nil && sum != a.ClusterSums[k] {
+					p.raiseAlarm(at, a.Origin, a.ClusterSums[k], sum)
+					return
+				}
+			}
+		}
+	}
+
+	// Witness check 2: a head that announced directly to another head
+	// verifies its echoed entry in that parent's announce. A missing entry
+	// is tolerated (announce loss); a present-but-tampered entry is an
+	// attack.
+	if st.role == roleHead && st.sentTo == a.Origin && st.myAnnounce != nil {
+		want := message.ChildEntry{
+			Child:  at,
+			Totals: st.myAnnounce.Total(),
+			Count:  st.myAnnounce.TotalCount(),
+		}
+		for _, ch := range a.Children {
+			if ch.Child != at {
+				continue
+			}
+			if !ch.Equal(want) {
+				p.raiseAlarm(at, a.Origin, firstOrZero(ch.Totals), firstOrZero(want.Totals))
+			}
+			break
+		}
+	}
+}
+
+// forgedOwnRow reports whether the echoed F matrix disagrees with the
+// witness's own committed vector.
+func (p *Protocol) forgedOwnRow(st *nodeState, a message.Announce) bool {
+	own, ok := st.fSeen[st.myIdx]
+	if !ok {
+		return false
+	}
+	c := int(a.Components)
+	for k := 0; k < c && k < len(own.Fs); k++ {
+		if a.FMatrix[st.myIdx*c+k] != own.Fs[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// firstOrZero returns the first component or zero.
+func firstOrZero(vs []field.Element) field.Element {
+	if len(vs) > 0 {
+		return vs[0]
+	}
+	return 0
+}
+
+// raiseAlarm broadcasts a witness's integrity alarm.
+func (p *Protocol) raiseAlarm(witness, suspect topo.NodeID, observed, expected field.Element) {
+	if witness == p.cfg.Polluter || p.cfg.Colluders[witness] {
+		return // the attacker and its colluders do not indict anyone
+	}
+	p.alarmsRaised++
+	p.env.Tracef(witness, "witness", "alarm: suspect=%d observed=%v expected=%v",
+		suspect, observed, expected)
+	p.env.MAC.Send(message.Build(
+		message.KindAlarm, witness, message.BroadcastID, p.round,
+		message.MarshalAlarm(message.Alarm{Suspect: suspect, Observed: observed, Expected: expected})))
+}
+
+// AlarmsRaised counts witness alarms transmitted network-wide in the last
+// round (delivered to the base station or not).
+func (p *Protocol) AlarmsRaised() int { return p.alarmsRaised }
+
+// onAlarm floods alarms network-wide (every node rebroadcasts each distinct
+// alarm once) and collects them at the base station. Flooding is what makes
+// detection robust even when the only aggregation path passes through the
+// suspect: a compromised node can drop an alarm, but it cannot stop its
+// honest neighbours from relaying it around. Alarms are rare (one per
+// witnessed violation), so the flood's cost is negligible and bounded by
+// the per-node dedup.
+func (p *Protocol) onAlarm(at topo.NodeID, msg *message.Message) {
+	a, err := message.UnmarshalAlarm(msg.Payload)
+	if err != nil {
+		return
+	}
+	key := alarmKey(a)
+	if at == topo.BaseStationID {
+		p.bsAlarms[key] = a
+		return
+	}
+	st := &p.nodes[at]
+	if at == p.cfg.Polluter || p.cfg.Colluders[at] {
+		return // the attacker and its colluders suppress alarms
+	}
+	if st.alarmed[key] {
+		return
+	}
+	st.alarmed[key] = true
+	p.env.MAC.Send(message.Build(message.KindAlarm, at, message.BroadcastID, msg.Round, msg.Payload))
+}
+
+func alarmKey(a message.Alarm) string {
+	return fmt.Sprintf("%d:%d:%d", a.Suspect, uint64(a.Observed), uint64(a.Expected))
+}

@@ -1,0 +1,329 @@
+// Package core implements the reproduced paper's contribution: a
+// cluster-based data aggregation protocol that preserves privacy through
+// CPDA-style in-cluster secret sharing and enforces integrity through
+// in-cluster witnessing over the shared wireless medium.
+//
+// Protocol phases (see DESIGN.md for the reconstruction rationale):
+//
+//  1. Cluster formation — the base station floods HELLO; on first receipt a
+//     node elects itself cluster head (CH) with probability Pc, otherwise it
+//     joins a nearby CH. CHs form an aggregation tree rooted at the base
+//     station.
+//  2. Privacy-preserving in-cluster aggregation — members exchange
+//     link-encrypted polynomial shares (package shares), broadcast their
+//     assembled column sums in cleartext, and the CH solves the Vandermonde
+//     system for the cluster sum.
+//  3. Integrity-enforcing aggregation — each CH unicasts an Announce up the
+//     CH tree carrying its cluster sum and an echo of every child
+//     contribution. Cluster members witness the cluster-sum component
+//     (they can solve for it themselves), child CHs witness their echoed
+//     entries, and any mismatch raises an Alarm that honest CHs forward to
+//     the base station, which then rejects the round.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/shares"
+	"repro/internal/topo"
+	"repro/internal/wsn"
+)
+
+// UndersizedPolicy says what a cluster smaller than shares.MinClusterSize
+// does.
+type UndersizedPolicy int
+
+// Undersized cluster policies.
+const (
+	// UndersizedDrop excludes the cluster's readings from the round
+	// (privacy preserved, data lost) — the default.
+	UndersizedDrop UndersizedPolicy = iota + 1
+	// UndersizedPlain reports readings link-encrypted to the CH without
+	// slicing (data preserved, in-cluster privacy sacrificed) — ablation.
+	UndersizedPlain
+)
+
+// PollutionTarget selects what the attacker tampers with.
+type PollutionTarget int
+
+// Pollution attack variants.
+const (
+	// PolluteOwnSum inflates the attacker CH's announced cluster sum.
+	PolluteOwnSum PollutionTarget = iota + 1
+	// PolluteChild tampers with one echoed child entry.
+	PolluteChild
+)
+
+// Config tunes the protocol.
+type Config struct {
+	Pc         float64       // cluster-head election probability
+	JoinWait   time.Duration // member wait before picking a CH
+	RosterAt   time.Duration // CH roster broadcast time
+	SharesAt   time.Duration // share-exchange phase start
+	AssembleAt time.Duration // assembled-broadcast phase start
+	AggAt      time.Duration // CH-tree aggregation start
+	EpochSlot  time.Duration // per-hop transmission window
+	MaxHops    int
+	Undersized UndersizedPolicy
+	// NoMerge disables the undersized-cluster dissolution/re-join repair
+	// (ablation: exposes the raw head-election cluster-size distribution).
+	NoMerge bool
+	// NoWitness strips the integrity machinery (ablation: announces carry
+	// no F-vector echo and nobody verifies them), isolating what integrity
+	// enforcement costs on top of privacy-preserving aggregation.
+	NoWitness bool
+
+	// Attack configuration: Polluter < 0 disables the attack.
+	Polluter       topo.NodeID
+	PollutionDelta int64
+	Target         PollutionTarget
+	// PolluteFromRound delays the attack: the compromised head behaves
+	// honestly in rounds below this number (0 = attack from the start).
+	PolluteFromRound uint16
+	// Colluders cooperate with the polluter: they never raise alarms and
+	// silently drop alarms they would otherwise flood onward. This is the
+	// paper's future-work collusive-attack model, implemented so the
+	// degradation of detection can be measured (experiment F10).
+	Colluders map[topo.NodeID]bool
+
+	// CrashRate is the fraction of sensor nodes that fail-stop at a random
+	// instant during the round (failure injection; experiment F12).
+	CrashRate float64
+
+	// ActiveClusters, when non-nil, restricts which cluster heads
+	// contribute their cluster sums (the O(log N) localization bisects
+	// this set). Inactive CHs still relay children.
+	ActiveClusters map[topo.NodeID]bool
+}
+
+// DefaultConfig returns the reconstruction's reference parameters.
+func DefaultConfig() Config {
+	return Config{
+		Pc:         0.25,
+		JoinWait:   500 * time.Millisecond,
+		RosterAt:   2500 * time.Millisecond,
+		SharesAt:   3500 * time.Millisecond,
+		AssembleAt: 5 * time.Second,
+		AggAt:      6 * time.Second,
+		EpochSlot:  150 * time.Millisecond,
+		MaxHops:    16,
+		Undersized: UndersizedDrop,
+		Polluter:   -1,
+		Target:     PolluteOwnSum,
+	}
+}
+
+// Node roles.
+const (
+	roleUnassigned = 0
+	roleHead       = 1
+	roleMember     = 2
+)
+
+type chInfo struct {
+	id   topo.NodeID
+	hops int
+}
+
+type nodeState struct {
+	role        int
+	hops        int         // flood depth (hops from the base station)
+	helloParent topo.NodeID // the node we first heard the query from
+	bsDirect    bool        // heard the base station's own beacon
+	heardCH     []chInfo    // head HELLOs heard (join candidates)
+	joinOn      bool
+
+	head    topo.NodeID // members/heads: own cluster head (self for heads)
+	joiners []message.RosterEntry
+
+	roster  message.Roster
+	myIdx   int // index in roster, -1 if excluded
+	algebra *shares.Algebra
+
+	recvShares [][]field.Element // by roster index: component vector
+	recvMask   uint16
+	fSeen      map[int]message.Assembled // by roster index
+
+	plainSums []field.Element // heads under UndersizedPlain: component sums
+	plainCnt  uint32
+
+	children   []message.ChildEntry // heads: collected child announces
+	myAnnounce *message.Announce    // heads: what we sent (child-side witness state)
+	sentTo     topo.NodeID          // heads: direct head we announced to (-1 = relayed/BS)
+
+	alarmed map[string]bool // forwarded-alarm dedup (heads)
+}
+
+// Protocol is one instance of the cluster-based protocol over an Env.
+type Protocol struct {
+	env   *wsn.Env
+	cfg   Config
+	nodes []nodeState
+	round uint16
+
+	// Base-station bookkeeping. bsSums holds one total per component.
+	bsSums       []field.Element
+	bsCount      uint32
+	bsAlarms     map[string]message.Alarm
+	alarmsRaised int
+
+	startBytes int
+	startMsgs  int
+	startApp   int
+
+	// comps, when non-nil, holds the active query's additive components;
+	// the round then aggregates the whole component vector at once
+	// (see query.go). Nil means one component: the raw reading.
+	comps []func(int64) int64
+}
+
+// nComponents returns the active component-vector width.
+func (p *Protocol) nComponents() int {
+	if len(p.comps) == 0 {
+		return 1
+	}
+	return len(p.comps)
+}
+
+// New wires a protocol instance onto the environment's MAC.
+func New(env *wsn.Env, cfg Config) (*Protocol, error) {
+	if cfg.Pc <= 0 || cfg.Pc > 1 {
+		return nil, fmt.Errorf("core: Pc %g out of (0, 1]", cfg.Pc)
+	}
+	if cfg.JoinWait <= 0 || cfg.RosterAt <= cfg.JoinWait || cfg.SharesAt <= cfg.RosterAt ||
+		cfg.AssembleAt <= cfg.SharesAt || cfg.AggAt <= cfg.AssembleAt {
+		return nil, fmt.Errorf("core: phase times must increase: %+v", cfg)
+	}
+	if cfg.EpochSlot <= 0 || cfg.MaxHops < 1 {
+		return nil, fmt.Errorf("core: invalid schedule %+v", cfg)
+	}
+	if cfg.Undersized != UndersizedDrop && cfg.Undersized != UndersizedPlain {
+		return nil, fmt.Errorf("core: invalid undersized policy %d", cfg.Undersized)
+	}
+	if cfg.CrashRate < 0 || cfg.CrashRate >= 1 {
+		return nil, fmt.Errorf("core: crash rate %g out of [0, 1)", cfg.CrashRate)
+	}
+	// Contention-adaptive schedule: the share and assemble phases carry
+	// O(degree) unicasts per collision domain, so their windows stretch
+	// with density beyond the reference degree the defaults were sized for.
+	if scale := env.Net.AverageDegree() / referenceDegree; scale > 1 {
+		sharesWin := time.Duration(float64(cfg.AssembleAt-cfg.SharesAt) * scale)
+		asmWin := time.Duration(float64(cfg.AggAt-cfg.AssembleAt) * scale)
+		cfg.AssembleAt = cfg.SharesAt + sharesWin
+		cfg.AggAt = cfg.AssembleAt + asmWin
+	}
+	return &Protocol{env: env, cfg: cfg}, nil
+}
+
+// referenceDegree is the deployment density the default schedule is sized
+// for (N=400 on the papers' 400 m × 400 m, r=50 m field).
+const referenceDegree = 18.0
+
+// Run executes one query round and returns the base station's view.
+func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
+	p.round = round
+	n := p.env.Net.Size()
+	p.nodes = make([]nodeState, n)
+	for i := range p.nodes {
+		st := &p.nodes[i]
+		st.helloParent = -1
+		st.head = -1
+		st.myIdx = -1
+		st.sentTo = -1
+		st.fSeen = make(map[int]message.Assembled)
+		st.alarmed = make(map[string]bool)
+	}
+	p.bsSums = make([]field.Element, p.nComponents())
+	p.bsCount = 0
+	p.bsAlarms = make(map[string]message.Alarm)
+	p.alarmsRaised = 0
+	p.startBytes = p.env.Rec.TotalTxBytes()
+	p.startMsgs = p.env.Rec.TotalTxMessages()
+	p.startApp = p.env.Rec.AppMessages()
+
+	for i := 0; i < n; i++ {
+		id := topo.NodeID(i)
+		p.env.MAC.SetReceiver(id, p.receive)
+	}
+
+	// The base station roots the flood and the head tree. It is not a
+	// cluster head for members; it only accepts announces.
+	bs := &p.nodes[topo.BaseStationID]
+	bs.role = roleHead
+	bs.hops = 0
+	p.env.Eng.After(0, func() { p.sendHello(topo.BaseStationID, helloBase, 0) })
+	p.scheduleCrashes()
+	p.env.Eng.After(p.cfg.RosterAt, func() { p.broadcastRosters() })
+	p.env.Eng.After(p.cfg.SharesAt, func() { p.scheduleShareExchange() })
+	p.env.Eng.After(p.cfg.AssembleAt, func() { p.scheduleAssembledBroadcasts() })
+	p.env.Eng.After(p.cfg.AggAt, func() { p.scheduleAnnounces() })
+
+	if err := p.env.Eng.Run(0); err != nil {
+		return metrics.RoundResult{}, fmt.Errorf("core: %w", err)
+	}
+	return p.result(), nil
+}
+
+func (p *Protocol) result() metrics.RoundResult {
+	n := p.env.Net.Size()
+	covered := 0
+	for i := 1; i < n; i++ {
+		st := &p.nodes[i]
+		if st.myIdx >= 0 && len(st.roster.Entries) >= shares.MinClusterSize {
+			covered++
+		} else if st.myIdx >= 0 && p.cfg.Undersized == UndersizedPlain {
+			covered++
+		}
+	}
+	reported := p.bsSums[0].Int()
+	cnt := int64(p.bsCount)
+	accepted := len(p.bsAlarms) == 0 && cnt <= p.env.TrueCount()
+	return metrics.RoundResult{
+		Protocol:     "icpda",
+		TrueSum:      p.env.TrueSum(),
+		TrueCount:    p.env.TrueCount(),
+		ReportedSum:  reported,
+		ReportedCnt:  cnt,
+		Participants: int(cnt),
+		Covered:      covered,
+		Accepted:     accepted,
+		Alarms:       len(p.bsAlarms),
+		TxBytes:      p.env.Rec.TotalTxBytes() - p.startBytes,
+		TxMessages:   p.env.Rec.TotalTxMessages() - p.startMsgs,
+		AppMessages:  p.env.Rec.AppMessages() - p.startApp,
+	}
+}
+
+// scheduleCrashes fail-stops a CrashRate fraction of sensor nodes at
+// uniformly random instants across the round's protocol phases.
+func (p *Protocol) scheduleCrashes() {
+	if p.cfg.CrashRate <= 0 {
+		return
+	}
+	horizon := p.cfg.AggAt + time.Duration(p.cfg.MaxHops)*p.cfg.EpochSlot
+	for i := 1; i < p.env.Net.Size(); i++ {
+		if p.env.Rng.Float64() >= p.cfg.CrashRate {
+			continue
+		}
+		id := topo.NodeID(i)
+		at := time.Duration(p.env.Rng.Int63n(int64(horizon)))
+		p.env.Eng.After(at, func() {
+			p.env.Tracef(id, "crash", "fail-stop")
+			p.env.MAC.Disable(id)
+		})
+	}
+}
+
+// Alarms exposes the base station's alarm set (suspect IDs) for tests and
+// the localization routine.
+func (p *Protocol) Alarms() []message.Alarm {
+	out := make([]message.Alarm, 0, len(p.bsAlarms))
+	for _, a := range p.bsAlarms {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/shares"
+	"repro/internal/topo"
+)
+
+// scheduleShareExchange starts every viable cluster participant's share
+// generation with jitter spreading contention across the phase window.
+func (p *Protocol) scheduleShareExchange() {
+	window := p.cfg.AssembleAt - p.cfg.SharesAt
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.myIdx < 0 {
+			continue
+		}
+		if st.algebra == nil {
+			// Undersized cluster: the plain policy reports readings
+			// link-encrypted to the head; the drop policy sits out.
+			if p.cfg.Undersized == UndersizedPlain && st.role == roleMember {
+				jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
+				p.env.Eng.After(jitter, func() { p.sendPlainReading(id) })
+			}
+			continue
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
+		p.env.Eng.After(jitter, func() { p.exchangeShares(id) })
+	}
+}
+
+// exchangeShares generates one masking polynomial per query component and
+// distributes the share vector to every cluster co-member: kept locally for
+// itself, direct link-encrypted unicast when in radio range, or relayed
+// through the head (still encrypted end-to-end) otherwise.
+func (p *Protocol) exchangeShares(id topo.NodeID) {
+	st := &p.nodes[id]
+	c := p.nComponents()
+	reading := p.readingVector(id)
+	outs := make([]shares.Shares, c)
+	for k := 0; k < c; k++ {
+		outs[k] = st.algebra.Generate(p.env.Rng, reading[k])
+	}
+	for j, entry := range st.roster.Entries {
+		target := entry.ID
+		vec := make([]field.Element, c)
+		for k := 0; k < c; k++ {
+			vec[k] = outs[k].ForMember[j]
+		}
+		if target == id {
+			p.acceptShare(id, st.myIdx, vec)
+			continue
+		}
+		if !p.env.HasLinkKey(id, target) {
+			continue // keyless pair (EG scheme): share lost, cluster will fail
+		}
+		pt, err := message.MarshalValues(vec)
+		if err != nil {
+			continue
+		}
+		sealed, err := p.env.Seal(id, target, pt)
+		if err != nil {
+			continue
+		}
+		inner := message.Build(message.KindShare, id, target, p.round, sealed)
+		if p.env.Net.InRange(id, target) {
+			p.env.MAC.Send(inner)
+			continue
+		}
+		// Out of mutual range: relay via the head. The head forwards the
+		// frame verbatim; it cannot read the sealed share.
+		innerBytes, err := inner.Marshal()
+		if err != nil {
+			continue
+		}
+		relayPayload, err := message.MarshalRelay(message.Relay{Inner: innerBytes})
+		if err != nil {
+			continue
+		}
+		p.env.MAC.Send(message.Build(message.KindRelay, id, st.head, p.round, relayPayload))
+	}
+}
+
+// onRelay forwards (at the head) or unwraps (at the destination) a relayed
+// share frame.
+func (p *Protocol) onRelay(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	r, err := message.UnmarshalRelay(msg.Payload)
+	if err != nil {
+		return
+	}
+	inner, err := message.Unmarshal(r.Inner)
+	if err != nil {
+		return
+	}
+	if inner.To == at {
+		p.onShare(at, inner)
+		return
+	}
+	// Forward hop: only a head relays, and only for its own cluster.
+	st := &p.nodes[at]
+	if st.role != roleHead {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindRelay, at, inner.To, msg.Round, msg.Payload))
+}
+
+// onShare decrypts a received share and records it by roster index.
+func (p *Protocol) onShare(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return // ciphertext is useless to overhearers
+	}
+	st := &p.nodes[at]
+	if st.algebra == nil || st.myIdx < 0 {
+		return
+	}
+	senderIdx := -1
+	for i, e := range st.roster.Entries {
+		if e.ID == msg.From {
+			senderIdx = i
+			break
+		}
+	}
+	if senderIdx < 0 {
+		return // not a co-member
+	}
+	pt, err := p.env.Open(msg.From, at, msg.Payload)
+	if err != nil {
+		return
+	}
+	vec, err := message.UnmarshalValues(pt)
+	if err != nil || len(vec) != p.nComponents() {
+		return
+	}
+	p.acceptShare(at, senderIdx, vec)
+}
+
+// acceptShare stores one share vector from roster index senderIdx.
+func (p *Protocol) acceptShare(at topo.NodeID, senderIdx int, vec []field.Element) {
+	st := &p.nodes[at]
+	bit := uint16(1) << uint(senderIdx)
+	if st.recvMask&bit != 0 {
+		return // duplicate
+	}
+	st.recvMask |= bit
+	st.recvShares[senderIdx] = vec
+}
+
+// scheduleAssembledBroadcasts has every participant publish its column sum.
+func (p *Protocol) scheduleAssembledBroadcasts() {
+	window := p.cfg.AggAt - p.cfg.AssembleAt
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.algebra == nil || st.myIdx < 0 {
+			continue
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
+		p.env.Eng.After(jitter, func() { p.broadcastAssembled(id) })
+	}
+}
+
+// broadcastAssembled sums the received shares and sends F with the
+// contribution mask, in cleartext, as an ARQ unicast to the head. The head
+// later echoes the full F vector inside its Announce, which is what lets
+// every member act as an integrity witness without having had to overhear
+// every co-member directly.
+func (p *Protocol) broadcastAssembled(id topo.NodeID) {
+	st := &p.nodes[id]
+	c := p.nComponents()
+	fs := make([]field.Element, c)
+	for i := 0; i < len(st.roster.Entries); i++ {
+		vec := st.recvShares[i]
+		for k := 0; k < c && k < len(vec); k++ {
+			fs[k] = fs[k].Add(vec[k])
+		}
+	}
+	a := message.Assembled{Fs: fs, Mask: st.recvMask}
+	// Record our own F locally: it is the witness's ground truth.
+	st.fSeen[st.myIdx] = a
+	if st.role == roleHead {
+		return // the head's own F needs no transmission
+	}
+	payload, err := message.MarshalAssembled(a)
+	if err != nil {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindAssembled, id, st.head, p.round, payload))
+}
+
+// onAssembled records a member's column sum at its head.
+func (p *Protocol) onAssembled(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.role != roleHead || st.algebra == nil || st.myIdx < 0 {
+		return
+	}
+	senderIdx := -1
+	for i, e := range st.roster.Entries {
+		if e.ID == msg.From {
+			senderIdx = i
+			break
+		}
+	}
+	if senderIdx < 0 {
+		return
+	}
+	a, err := message.UnmarshalAssembled(msg.Payload)
+	if err != nil || len(a.Fs) != p.nComponents() {
+		return
+	}
+	st.fSeen[senderIdx] = a
+}
+
+// solveCluster recovers the cluster's component sums from a complete,
+// consistent set of assembled vectors. Returns ok=false when any value or
+// mask is missing or inconsistent (the cluster fails the round — data loss,
+// not attack).
+func (p *Protocol) solveCluster(st *nodeState) ([]field.Element, uint32, bool) {
+	m := len(st.roster.Entries)
+	if st.algebra == nil || m == 0 {
+		return nil, 0, false
+	}
+	c := p.nComponents()
+	full := uint16(1)<<uint(m) - 1
+	for i := 0; i < m; i++ {
+		a, ok := st.fSeen[i]
+		if !ok || a.Mask != full || len(a.Fs) != c {
+			return nil, 0, false
+		}
+	}
+	sums := make([]field.Element, c)
+	assembled := make([]field.Element, m)
+	for k := 0; k < c; k++ {
+		for i := 0; i < m; i++ {
+			assembled[i] = st.fSeen[i].Fs[k]
+		}
+		sum, err := st.algebra.RecoverSum(assembled)
+		if err != nil {
+			return nil, 0, false
+		}
+		sums[k] = sum
+	}
+	return sums, uint32(m), true
+}
+
+// sendPlainReading implements the UndersizedPlain fallback: the member
+// reports its reading link-encrypted to the head (no slicing).
+func (p *Protocol) sendPlainReading(id topo.NodeID) {
+	st := &p.nodes[id]
+	if st.head < 0 || !p.env.HasLinkKey(id, st.head) {
+		return
+	}
+	pt, err := message.MarshalValues(p.readingVector(id))
+	if err != nil {
+		return
+	}
+	sealed, err := p.env.Seal(id, st.head, pt)
+	if err != nil {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindReading, id, st.head, p.round, sealed))
+}
+
+// onPlainReading accumulates undersized-cluster readings at the head.
+func (p *Protocol) onPlainReading(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.role != roleHead || p.cfg.Undersized != UndersizedPlain {
+		return
+	}
+	pt, err := p.env.Open(msg.From, at, msg.Payload)
+	if err != nil {
+		return
+	}
+	vec, err := message.UnmarshalValues(pt)
+	if err != nil || len(vec) != p.nComponents() {
+		return
+	}
+	if st.plainSums == nil {
+		st.plainSums = make([]field.Element, p.nComponents())
+	}
+	for k := range vec {
+		st.plainSums[k] = st.plainSums[k].Add(vec[k])
+	}
+	st.plainCnt++
+}
+
+// viableCluster reports whether a node sits in a cluster that can run the
+// share protocol.
+func viableCluster(st *nodeState) bool {
+	return st.algebra != nil && st.myIdx >= 0 && shares.Viable(len(st.roster.Entries))
+}

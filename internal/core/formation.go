@@ -1,0 +1,296 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/shares"
+	"repro/internal/topo"
+)
+
+// Hello roles carried in the formation flood.
+const (
+	helloMember = 0 // plain flood relay
+	helloHead   = 1 // the sender is a cluster head accepting joins
+	helloBase   = 3 // the base station's root beacon
+)
+
+// sendHello broadcasts a formation beacon. Every node forwards the query
+// flood exactly once (CPDA disseminates the query through the whole
+// network); heads mark their rebroadcast so neighbours learn whom they can
+// join.
+func (p *Protocol) sendHello(from topo.NodeID, role uint8, hops int) {
+	p.env.MAC.Send(message.Build(
+		message.KindHello, from, message.BroadcastID, p.round,
+		message.MarshalHello(message.Hello{Origin: from, Role: role, Hops: uint16(hops)}),
+	))
+}
+
+// receive dispatches every frame delivered to (or overheard by) a node.
+func (p *Protocol) receive(at topo.NodeID, msg *message.Message) {
+	switch msg.Kind {
+	case message.KindHello:
+		p.onHello(at, msg)
+	case message.KindJoin:
+		p.onJoin(at, msg)
+	case message.KindRoster:
+		p.onRoster(at, msg)
+	case message.KindShare:
+		p.onShare(at, msg)
+	case message.KindRelay:
+		p.onRelay(at, msg)
+	case message.KindAssembled:
+		p.onAssembled(at, msg)
+	case message.KindAnnounce:
+		p.onAnnounce(at, msg)
+	case message.KindReading:
+		p.onPlainReading(at, msg)
+	case message.KindAlarm:
+		p.onAlarm(at, msg)
+	}
+}
+
+// onHello drives the query flood, head election, and join-candidate
+// collection.
+func (p *Protocol) onHello(at topo.NodeID, msg *message.Message) {
+	if at == topo.BaseStationID {
+		return
+	}
+	h, err := message.UnmarshalHello(msg.Payload)
+	if err != nil {
+		return
+	}
+	st := &p.nodes[at]
+	switch h.Role {
+	case helloHead:
+		st.heardCH = append(st.heardCH, chInfo{id: msg.From, hops: int(h.Hops)})
+	case helloBase:
+		st.bsDirect = true
+	}
+	if st.role != roleUnassigned {
+		return
+	}
+	// First HELLO: adopt the flood parent, elect, and rebroadcast. Jitter
+	// desynchronises each flood wave.
+	st.helloParent = msg.From
+	st.hops = int(h.Hops) + 1
+	hops := st.hops
+	if p.env.Rng.Float64() < p.cfg.Pc {
+		st.role = roleHead
+		st.head = at
+		p.env.Tracef(at, "election", "became head at hops=%d", hops)
+		jitter := time.Duration(p.env.Rng.Int63n(int64(80 * time.Millisecond)))
+		p.env.Eng.After(jitter, func() { p.sendHello(at, helloHead, hops) })
+		return
+	}
+	st.role = roleMember
+	jitter := time.Duration(p.env.Rng.Int63n(int64(80 * time.Millisecond)))
+	p.env.Eng.After(jitter, func() { p.sendHello(at, helloMember, hops) })
+	if !st.joinOn {
+		st.joinOn = true
+		p.env.Eng.After(p.cfg.JoinWait, func() { p.join(at) })
+	}
+}
+
+// join picks a uniformly random cluster head among those heard (CPDA-style;
+// random choice balances cluster sizes). A member with no head in radio
+// range promotes itself to head — the adaptive repair that keeps cluster
+// coverage tracking network connectivity instead of head percolation.
+func (p *Protocol) join(at topo.NodeID) {
+	st := &p.nodes[at]
+	if st.role != roleMember {
+		return
+	}
+	if len(st.heardCH) == 0 {
+		st.role = roleHead
+		st.head = at
+		p.env.Tracef(at, "election", "self-promoted (no head in range)")
+		p.sendHello(at, helloHead, st.hops)
+		return
+	}
+	best := st.heardCH[p.env.Rng.Intn(len(st.heardCH))]
+	st.head = best.id
+	p.env.Tracef(at, "join", "joining head %d", best.id)
+	p.env.MAC.Send(message.Build(
+		message.KindJoin, at, best.id, p.round,
+		message.MarshalJoin(message.Join{Head: best.id, Seed: shares.SeedFor(int(at))}),
+	))
+}
+
+// onJoin records a member at its elected head.
+func (p *Protocol) onJoin(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.role != roleHead || at == topo.BaseStationID {
+		return
+	}
+	j, err := message.UnmarshalJoin(msg.Payload)
+	if err != nil || j.Head != at {
+		return
+	}
+	if len(st.joiners) >= message.MaxClusterSize-1 {
+		return // cluster full; late joiners are excluded by the roster
+	}
+	st.joiners = append(st.joiners, message.RosterEntry{ID: msg.From, Seed: j.Seed})
+}
+
+// broadcastRosters runs the two-stage roster phase. Stage one (now): every
+// undersized head dissolves — it broadcasts an empty roster so its joiners
+// re-join elsewhere, and itself joins a neighbouring head. Stage two
+// (half-way to the shares phase): surviving heads broadcast their final
+// membership, jittered and repeated once for broadcast-loss resilience (a
+// member that misses its roster cannot participate, which would fail the
+// whole cluster).
+func (p *Protocol) broadcastRosters() {
+	window := p.cfg.SharesAt - p.cfg.RosterAt
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role != roleHead {
+			continue
+		}
+		if !p.cfg.NoMerge && !shares.Viable(1+len(st.joiners)) && len(p.otherHeads(id)) > 0 {
+			p.dissolve(id)
+		}
+	}
+	p.env.Eng.After(window/2, func() { p.finalRosters() })
+}
+
+// otherHeads lists the heads a node heard, excluding itself.
+func (p *Protocol) otherHeads(id topo.NodeID) []chInfo {
+	st := &p.nodes[id]
+	out := make([]chInfo, 0, len(st.heardCH))
+	for _, c := range st.heardCH {
+		if c.id != id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dissolve demotes an undersized head to member: empty-roster broadcast
+// releases its joiners, and the ex-head joins a random neighbouring head.
+func (p *Protocol) dissolve(id topo.NodeID) {
+	st := &p.nodes[id]
+	payload, err := message.MarshalRoster(message.Roster{Head: id})
+	if err != nil {
+		return
+	}
+	jitter := time.Duration(p.env.Rng.Int63n(int64(50 * time.Millisecond)))
+	p.env.Eng.After(jitter, func() {
+		p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
+	})
+	st.role = roleMember
+	st.joiners = nil
+	p.env.Tracef(id, "merge", "dissolved undersized cluster")
+	p.rejoin(id, id)
+}
+
+// rejoin sends a fresh Join to a random heard head other than `not`.
+func (p *Protocol) rejoin(at, not topo.NodeID) {
+	st := &p.nodes[at]
+	candidates := make([]chInfo, 0, len(st.heardCH))
+	for _, c := range st.heardCH {
+		if c.id != not && c.id != at {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		st.head = -1
+		return // no alternative: uncovered this round
+	}
+	best := candidates[p.env.Rng.Intn(len(candidates))]
+	st.head = best.id
+	p.env.MAC.Send(message.Build(
+		message.KindJoin, at, best.id, p.round,
+		message.MarshalJoin(message.Join{Head: best.id, Seed: shares.SeedFor(int(at))}),
+	))
+}
+
+// finalRosters publishes surviving heads' membership.
+func (p *Protocol) finalRosters() {
+	window := (p.cfg.SharesAt - p.cfg.RosterAt) / 2
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role != roleHead {
+			continue
+		}
+		roster := message.Roster{Head: id}
+		roster.Entries = append(roster.Entries,
+			message.RosterEntry{ID: id, Seed: shares.SeedFor(int(id))})
+		roster.Entries = append(roster.Entries, st.joiners...)
+		payload, err := message.MarshalRoster(roster)
+		if err != nil {
+			continue
+		}
+		p.installRoster(id, roster)
+		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 4)))
+		p.env.Eng.After(jitter, func() {
+			p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
+		})
+		p.env.Eng.After(jitter+window/2, func() {
+			p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
+		})
+	}
+}
+
+// onRoster installs the cluster parameters at a member, or processes a
+// dissolution (empty roster): every overhearing node forgets the dissolved
+// head (so announce routing never targets it), and its members re-join.
+func (p *Protocol) onRoster(at topo.NodeID, msg *message.Message) {
+	st := &p.nodes[at]
+	r, err := message.UnmarshalRoster(msg.Payload)
+	if err != nil || r.Head != msg.From {
+		return
+	}
+	if len(r.Entries) == 0 {
+		kept := st.heardCH[:0]
+		for _, c := range st.heardCH {
+			if c.id != msg.From {
+				kept = append(kept, c)
+			}
+		}
+		st.heardCH = kept
+		if st.role == roleMember && st.head == msg.From {
+			p.rejoin(at, msg.From)
+		}
+		return
+	}
+	if st.role != roleMember || st.head != msg.From {
+		return
+	}
+	p.installRoster(at, r)
+}
+
+// installRoster prepares the share algebra for a node's cluster view.
+func (p *Protocol) installRoster(at topo.NodeID, r message.Roster) {
+	st := &p.nodes[at]
+	st.roster = r
+	st.myIdx = -1
+	for i, e := range r.Entries {
+		if e.ID == at {
+			st.myIdx = i
+			break
+		}
+	}
+	if st.myIdx < 0 {
+		return // excluded (cluster was full)
+	}
+	if !shares.Viable(len(r.Entries)) {
+		return // undersized: handled by policy at the shares phase
+	}
+	seeds := make([]field.Element, len(r.Entries))
+	for i, e := range r.Entries {
+		seeds[i] = e.Seed
+	}
+	algebra, err := shares.NewAlgebra(seeds)
+	if err != nil {
+		return // corrupt roster (duplicate seeds); cluster cannot run
+	}
+	st.algebra = algebra
+	st.recvShares = make([][]field.Element, len(r.Entries))
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestRunRetainingBeforeRunFails(t *testing.T) {
+	_, p := run(t, 50, 1, true, nil)
+	if _, err := p.RunRetaining(2); err == nil {
+		t.Error("RunRetaining before Run should fail")
+	}
+}
+
+func TestRunRetainingKeepsClusters(t *testing.T) {
+	env, p := run(t, 400, 21, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	r1, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads1 := p.Heads()
+	r2, err := p.RunRetaining(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads2 := p.Heads()
+	if len(heads1) != len(heads2) {
+		t.Fatalf("head count changed: %d vs %d", len(heads1), len(heads2))
+	}
+	for i := range heads1 {
+		if heads1[i] != heads2[i] {
+			t.Fatalf("heads changed at %d", i)
+		}
+	}
+	// Same clusters, fresh shares: identical participant counts on an
+	// ideal channel.
+	if r1.ReportedCnt != r2.ReportedCnt {
+		t.Errorf("counts differ: %d vs %d", r1.ReportedCnt, r2.ReportedCnt)
+	}
+	if r1.ReportedSum != r2.ReportedSum {
+		t.Errorf("sums differ: %d vs %d", r1.ReportedSum, r2.ReportedSum)
+	}
+	if !r2.Accepted {
+		t.Error("clean retained round rejected")
+	}
+}
+
+func TestActiveClustersRestrictContribution(t *testing.T) {
+	env, p := run(t, 400, 23, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	r1, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := p.Heads()
+	if len(heads) < 4 {
+		t.Skip("too few heads")
+	}
+	active := make(map[topo.NodeID]bool)
+	for _, h := range heads[:len(heads)/2] {
+		active[h] = true
+	}
+	p.cfg.ActiveClusters = active
+	r2, err := p.RunRetaining(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReportedCnt >= r1.ReportedCnt {
+		t.Errorf("half-active count %d should be below full count %d", r2.ReportedCnt, r1.ReportedCnt)
+	}
+	if r2.ReportedCnt == 0 {
+		t.Error("half-active round reported nothing")
+	}
+}
+
+func TestLocalizeCleanNetwork(t *testing.T) {
+	env, p := run(t, 400, 25, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	res, err := p.Localize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspect != -1 {
+		t.Errorf("clean network: suspect = %d", res.Suspect)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("clean network should stop after 1 round, took %d", res.Rounds)
+	}
+}
+
+func TestLocalizeFindsPolluter(t *testing.T) {
+	// Dry run to pick a viable polluter head deterministically.
+	env, p := run(t, 400, 27, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	var polluter topo.NodeID = -1
+	for _, h := range p.Heads() {
+		if viableCluster(&p.nodes[h]) && p.rootedAtBS(h) {
+			polluter = h
+			break
+		}
+	}
+	if polluter < 0 {
+		t.Fatal("no viable head")
+	}
+	_, p2 := run(t, 400, 27, true, func(c *Config) {
+		c.Polluter = polluter
+		c.PollutionDelta = 9999
+		c.Target = PolluteOwnSum
+	})
+	res, err := p2.Localize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspect != polluter {
+		t.Errorf("localized %d, want %d", res.Suspect, polluter)
+	}
+	// O(log N) bound: 1 + ceil(log2(#heads)) rounds.
+	bound := 1 + int(math.Ceil(math.Log2(float64(len(p2.Heads())))))
+	if res.Rounds > bound+1 {
+		t.Errorf("rounds = %d exceeds O(log N) bound %d", res.Rounds, bound)
+	}
+	t.Logf("localized %d in %d rounds (heads=%d)", res.Suspect, res.Rounds, len(p2.Heads()))
+}

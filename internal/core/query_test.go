@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aggfunc"
+)
+
+func query(k aggfunc.Kind) aggfunc.Query {
+	return aggfunc.Query{Kind: k, ReadingMin: 10, ReadingMax: 100}
+}
+
+func TestRunQuerySumMatchesRun(t *testing.T) {
+	env, p := run(t, 300, 31, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	out, err := p.RunQuery(query(aggfunc.Sum), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 {
+		t.Errorf("rounds = %d", out.Rounds)
+	}
+	if !out.Accepted {
+		t.Error("clean query rejected")
+	}
+	if out.Truth != float64(env.TrueSum()) {
+		t.Errorf("truth = %g, want %d", out.Truth, env.TrueSum())
+	}
+	// Near-complete participation on the ideal channel.
+	if out.Error() > 0.08*out.Truth {
+		t.Errorf("sum error %g too large (truth %g)", out.Error(), out.Truth)
+	}
+}
+
+func TestRunQueryAverage(t *testing.T) {
+	env, p := run(t, 300, 33, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	out, err := p.RunQuery(query(aggfunc.Average), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 {
+		t.Errorf("rounds = %d (vector aggregation runs one round)", out.Rounds)
+	}
+	// The average is robust to losing whole clusters: both components travel
+	// together, so they lose exactly the same participants.
+	if out.Error() > 2.0 {
+		t.Errorf("avg = %g vs truth %g", out.Value, out.Truth)
+	}
+}
+
+func TestRunQueryVariance(t *testing.T) {
+	env, p := run(t, 300, 35, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	out, err := p.RunQuery(query(aggfunc.Variance), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 {
+		t.Errorf("rounds = %d", out.Rounds)
+	}
+	if out.Truth <= 0 {
+		t.Fatalf("uniform readings must have positive variance, truth = %g", out.Truth)
+	}
+	if out.Error() > 0.15*out.Truth {
+		t.Errorf("variance = %g vs truth %g", out.Value, out.Truth)
+	}
+}
+
+func TestRunQueryMaxMin(t *testing.T) {
+	env, p := run(t, 300, 37, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	for _, k := range []aggfunc.Kind{aggfunc.Max, aggfunc.Min} {
+		out, err := p.RunQuery(query(k), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Rounds != 1 {
+			t.Errorf("%v rounds = %d (all buckets travel in one vector)", k, out.Rounds)
+		}
+		// Exact at bucket resolution when the extreme node participated;
+		// allow one extra bucket for non-participation.
+		tol := 2 * 90.0 / (aggfunc.BucketCount - 1)
+		if math.Abs(out.Value-out.Truth) > tol {
+			t.Errorf("%v = %g vs truth %g (tol %g)", k, out.Value, out.Truth, tol)
+		}
+	}
+}
+
+func TestRunQueryPollutionFlagsOutcome(t *testing.T) {
+	env, p := run(t, 400, 39, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	polluter := p.PickAttacker(false)
+	if polluter < 0 {
+		t.Skip("no attacker available")
+	}
+	_, p2 := run(t, 400, 39, true, func(c *Config) {
+		c.Polluter = polluter
+		c.PollutionDelta = 9000
+	})
+	out, err := p2.RunQuery(query(aggfunc.Average), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("polluted query should be rejected")
+	}
+}
+
+func TestRunQueryInvalid(t *testing.T) {
+	_, p := run(t, 50, 41, true, nil)
+	if _, err := p.RunQuery(aggfunc.Query{Kind: 0}, 1); err == nil {
+		t.Error("invalid query should fail")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/topo"
+)
+
+// witnessFixture runs a clean ideal round and returns the protocol, a
+// viable head, and one of its members — the raw material for crafting
+// forged announces against the witness logic directly.
+func witnessFixture(t *testing.T) (*Protocol, topo.NodeID, topo.NodeID) {
+	t.Helper()
+	env, p := run(t, 400, 61, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	head := p.PickAttacker(false)
+	if head < 0 {
+		t.Skip("no viable head")
+	}
+	var member topo.NodeID = -1
+	for i := 1; i < env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		if id != head && p.HeadOf(id) == head && p.nodes[id].myIdx >= 0 &&
+			viableCluster(&p.nodes[id]) {
+			member = id
+			break
+		}
+	}
+	if member < 0 {
+		t.Skip("no viable member")
+	}
+	return p, head, member
+}
+
+// honestAnnounce reconstructs what the head actually announced.
+func honestAnnounce(t *testing.T, p *Protocol, head topo.NodeID) message.Announce {
+	t.Helper()
+	st := &p.nodes[head]
+	if st.myAnnounce == nil {
+		t.Skip("head never announced")
+	}
+	// Deep-copy so tests can tamper freely.
+	a := *st.myAnnounce
+	a.ClusterSums = append([]field.Element(nil), st.myAnnounce.ClusterSums...)
+	a.FMatrix = append([]field.Element(nil), st.myAnnounce.FMatrix...)
+	a.Children = append([]message.ChildEntry(nil), st.myAnnounce.Children...)
+	return a
+}
+
+func TestWitnessAcceptsHonestAnnounce(t *testing.T) {
+	p, head, member := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before {
+		t.Error("honest announce raised an alarm")
+	}
+}
+
+func TestWitnessCatchesTamperedSum(t *testing.T) {
+	p, head, member := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	if len(a.ClusterSums) == 0 {
+		t.Skip("failed cluster")
+	}
+	a.ClusterSums[0] = a.ClusterSums[0].Add(1)
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("tampered cluster sum not witnessed")
+	}
+}
+
+func TestWitnessCatchesForgedOwnEntry(t *testing.T) {
+	p, head, member := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	st := &p.nodes[member]
+	c := int(a.Components)
+	// Forge the witness's own F entry AND adjust the sum consistently — the
+	// classic "make the solve look right" attack. Solving the forged vector
+	// yields a different sum; announcing that sum keeps check (c) quiet, so
+	// it must be check (b), the own-entry comparison, that fires.
+	a.FMatrix[st.myIdx*c] = a.FMatrix[st.myIdx*c].Add(7)
+	forgedSum, err := st.algebra.RecoverSum(columnOf(a, 0, len(st.roster.Entries)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ClusterSums[0] = forgedSum
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("forged own F entry not witnessed")
+	}
+}
+
+func TestWitnessCatchesCountInflation(t *testing.T) {
+	p, head, member := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	a.ClusterCnt += 5
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("count inflation not witnessed")
+	}
+}
+
+func TestWitnessCatchesMissingFMatrix(t *testing.T) {
+	p, head, member := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	a.FMatrix = nil
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("contribution without F matrix not witnessed")
+	}
+}
+
+func TestWitnessIgnoresOtherClusters(t *testing.T) {
+	p, head, _ := witnessFixture(t)
+	a := honestAnnounce(t, p, head)
+	if len(a.ClusterSums) > 0 {
+		a.ClusterSums[0] = a.ClusterSums[0].Add(99)
+	}
+	// A member of a DIFFERENT cluster must not witness this announce.
+	var outsider topo.NodeID = -1
+	for i := 1; i < len(p.nodes); i++ {
+		id := topo.NodeID(i)
+		if p.HeadOf(id) != head && p.nodes[id].role == roleMember && viableCluster(&p.nodes[id]) {
+			outsider = id
+			break
+		}
+	}
+	if outsider < 0 {
+		t.Skip("no outsider member")
+	}
+	before := p.alarmsRaised
+	p.witnessAnnounce(outsider, a)
+	if p.alarmsRaised != before {
+		t.Error("outsider witnessed a foreign cluster's announce")
+	}
+}
+
+func TestChildWitnessCatchesEchoTamper(t *testing.T) {
+	env, p := run(t, 500, 63, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Find a direct child-parent head pair.
+	var child, parent topo.NodeID = -1, -1
+	for _, c := range p.Heads() {
+		if s := p.nodes[c].sentTo; s >= 0 && s != topo.BaseStationID && p.nodes[s].role == roleHead {
+			child, parent = c, s
+			break
+		}
+	}
+	if child < 0 {
+		t.Skip("no direct head pair")
+	}
+	a := honestAnnounce(t, p, parent)
+	tampered := false
+	for i := range a.Children {
+		if a.Children[i].Child == child && len(a.Children[i].Totals) > 0 {
+			a.Children[i].Totals[0] = a.Children[i].Totals[0].Add(123)
+			tampered = true
+		}
+	}
+	if !tampered {
+		t.Skip("parent did not echo the child (announce ordering)")
+	}
+	before := p.alarmsRaised
+	p.witnessAnnounce(child, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("tampered child echo not witnessed")
+	}
+}
+
+// columnOf extracts component k's assembled column from an announce.
+func columnOf(a message.Announce, k, m int) []field.Element {
+	c := int(a.Components)
+	out := make([]field.Element, m)
+	for i := 0; i < m; i++ {
+		out[i] = a.FMatrix[i*c+k]
+	}
+	return out
+}

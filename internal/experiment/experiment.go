@@ -1,0 +1,136 @@
+// Package experiment defines the reproduction's evaluation suite: every
+// table and figure in DESIGN.md §4 is an Experiment that regenerates its
+// rows from fresh simulations. The cmd/experiments binary and the
+// repository-level benchmarks both drive this registry.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunConfig controls how much work an experiment does.
+type RunConfig struct {
+	// Trials per parameter point. <= 0 selects each experiment's default.
+	Trials int
+	// Seed offsets every trial's RNG; two runs with equal seeds match.
+	Seed int64
+	// Quick shrinks sweeps for smoke tests and benchmarks.
+	Quick bool
+}
+
+// Result is a rendered table: one row per parameter point.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "-- %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(cfg RunConfig) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at package wiring time (called from the
+// experiment definition files' variable initialisers via define).
+func register(e Experiment) Experiment {
+	registry[e.ID] = e
+	return e
+}
+
+// Lookup fetches an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment ordered by ID (tables first, then figures).
+func All() []Experiment {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// sizes returns the standard network-size sweep.
+func sizes(quick bool) []int {
+	if quick {
+		return []int{200, 400}
+	}
+	return []int{200, 300, 400, 500, 600}
+}
+
+// trialsOr returns cfg.Trials or the default.
+func trialsOr(cfg RunConfig, def, quickDef int) int {
+	if cfg.Trials > 0 {
+		return cfg.Trials
+	}
+	if cfg.Quick {
+		return quickDef
+	}
+	return def
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"F1-coverage", "F10-collusive", "F11-energy", "F12-crash",
+		"F13-breakdown", "F14-statistical", "F15-fading", "F16-integritycost", "F2-overhead", "F3-accuracy", "F4-privacy",
+		"F5-integrity", "F6-agreement", "F7-localization", "F8-collusion",
+		"F9-keyscheme", "T1-density", "T2-clusters",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("T1-density"); !ok {
+		t.Error("T1-density missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	r := &Result{
+		ID:      "X",
+		Title:   "test",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "note",
+	}
+	text := r.Render()
+	for _, want := range []string{"== X: test ==", "a", "bee", "333", "-- note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,bee\n1,2\n333,4\n") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs the full registry in quick mode. This
+// is the end-to-end guarantee that every table and figure regenerates.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(RunConfig{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			for _, row := range res.Rows {
+				if len(row) != len(res.Columns) {
+					t.Fatalf("row width %d != %d columns", len(row), len(res.Columns))
+				}
+			}
+			t.Logf("\n%s", res.Render())
+		})
+	}
+}
+
+func TestSizesAndTrials(t *testing.T) {
+	if got := sizes(true); len(got) != 2 {
+		t.Errorf("quick sizes = %v", got)
+	}
+	if got := sizes(false); len(got) != 5 || got[0] != 200 || got[4] != 600 {
+		t.Errorf("full sizes = %v", got)
+	}
+	if got := trialsOr(RunConfig{Trials: 7}, 10, 2); got != 7 {
+		t.Errorf("explicit trials = %d", got)
+	}
+	if got := trialsOr(RunConfig{Quick: true}, 10, 2); got != 2 {
+		t.Errorf("quick trials = %d", got)
+	}
+	if got := trialsOr(RunConfig{}, 10, 2); got != 10 {
+		t.Errorf("default trials = %d", got)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	got, err := meanOf(4, func(trial int) (float64, error) { return float64(trial), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Errorf("mean = %g", got)
+	}
+	if _, err := meanOf(0, nil); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+func TestFmtG(t *testing.T) {
+	if fmtG(0) != "0" {
+		t.Error("zero")
+	}
+	if got := fmtG(0.25); got != "0.250" {
+		t.Errorf("0.25 -> %q", got)
+	}
+	if got := fmtG(0.0004); !strings.Contains(got, "e-3") {
+		t.Errorf("small -> %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// collectTrials runs fn for trials 0..n-1 concurrently (bounded by the CPU
+// count) and returns the results in trial order. Each trial must be fully
+// independent — in this harness every trial builds its own deployment from
+// its own seed, so determinism is preserved regardless of scheduling. The
+// first error wins; remaining trials still run to completion (they are
+// cheap relative to the synchronisation a cancellation path would cost).
+func collectTrials[T any](n int, fn func(trial int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				out[t], errs[t] = fn(t)
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

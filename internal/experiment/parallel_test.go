@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCollectTrialsOrderAndCompleteness(t *testing.T) {
+	got, err := collectTrials(50, func(trial int) (int, error) {
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestCollectTrialsPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	_, err := collectTrials(20, func(trial int) (int, error) {
+		ran.Add(1)
+		if trial == 7 {
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 20 {
+		t.Errorf("all trials should run to completion, ran %d", ran.Load())
+	}
+}
+
+func TestCollectTrialsZero(t *testing.T) {
+	got, err := collectTrials(0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestCollectTrialsSingle(t *testing.T) {
+	got, err := collectTrials(1, func(int) (string, error) { return "x", nil })
+	if err != nil || len(got) != 1 || got[0] != "x" {
+		t.Errorf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipda"
+	"repro/internal/metrics"
+	"repro/internal/sdap"
+	"repro/internal/tag"
+	"repro/internal/wsn"
+)
+
+// trialSeed derives a deterministic per-trial seed.
+func trialSeed(base int64, n, trial int) int64 {
+	return base + int64(n)*1_000_003 + int64(trial)*7919
+}
+
+// envConfig builds the standard deployment; count=true sets unit readings
+// (COUNT query).
+func envConfig(n int, seed int64, count bool) wsn.Config {
+	cfg := wsn.DefaultConfig(n, seed)
+	if count {
+		cfg.ReadingMin, cfg.ReadingMax = 1, 1
+	}
+	return cfg
+}
+
+// runTAG executes one TAG round on a fresh deployment.
+func runTAG(n int, seed int64, count bool) (metrics.RoundResult, error) {
+	env, err := wsn.NewEnv(envConfig(n, seed, count))
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	p, err := tag.New(env, tag.DefaultConfig())
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	return p.Run(1)
+}
+
+// runIPDA executes one iPDA round; mut may adjust the protocol config.
+func runIPDA(n int, seed int64, count bool, mut func(*ipda.Config)) (metrics.RoundResult, *ipda.Protocol, error) {
+	env, err := wsn.NewEnv(envConfig(n, seed, count))
+	if err != nil {
+		return metrics.RoundResult{}, nil, err
+	}
+	cfg := ipda.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := ipda.New(env, cfg)
+	if err != nil {
+		return metrics.RoundResult{}, nil, err
+	}
+	res, err := p.Run(1)
+	return res, p, err
+}
+
+// runCore executes one cluster-protocol round; mut may adjust the config.
+func runCore(n int, seed int64, count bool, mut func(*core.Config)) (metrics.RoundResult, *core.Protocol, error) {
+	env, err := wsn.NewEnv(envConfig(n, seed, count))
+	if err != nil {
+		return metrics.RoundResult{}, nil, err
+	}
+	cfg := core.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := core.New(env, cfg)
+	if err != nil {
+		return metrics.RoundResult{}, nil, err
+	}
+	res, err := p.Run(1)
+	return res, p, err
+}
+
+// runTAGOn runs TAG on a pre-built environment (energy audits need the
+// recorder afterwards).
+func runTAGOn(env *wsn.Env) (metrics.RoundResult, error) {
+	p, err := tag.New(env, tag.DefaultConfig())
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	return p.Run(1)
+}
+
+// runCoreOn runs the cluster protocol on a pre-built environment.
+func runCoreOn(env *wsn.Env) (metrics.RoundResult, error) {
+	p, err := core.New(env, core.DefaultConfig())
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	return p.Run(1)
+}
+
+// runCoreNoRun builds a cluster-protocol instance without executing a round
+// (used by the localization experiment, which drives rounds itself).
+func runCoreNoRun(n int, seed int64, mut func(*core.Config)) (*wsn.Env, *core.Protocol, error) {
+	env, err := wsn.NewEnv(envConfig(n, seed, false))
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := core.New(env, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, p, nil
+}
+
+// runCoreWithKeys runs the cluster protocol under an alternative key
+// scheme (the F9 ablation).
+func runCoreWithKeys(n int, seed int64, proxy wsnConfigProxy) (metrics.RoundResult, error) {
+	cfg := envConfig(n, seed, false)
+	if proxy.eg {
+		cfg.KeyScheme = wsn.KeyEG
+		cfg.EGPoolSize = proxy.pool
+		cfg.EGRingSize = proxy.ring
+	}
+	env, err := wsn.NewEnv(cfg)
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	p, err := core.New(env, core.DefaultConfig())
+	if err != nil {
+		return metrics.RoundResult{}, err
+	}
+	return p.Run(1)
+}
+
+// meanOf runs fn over trials and averages the selected metric.
+func meanOf(trials int, fn func(trial int) (float64, error)) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("experiment: trials must be positive")
+	}
+	var sum float64
+	for t := 0; t < trials; t++ {
+		v, err := fn(t)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(trials), nil
+}
+
+// sdapPollutionTrial runs the SDAP comparator against a pollution attack,
+// returning detection, applicability, and the round's byte cost.
+func sdapPollutionTrial(n int, seed int64, delta int64, sampleFrac float64) (detected, applicable bool, txBytes int, err error) {
+	env, err := wsn.NewEnv(envConfig(n, seed, false))
+	if err != nil {
+		return false, false, 0, err
+	}
+	dryCfg := sdap.DefaultConfig()
+	dryCfg.SampleFraction = 0
+	dry, err := sdap.New(env, dryCfg)
+	if err != nil {
+		return false, false, 0, err
+	}
+	if _, err := dry.Run(1); err != nil {
+		return false, false, 0, err
+	}
+	polluter := dry.PickAggregator()
+	if polluter < 0 {
+		return false, false, 0, nil
+	}
+	env2, err := wsn.NewEnv(envConfig(n, seed, false))
+	if err != nil {
+		return false, false, 0, err
+	}
+	cfg := sdap.DefaultConfig()
+	cfg.SampleFraction = sampleFrac
+	cfg.Polluter = polluter
+	cfg.PollutionDelta = delta
+	p, err := sdap.New(env2, cfg)
+	if err != nil {
+		return false, false, 0, err
+	}
+	r, err := p.Run(1)
+	if err != nil {
+		return false, false, 0, err
+	}
+	return !r.Accepted, true, r.TxBytes, nil
+}

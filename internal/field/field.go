@@ -1,0 +1,131 @@
+// Package field implements arithmetic over the prime field GF(p) used by the
+// CPDA-style polynomial share algebra. All cluster aggregation values, random
+// masking coefficients, and Vandermonde systems live in this field.
+//
+// The modulus is the Mersenne prime 2^31-1, chosen so that the product of two
+// field elements fits in a uint64 without overflow and reduction stays cheap.
+// Sensor readings are assumed to fit comfortably below the modulus; a network
+// of a million nodes each reporting readings up to ~2000 still sums far below
+// p, so SUM/COUNT aggregates are exact (never wrap).
+package field
+
+import (
+	"errors"
+	"fmt"
+)
+
+// P is the field modulus, the Mersenne prime 2^31 - 1.
+const P uint64 = 1<<31 - 1
+
+// Element is a value in GF(P). The zero value is the field's zero.
+type Element uint64
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("field: singular system")
+
+// New reduces v into the field.
+func New(v uint64) Element {
+	return Element(v % P)
+}
+
+// FromInt maps a (possibly negative) integer into the field, so that
+// FromInt(-1) == P-1. This is how signed sensor readings are embedded.
+func FromInt(v int64) Element {
+	m := v % int64(P)
+	if m < 0 {
+		m += int64(P)
+	}
+	return Element(m)
+}
+
+// Int returns the element interpreted as a signed integer in
+// (-P/2, P/2], undoing FromInt for small magnitudes.
+func (e Element) Int() int64 {
+	if uint64(e) > P/2 {
+		return int64(e) - int64(P)
+	}
+	return int64(e)
+}
+
+// Add returns e + o mod P.
+func (e Element) Add(o Element) Element {
+	s := uint64(e) + uint64(o)
+	if s >= P {
+		s -= P
+	}
+	return Element(s)
+}
+
+// Sub returns e - o mod P.
+func (e Element) Sub(o Element) Element {
+	if uint64(e) >= uint64(o) {
+		return Element(uint64(e) - uint64(o))
+	}
+	return Element(uint64(e) + P - uint64(o))
+}
+
+// Neg returns -e mod P.
+func (e Element) Neg() Element {
+	if e == 0 {
+		return 0
+	}
+	return Element(P - uint64(e))
+}
+
+// Mul returns e * o mod P. Both operands are < 2^31 so the product fits
+// in a uint64.
+func (e Element) Mul(o Element) Element {
+	return Element(uint64(e) * uint64(o) % P)
+}
+
+// Pow returns e^k mod P by square-and-multiply.
+func (e Element) Pow(k uint64) Element {
+	result := Element(1)
+	base := e
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse via Fermat's little theorem.
+// Inv of zero returns zero (callers guard against division by zero).
+func (e Element) Inv() Element {
+	if e == 0 {
+		return 0
+	}
+	return e.Pow(P - 2)
+}
+
+// Div returns e / o mod P. Division by zero yields zero.
+func (e Element) Div(o Element) Element {
+	return e.Mul(o.Inv())
+}
+
+// String renders the canonical representative.
+func (e Element) String() string {
+	return fmt.Sprintf("%d", uint64(e))
+}
+
+// Sum adds a slice of elements.
+func Sum(xs []Element) Element {
+	var acc Element
+	for _, x := range xs {
+		acc = acc.Add(x)
+	}
+	return acc
+}
+
+// EvalPoly evaluates the polynomial c[0] + c[1]*x + c[2]*x^2 + ... at x
+// using Horner's rule.
+func EvalPoly(coeffs []Element, x Element) Element {
+	var acc Element
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(coeffs[i])
+	}
+	return acc
+}

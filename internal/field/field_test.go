@@ -1,0 +1,172 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	tests := []struct {
+		name string
+		in   uint64
+		want Element
+	}{
+		{"zero", 0, 0},
+		{"small", 42, 42},
+		{"exactly p", P, 0},
+		{"p plus one", P + 1, 1},
+		{"max uint64", ^uint64(0), Element(^uint64(0) % P)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := New(tt.in); got != tt.want {
+				t.Errorf("New(%d) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromIntNegative(t *testing.T) {
+	tests := []struct {
+		name string
+		in   int64
+		want Element
+	}{
+		{"zero", 0, 0},
+		{"positive", 17, 17},
+		{"minus one", -1, Element(P - 1)},
+		{"minus p", -int64(P), 0},
+		{"large negative", -int64(P) - 5, Element(P - 5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromInt(tt.in); got != tt.want {
+				t.Errorf("FromInt(%d) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1000, -1000, 1 << 29, -(1 << 29)} {
+		if got := FromInt(v).Int(); got != v {
+			t.Errorf("FromInt(%d).Int() = %d", v, got)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Mul(y.Add(z)) == x.Mul(y).Add(x.Mul(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Mul(y).Mul(z) == x.Mul(y.Mul(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegIsAdditiveInverse(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		return x.Add(x.Neg()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvIsMultiplicativeInverse(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		if x == 0 {
+			return x.Inv() == 0
+		}
+		return x.Mul(x.Inv()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x := New(rng.Uint64())
+		k := uint64(rng.Intn(50))
+		want := Element(1)
+		for j := uint64(0); j < k; j++ {
+			want = want.Mul(x)
+		}
+		if got := x.Pow(k); got != want {
+			t.Fatalf("Pow(%v, %d) = %v, want %v", x, k, got, want)
+		}
+	}
+}
+
+func TestDivByZeroIsZero(t *testing.T) {
+	if got := New(5).Div(0); got != 0 {
+		t.Errorf("5/0 = %v, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	xs := []Element{1, 2, 3, New(P - 1)}
+	if got := Sum(xs); got != 5 {
+		t.Errorf("Sum = %v, want 5 (wraps through P-1)", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// 3 + 2x + x^2 at x=5 -> 3 + 10 + 25 = 38.
+	coeffs := []Element{3, 2, 1}
+	if got := EvalPoly(coeffs, 5); got != 38 {
+		t.Errorf("EvalPoly = %v, want 38", got)
+	}
+	if got := EvalPoly(nil, 5); got != 0 {
+		t.Errorf("EvalPoly(nil) = %v, want 0", got)
+	}
+}
+
+func TestEvalPolyAtZeroIsConstantTerm(t *testing.T) {
+	f := func(c0, c1, c2 uint64) bool {
+		coeffs := []Element{New(c0), New(c1), New(c2)}
+		return EvalPoly(coeffs, 0) == New(c0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

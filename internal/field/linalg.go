@@ -1,0 +1,125 @@
+package field
+
+import "fmt"
+
+// Matrix is a dense row-major matrix over GF(P).
+type Matrix struct {
+	rows, cols int
+	data       []Element
+}
+
+// NewMatrix allocates a rows×cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{rows: rows, cols: cols, data: make([]Element, rows*cols)}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) Element { return m.data[r*m.cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Matrix) Set(r, c int, v Element) { m.data[r*m.cols+c] = v }
+
+// Vandermonde builds the m×m matrix whose row i is
+// [1, x_i, x_i^2, ..., x_i^(m-1)]. The seeds must be distinct and non-zero
+// for the matrix to be invertible.
+func Vandermonde(seeds []Element) *Matrix {
+	n := len(seeds)
+	m := NewMatrix(n, n)
+	for i, x := range seeds {
+		acc := Element(1)
+		for j := 0; j < n; j++ {
+			m.Set(i, j, acc)
+			acc = acc.Mul(x)
+		}
+	}
+	return m
+}
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial pivoting
+// (pivoting here means picking any non-zero pivot, since GF(p) has no
+// magnitude). A is modified in place. Returns ErrSingular when no unique
+// solution exists.
+func SolveLinear(a *Matrix, b []Element) ([]Element, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("field: non-square system %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("field: rhs length %d != %d", len(b), n)
+	}
+	rhs := make([]Element, n)
+	copy(rhs, b)
+
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				v1, v2 := a.At(col, c), a.At(pivot, c)
+				a.Set(col, c, v2)
+				a.Set(pivot, c, v1)
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		inv := a.At(col, col).Inv()
+		for c := col; c < n; c++ {
+			a.Set(col, c, a.At(col, c).Mul(inv))
+		}
+		rhs[col] = rhs[col].Mul(inv)
+		for r := 0; r < n; r++ {
+			if r == col || a.At(r, col) == 0 {
+				continue
+			}
+			factor := a.At(r, col)
+			for c := col; c < n; c++ {
+				a.Set(r, c, a.At(r, c).Sub(factor.Mul(a.At(col, c))))
+			}
+			rhs[r] = rhs[r].Sub(factor.Mul(rhs[col]))
+		}
+	}
+	return rhs, nil
+}
+
+// SolveVandermonde recovers the coefficient vector c from assembled values
+// F_i = Σ_j c_j · x_i^j, i.e. it solves V(x)·c = F. The first coefficient
+// c_0 is the quantity of interest for CPDA clusters: the sum of the private
+// inputs. Seeds must be distinct and non-zero.
+func SolveVandermonde(seeds, assembled []Element) ([]Element, error) {
+	if len(seeds) != len(assembled) {
+		return nil, fmt.Errorf("field: %d seeds vs %d assembled values", len(seeds), len(assembled))
+	}
+	if err := CheckSeeds(seeds); err != nil {
+		return nil, err
+	}
+	return SolveLinear(Vandermonde(seeds), assembled)
+}
+
+// CheckSeeds verifies that the seed set is usable for a Vandermonde system:
+// all non-zero and pairwise distinct.
+func CheckSeeds(seeds []Element) error {
+	seen := make(map[Element]struct{}, len(seeds))
+	for _, s := range seeds {
+		if s == 0 {
+			return fmt.Errorf("field: zero seed: %w", ErrSingular)
+		}
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("field: duplicate seed %v: %w", s, ErrSingular)
+		}
+		seen[s] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Dist(tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(x1, y1, x2, y2 float64) bool {
+		if bad(x1) || bad(y1) || bad(x2) || bad(y2) {
+			return true
+		}
+		a, b := Point{x1, y1}, Point{x2, y2}
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2ConsistentWithDist(t *testing.T) {
+	f := func(x1, y1, x2, y2 float64) bool {
+		if bad(x1) || bad(y1) || bad(x2) || bad(y2) {
+			return true
+		}
+		a, b := Point{x1, y1}, Point{x2, y2}
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) < 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInRangeBoundary(t *testing.T) {
+	a := Point{0, 0}
+	if !a.InRange(Point{50, 0}, 50) {
+		t.Error("boundary distance should be in range")
+	}
+	if a.InRange(Point{50.001, 0}, 50) {
+		t.Error("beyond range should be out")
+	}
+}
+
+func TestFieldContains(t *testing.T) {
+	f := Field{Width: 400, Height: 400}
+	for _, p := range []Point{{0, 0}, {400, 400}, {200, 200}} {
+		if !f.Contains(p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range []Point{{-1, 0}, {0, 401}, {500, 500}} {
+		if f.Contains(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+}
+
+func TestFieldCenterArea(t *testing.T) {
+	f := Field{Width: 400, Height: 200}
+	if c := f.Center(); c.X != 200 || c.Y != 100 {
+		t.Errorf("center = %v", c)
+	}
+	if f.Area() != 80000 {
+		t.Errorf("area = %g", f.Area())
+	}
+}
+
+func TestUniformDeployInsideField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Field{Width: 400, Height: 400}
+	pts := UniformDeploy(rng, f, 500)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside field", p)
+		}
+	}
+}
+
+func TestUniformDeployDeterministic(t *testing.T) {
+	f := Field{Width: 100, Height: 100}
+	a := UniformDeploy(rand.New(rand.NewSource(42)), f, 10)
+	b := UniformDeploy(rand.New(rand.NewSource(42)), f, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("deployment not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGridDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := Field{Width: 100, Height: 100}
+	pts := GridDeploy(rng, f, 10, 1.0)
+	if len(pts) != 10 {
+		t.Fatalf("len = %d, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("grid point %v outside field", p)
+		}
+	}
+	if got := GridDeploy(rng, f, 0, 0); len(got) != 0 {
+		t.Errorf("n=0 should deploy nothing, got %d", len(got))
+	}
+}
+
+func TestExpectedDegree(t *testing.T) {
+	f := Field{Width: 400, Height: 400}
+	// The lineage papers report average degree ~18.6 at N=400, r=50.
+	got := ExpectedDegree(f, 400, 50)
+	if got < 18 || got > 20.5 {
+		t.Errorf("expected degree = %g, want ~19.6 (paper reports 18.6 with border effects)", got)
+	}
+	if ExpectedDegree(f, 1, 50) != 0 {
+		t.Error("single node has degree 0")
+	}
+	if ExpectedDegree(Field{}, 100, 50) != 0 {
+		t.Error("zero-area field has degree 0")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.25, 3}).String(); got != "(1.2, 3.0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func bad(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100
+}

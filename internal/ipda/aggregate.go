@@ -1,0 +1,72 @@
+package ipda
+
+import (
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/topo"
+)
+
+// scheduleAggregation arranges every aggregator's single transmission up its
+// own tree, deepest levels first (TAG-style epoch schedule).
+func (p *Protocol) scheduleAggregation() {
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role != roleRed && st.role != roleBlue {
+			continue
+		}
+		if st.parent < 0 {
+			continue // aggregator that never found a same-colour parent
+		}
+		slot := p.cfg.MaxHops - st.hops
+		if slot < 0 {
+			slot = 0
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(p.cfg.EpochSlot / 2)))
+		at := time.Duration(slot)*p.cfg.EpochSlot + jitter
+		p.env.Eng.After(at, func() { p.forward(id) })
+	}
+}
+
+// forward sends the aggregator's assembled value plus its children's
+// aggregates to its same-colour parent, applying the pollution attack when
+// this node is the configured attacker.
+func (p *Protocol) forward(id topo.NodeID) {
+	st := &p.nodes[id]
+	sum := st.assembled.Add(st.childSum)
+	if id == p.cfg.Polluter {
+		sum = sum.Add(field.FromInt(p.cfg.PollutionDelta))
+	}
+	p.env.MAC.Send(message.Build(
+		message.KindAggregate, id, st.parent, p.round,
+		message.MarshalAggregate(message.Aggregate{Sum: sum, Count: st.childCount + 1}),
+	))
+}
+
+// onAggregate accumulates a child's aggregate at its parent, or finalises at
+// the base station split by the child's tree colour.
+func (p *Protocol) onAggregate(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	agg, err := message.UnmarshalAggregate(msg.Payload)
+	if err != nil {
+		return
+	}
+	if at == topo.BaseStationID {
+		switch p.colourOf[msg.From] {
+		case roleRed:
+			p.sumRed = p.sumRed.Add(agg.Sum)
+			p.cntRed += agg.Count
+		case roleBlue:
+			p.sumBlue = p.sumBlue.Add(agg.Sum)
+			p.cntBlue += agg.Count
+		}
+		return
+	}
+	st := &p.nodes[at]
+	st.childSum = st.childSum.Add(agg.Sum)
+	st.childCount += agg.Count
+}

@@ -1,0 +1,192 @@
+package ipda
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/wsn"
+)
+
+func run(t *testing.T, nodes int, seed int64, ideal bool, mut func(*Config)) (*wsn.Env, *Protocol) {
+	t.Helper()
+	wcfg := wsn.DefaultConfig(nodes, seed)
+	wcfg.Radio.Ideal = ideal
+	env, err := wsn.NewEnv(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, p
+}
+
+func TestNewValidation(t *testing.T) {
+	env, _ := run(t, 50, 1, true, nil)
+	muts := []func(*Config){
+		func(c *Config) { c.L = 0 },
+		func(c *Config) { c.K = 1 },
+		func(c *Config) { c.Th = -1 },
+		func(c *Config) { c.DecisionWait = 0 },
+		func(c *Config) { c.SliceAt = 0 },
+		func(c *Config) { c.AggAt = c.SliceAt },
+		func(c *Config) { c.EpochSlot = 0 },
+		func(c *Config) { c.MaxHops = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := New(env, cfg); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+	}
+}
+
+func TestIdealDenseTreesAgree(t *testing.T) {
+	env, p := run(t, 500, 3, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, blue := p.TreeSums()
+	if red != blue {
+		t.Errorf("ideal channel: red %d != blue %d", red, blue)
+	}
+	if !res.Accepted {
+		t.Error("no attack, no loss: result must be accepted")
+	}
+	// Dense network: coverage and accuracy should be high (paper Fig 8).
+	if res.CoverageRate() < 0.9 {
+		t.Errorf("coverage = %.2f", res.CoverageRate())
+	}
+	if res.Accuracy() < 0.9 || res.Accuracy() > 1.0 {
+		t.Errorf("accuracy = %.3f", res.Accuracy())
+	}
+}
+
+func TestLossyDenseAcceptedWithinTh(t *testing.T) {
+	env, p := run(t, 500, 5, false, func(c *Config) { c.Th = 200 })
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() < 0.75 {
+		t.Errorf("accuracy = %.3f too low for dense network", res.Accuracy())
+	}
+	red, blue := p.TreeSums()
+	t.Logf("red=%d blue=%d true=%d acc=%.3f", red, blue, res.TrueSum, res.Accuracy())
+}
+
+func TestPollutionDetected(t *testing.T) {
+	env, p := run(t, 500, 7, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	// First run to identify a red aggregator to corrupt.
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	var polluter topo.NodeID = -1
+	for i := 1; i < env.Net.Size(); i++ {
+		if p.nodes[i].role == roleRed && p.nodes[i].parent >= 0 {
+			polluter = topo.NodeID(i)
+			break
+		}
+	}
+	if polluter < 0 {
+		t.Fatal("no red aggregator found")
+	}
+	// Fresh env (same seed → same topology) with the attack enabled.
+	env2, p2 := run(t, 500, 7, true, func(c *Config) {
+		c.Polluter = polluter
+		c.PollutionDelta = 5000
+	})
+	_ = env2
+	res, err := p2.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		red, blue := p2.TreeSums()
+		t.Errorf("pollution of %d undetected: red=%d blue=%d", polluter, red, blue)
+	}
+}
+
+func TestSparseNetworkPoorCoverage(t *testing.T) {
+	// N=60 on 400x400 is far below the paper's density threshold; many
+	// nodes never hear both colours.
+	_, p := run(t, 60, 11, true, nil)
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverageRate() > 0.9 {
+		t.Errorf("sparse coverage = %.2f, expected poor", res.CoverageRate())
+	}
+}
+
+func TestOverheadScalesWithL(t *testing.T) {
+	_, p1 := run(t, 300, 13, true, func(c *Config) { c.L = 1 })
+	r1, err := p1.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2 := run(t, 300, 13, true, func(c *Config) { c.L = 2 })
+	r2, err := p2.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TxBytes <= r1.TxBytes {
+		t.Errorf("l=2 bytes %d should exceed l=1 bytes %d", r2.TxBytes, r1.TxBytes)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, p1 := run(t, 300, 17, false, nil)
+	r1, err := p1.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2 := run(t, 300, 17, false, nil)
+	r2, err := p2.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReportedSum != r2.ReportedSum || r1.TxBytes != r2.TxBytes {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRolesAreDisjoint(t *testing.T) {
+	_, p := run(t, 400, 19, true, nil)
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Every node holds exactly one role; aggregation trees are node-disjoint
+	// by construction. Verify no node has contributed to both trees:
+	// a red aggregator's parent must be red or the BS, blue likewise.
+	for i := 1; i < len(p.nodes); i++ {
+		st := &p.nodes[i]
+		if st.role != roleRed && st.role != roleBlue {
+			continue
+		}
+		if st.parent < 0 || st.parent == topo.BaseStationID {
+			continue
+		}
+		if p.nodes[st.parent].role != st.role {
+			t.Errorf("node %d (role %d) has parent %d of role %d",
+				i, st.role, st.parent, p.nodes[st.parent].role)
+		}
+	}
+}

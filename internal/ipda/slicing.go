@@ -1,0 +1,144 @@
+package ipda
+
+import (
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/topo"
+)
+
+// scheduleSlicing arranges every covered node's slice transmissions with
+// per-node jitter to spread contention.
+func (p *Protocol) scheduleSlicing() {
+	window := p.cfg.AggAt - p.cfg.SliceAt
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role == roleUnknown {
+			continue // never covered by both trees
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
+		p.env.Eng.After(jitter, func() { p.slice(id) })
+	}
+}
+
+// slice splits the node's reading into L pieces per tree and sends the
+// pieces (link-encrypted) to neighbouring aggregators of each colour.
+func (p *Protocol) slice(id topo.NodeID) {
+	st := &p.nodes[id]
+	redTargets := p.pickTargets(id, roleRed)
+	blueTargets := p.pickTargets(id, roleBlue)
+	if redTargets == nil || blueTargets == nil {
+		return // not enough aggregators in range: node sits out (paper factor b)
+	}
+	st.sliced = true
+	reading := p.env.ReadingElement(id)
+	p.sendPieces(id, reading, redTargets, roleRed)
+	p.sendPieces(id, reading, blueTargets, roleBlue)
+}
+
+// pickTargets selects L aggregators of the given colour from the node's
+// neighbourhood (including itself when it has that colour). Returns nil when
+// fewer than L are available or when the key scheme leaves a needed link
+// keyless.
+func (p *Protocol) pickTargets(id topo.NodeID, colour int) []topo.NodeID {
+	st := &p.nodes[id]
+	var pool []topo.NodeID
+	if colour == roleRed {
+		pool = st.redNbrs
+	} else {
+		pool = st.blueNbrs
+	}
+	// Keep only neighbours we can actually encrypt to.
+	usable := make([]topo.NodeID, 0, len(pool))
+	for _, t := range pool {
+		if p.env.HasLinkKey(id, t) {
+			usable = append(usable, t)
+		}
+	}
+	self := st.role == colour
+	need := p.cfg.L
+	if self {
+		need-- // one piece stays local
+	}
+	if len(usable) < need {
+		return nil
+	}
+	// Random sample without replacement.
+	perm := p.env.Rng.Perm(len(usable))
+	targets := make([]topo.NodeID, 0, p.cfg.L)
+	if self {
+		targets = append(targets, id)
+	}
+	for _, idx := range perm[:need] {
+		targets = append(targets, usable[idx])
+	}
+	return targets
+}
+
+// sendPieces splits reading into len(targets) random pieces summing to it
+// and delivers each piece: locally when the target is the node itself,
+// otherwise as an encrypted slice frame. The slice plaintext carries the
+// tree colour so the base station (an aggregator on both trees) credits
+// pieces to the correct tree.
+//
+// Pieces are drawn uniformly in [0, reading] rather than over the whole
+// field: a residually-lost piece then distorts the aggregate by at most
+// ~reading, which is what lets the paper's small Th tolerate losses (a
+// field-uniform piece would turn one lost frame into a ±2^30 distortion).
+// This mirrors slicing over the data domain in the original scheme.
+func (p *Protocol) sendPieces(id topo.NodeID, reading field.Element, targets []topo.NodeID, colour int) {
+	pieces := make([]field.Element, len(targets))
+	var acc field.Element
+	bound := reading.Int()
+	if bound < 0 {
+		bound = -bound
+	}
+	for i := 0; i < len(pieces)-1; i++ {
+		pieces[i] = field.FromInt(p.env.Rng.Int63n(bound + 1))
+		acc = acc.Add(pieces[i])
+	}
+	pieces[len(pieces)-1] = reading.Sub(acc)
+	for i, t := range targets {
+		if t == id {
+			st := &p.nodes[id]
+			st.assembled = st.assembled.Add(pieces[i])
+			continue
+		}
+		pt := append(message.MarshalValue(message.Value{V: pieces[i]}), byte(colour))
+		sealed, err := p.env.Seal(id, t, pt)
+		if err != nil {
+			continue // keyless link lost this piece; accounted as data loss
+		}
+		p.env.MAC.Send(message.Build(message.KindSlice, id, t, p.round, sealed))
+	}
+}
+
+// onSlice decrypts and assembles a received piece.
+func (p *Protocol) onSlice(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return // overheard ciphertext is useless without the key
+	}
+	st := &p.nodes[at]
+	if st.role != roleRed && st.role != roleBlue && at != topo.BaseStationID {
+		return
+	}
+	pt, err := p.env.Open(msg.From, at, msg.Payload)
+	if err != nil {
+		return
+	}
+	v, err := message.UnmarshalValue(pt)
+	if err != nil {
+		return
+	}
+	if at == topo.BaseStationID {
+		if len(pt) >= 5 && int(pt[4]) == roleBlue {
+			p.sumBlue = p.sumBlue.Add(v.V)
+		} else {
+			p.sumRed = p.sumRed.Add(v.V)
+		}
+		return
+	}
+	st.assembled = st.assembled.Add(v.V)
+}

@@ -1,0 +1,333 @@
+// Package mac implements a simplified CSMA/CA medium-access layer over the
+// radio medium: carrier sense before transmit, random binary-exponential
+// backoff on busy, per-node FIFO transmit queues, and — as in 802.11 —
+// stop-and-wait ARQ for unicast frames (immediate ACK, bounded
+// retransmissions, receiver-side duplicate suppression). Broadcast frames
+// are fire-and-forget; the aggregation protocols tolerate residual
+// broadcast loss, matching the lineage papers' ns-2 setup.
+//
+// The MAC owns the medium's receive path: it installs itself as every
+// node's radio handler, absorbs ACKs, answers unicasts, de-duplicates
+// retransmissions, and hands everything else to the protocol receiver —
+// including frames addressed to other nodes, because the cluster protocol's
+// witnesses rely on promiscuous overhearing.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Receiver consumes frames delivered to (or overheard by) a node after MAC
+// processing.
+type Receiver func(at topo.NodeID, msg *message.Message)
+
+// Config tunes the MAC.
+type Config struct {
+	Slot         time.Duration // backoff slot length
+	SIFS         time.Duration // gap before an ACK
+	DIFS         time.Duration // carrier-sense guard for data frames (> SIFS)
+	MinCW        int           // initial contention window, slots
+	MaxCW        int           // cap on the contention window, slots
+	MaxCSRetries int           // carrier-sense deferrals before dropping a frame
+	MaxTxRetries int           // unicast retransmissions before giving up
+	AckTimeout   time.Duration // wait for an ACK after the data frame ends
+}
+
+// DefaultConfig returns parameters sized for 1 Mbps and ~30-byte frames.
+func DefaultConfig() Config {
+	return Config{
+		Slot:         100 * time.Microsecond,
+		SIFS:         20 * time.Microsecond,
+		DIFS:         60 * time.Microsecond,
+		MinCW:        4,
+		MaxCW:        256,
+		MaxCSRetries: 20,
+		MaxTxRetries: 6,
+		AckTimeout:   600 * time.Microsecond,
+	}
+}
+
+// Layer owns one MAC port per node over a shared medium.
+type Layer struct {
+	eng     *sim.Engine
+	medium  *radio.Medium
+	rng     *rand.Rand
+	cfg     Config
+	ports   []*port
+	drops   int // frames abandoned (CS exhaustion, ARQ exhaustion, encode errors)
+	acksTx  int
+	retxTx  int
+	recvers []Receiver
+}
+
+type port struct {
+	id       topo.NodeID
+	queue    []*message.Message
+	pending  bool // a send attempt or ARQ exchange is in flight
+	cw       int
+	csTries  int
+	txTries  int
+	seq      uint16
+	awaiting *message.Message       // unicast awaiting ACK
+	ackTimer *sim.Timer             // pending ACK timeout
+	lastSeq  map[topo.NodeID]uint16 // dedup: last seq accepted per sender
+	seenAny  map[topo.NodeID]struct{}
+	dead     bool // crashed node: radio silent both ways
+}
+
+// NewLayer builds the MAC over a medium for a network of n nodes and takes
+// ownership of the medium's receive handlers.
+func NewLayer(eng *sim.Engine, medium *radio.Medium, n int, rng *rand.Rand, cfg Config) (*Layer, error) {
+	if cfg.Slot <= 0 || cfg.SIFS < 0 || cfg.DIFS <= cfg.SIFS || cfg.MinCW < 1 ||
+		cfg.MaxCW < cfg.MinCW || cfg.MaxCSRetries < 1 || cfg.MaxTxRetries < 0 ||
+		cfg.AckTimeout <= 0 {
+		return nil, fmt.Errorf("mac: invalid config %+v", cfg)
+	}
+	l := &Layer{
+		eng:     eng,
+		medium:  medium,
+		rng:     rng,
+		cfg:     cfg,
+		ports:   make([]*port, n),
+		recvers: make([]Receiver, n),
+	}
+	for i := range l.ports {
+		l.ports[i] = &port{
+			id:      topo.NodeID(i),
+			cw:      cfg.MinCW,
+			lastSeq: make(map[topo.NodeID]uint16),
+			seenAny: make(map[topo.NodeID]struct{}),
+		}
+		id := topo.NodeID(i)
+		medium.SetHandler(id, func(at topo.NodeID, msg *message.Message) {
+			l.onReceive(at, msg)
+		})
+	}
+	return l, nil
+}
+
+// SetReceiver installs the protocol-level receive callback for a node.
+func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
+	l.recvers[id] = r
+}
+
+// Disable crashes a node: it stops transmitting and receiving immediately
+// (fail-stop). Queued frames are dropped. Used by the failure-injection
+// experiments; there is no recovery within a run.
+func (l *Layer) Disable(id topo.NodeID) {
+	p := l.ports[id]
+	p.dead = true
+	l.drops += len(p.queue)
+	p.queue = nil
+	if p.awaiting != nil {
+		p.awaiting = nil
+		l.drops++
+	}
+	if p.ackTimer != nil {
+		p.ackTimer.Cancel()
+		p.ackTimer = nil
+	}
+}
+
+// Disabled reports whether a node has been crashed.
+func (l *Layer) Disabled(id topo.NodeID) bool { return l.ports[id].dead }
+
+// Send queues a frame for transmission from msg.From. The MAC assigns the
+// sequence number. Frames are sent in FIFO order per node.
+func (l *Layer) Send(msg *message.Message) {
+	p := l.ports[msg.From]
+	if p.dead {
+		l.drops++
+		return
+	}
+	p.seq++
+	msg.Seq = p.seq
+	p.queue = append(p.queue, msg)
+	l.kick(p)
+}
+
+// QueueLen returns the number of frames waiting at a node, including a
+// frame mid-ARQ.
+func (l *Layer) QueueLen(id topo.NodeID) int {
+	p := l.ports[id]
+	n := len(p.queue)
+	if p.awaiting != nil {
+		n++
+	}
+	return n
+}
+
+// Drops returns the number of frames abandoned.
+func (l *Layer) Drops() int { return l.drops }
+
+// AcksSent returns the number of ACK frames transmitted (overhead analysis).
+func (l *Layer) AcksSent() int { return l.acksTx }
+
+// Retransmissions returns the number of unicast retransmissions.
+func (l *Layer) Retransmissions() int { return l.retxTx }
+
+// kick arranges the next send attempt if none is pending.
+func (l *Layer) kick(p *port) {
+	if p.pending || (len(p.queue) == 0 && p.awaiting == nil) {
+		return
+	}
+	p.pending = true
+	l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+}
+
+// attempt performs carrier sense and either transmits or backs off.
+func (l *Layer) attempt(p *port) {
+	if p.dead {
+		p.pending = false
+		return
+	}
+	msg := p.awaiting
+	if msg == nil {
+		if len(p.queue) == 0 {
+			p.pending = false
+			return
+		}
+		msg = p.queue[0]
+	}
+	if l.medium.BusyWithin(p.id, l.cfg.DIFS) {
+		p.csTries++
+		if p.csTries > l.cfg.MaxCSRetries {
+			l.abandon(p)
+			return
+		}
+		if p.cw < l.cfg.MaxCW {
+			p.cw *= 2
+		}
+		l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+		return
+	}
+	// Claim the frame before the air time elapses.
+	if p.awaiting == nil {
+		p.queue = p.queue[1:]
+		if !msg.IsBroadcast() && msg.Kind != message.KindAck {
+			p.awaiting = msg
+		}
+	}
+	dur, err := l.medium.Transmit(p.id, msg)
+	if err != nil {
+		p.awaiting = nil
+		l.drops++
+		p.pending = false
+		l.kick(p)
+		return
+	}
+	p.csTries = 0
+	p.cw = l.cfg.MinCW
+	if p.awaiting == nil {
+		// Broadcast: done when the frame leaves the air.
+		l.eng.After(dur, func() {
+			p.pending = false
+			l.kick(p)
+		})
+		return
+	}
+	// Unicast: arm the ACK timeout.
+	p.ackTimer = l.eng.After(dur+l.cfg.AckTimeout, func() { l.ackTimedOut(p) })
+}
+
+// abandon drops the current frame and resets the port.
+func (l *Layer) abandon(p *port) {
+	if p.awaiting != nil {
+		p.awaiting = nil
+	} else if len(p.queue) > 0 {
+		p.queue = p.queue[1:]
+	}
+	l.drops++
+	p.csTries = 0
+	p.txTries = 0
+	p.cw = l.cfg.MinCW
+	p.pending = false
+	l.kick(p)
+}
+
+// ackTimedOut retries or abandons an unacked unicast.
+func (l *Layer) ackTimedOut(p *port) {
+	if p.awaiting == nil {
+		return
+	}
+	p.txTries++
+	if p.txTries > l.cfg.MaxTxRetries {
+		p.awaiting = nil
+		p.txTries = 0
+		l.drops++
+		p.pending = false
+		l.kick(p)
+		return
+	}
+	l.retxTx++
+	if p.cw < l.cfg.MaxCW {
+		p.cw *= 2
+	}
+	l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+}
+
+// onReceive is the radio handler for every node.
+func (l *Layer) onReceive(at topo.NodeID, msg *message.Message) {
+	p := l.ports[at]
+	if p.dead {
+		return
+	}
+	if msg.Kind == message.KindAck {
+		if msg.To == at && p.awaiting != nil && msg.Seq == p.awaiting.Seq && msg.From == p.awaiting.To {
+			p.awaiting = nil
+			p.txTries = 0
+			if p.ackTimer != nil {
+				p.ackTimer.Cancel()
+				p.ackTimer = nil
+			}
+			p.pending = false
+			l.kick(p)
+		}
+		return // ACKs never reach the protocol layer
+	}
+	if msg.To == at {
+		l.sendAck(at, msg)
+	}
+	// Duplicate suppression (retransmissions repeat the same seq).
+	if _, seen := p.seenAny[msg.From]; seen && p.lastSeq[msg.From] == msg.Seq {
+		return
+	}
+	p.seenAny[msg.From] = struct{}{}
+	p.lastSeq[msg.From] = msg.Seq
+	if r := l.recvers[at]; r != nil {
+		r(at, msg)
+	}
+}
+
+// sendAck transmits an immediate ACK after SIFS, bypassing the queue and
+// carrier sense (ACKs have priority, as in 802.11).
+func (l *Layer) sendAck(at topo.NodeID, msg *message.Message) {
+	ack := &message.Message{
+		Kind:  message.KindAck,
+		From:  at,
+		To:    msg.From,
+		Round: msg.Round,
+		Seq:   msg.Seq,
+	}
+	l.acksTx++
+	l.eng.After(l.cfg.SIFS, func() {
+		// Half-duplex: if this node is mid-transmission, the ACK is lost
+		// anyway; transmit regardless and let the medium decide.
+		if _, err := l.medium.Transmit(at, ack); err != nil {
+			l.drops++
+		}
+	})
+}
+
+// backoffDelay draws a uniform delay in [1, cw] slots.
+func (l *Layer) backoffDelay(cw int) time.Duration {
+	slots := 1 + l.rng.Intn(cw)
+	return time.Duration(slots) * l.cfg.Slot
+}

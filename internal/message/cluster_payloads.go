@@ -1,0 +1,354 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/topo"
+)
+
+// MaxClusterSize caps roster length so the member bitmask in Assembled and
+// Announce frames fits in a uint16.
+const MaxClusterSize = 16
+
+// MaxComponents caps the additive component vector a single round carries
+// (the largest query, the MIN/MAX histogram, uses 16).
+const MaxComponents = 16
+
+// RosterEntry is one cluster member with its public Vandermonde seed.
+type RosterEntry struct {
+	ID   topo.NodeID
+	Seed field.Element
+}
+
+// Roster is the cluster head's membership announcement. Entry order defines
+// the member indices used by share exchange and bitmasks; the head is
+// always entry 0.
+type Roster struct {
+	Head    topo.NodeID
+	Entries []RosterEntry
+}
+
+// MarshalRoster encodes a Roster payload.
+func MarshalRoster(r Roster) ([]byte, error) {
+	if len(r.Entries) > MaxClusterSize {
+		return nil, fmt.Errorf("message: roster of %d exceeds max %d", len(r.Entries), MaxClusterSize)
+	}
+	buf := make([]byte, 4+1+len(r.Entries)*8)
+	binary.BigEndian.PutUint32(buf, uint32(int32(r.Head)))
+	buf[4] = byte(len(r.Entries))
+	off := 5
+	for _, e := range r.Entries {
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(e.ID)))
+		binary.BigEndian.PutUint32(buf[off+4:], uint32(e.Seed))
+		off += 8
+	}
+	return buf, nil
+}
+
+// UnmarshalRoster decodes a Roster payload.
+func UnmarshalRoster(buf []byte) (Roster, error) {
+	if len(buf) < 5 {
+		return Roster{}, ErrTruncated
+	}
+	n := int(buf[4])
+	if n > MaxClusterSize {
+		return Roster{}, fmt.Errorf("message: roster of %d exceeds max %d", n, MaxClusterSize)
+	}
+	if len(buf) < 5+n*8 {
+		return Roster{}, ErrTruncated
+	}
+	r := Roster{
+		Head:    topo.NodeID(int32(binary.BigEndian.Uint32(buf))),
+		Entries: make([]RosterEntry, n),
+	}
+	off := 5
+	for i := range r.Entries {
+		r.Entries[i] = RosterEntry{
+			ID:   topo.NodeID(int32(binary.BigEndian.Uint32(buf[off:]))),
+			Seed: field.Element(binary.BigEndian.Uint32(buf[off+4:])),
+		}
+		off += 8
+	}
+	return r, nil
+}
+
+// Assembled is a member's cleartext in-cluster report of its column sums
+// F_j — one per additive component — together with the bitmask of roster
+// indices whose shares it incorporated. The mask is the loss-visibility
+// mechanism that lets the head and the witnesses agree on exactly which
+// inputs a cluster solve used.
+type Assembled struct {
+	Fs   []field.Element // one column sum per component
+	Mask uint16          // bit i set = member with roster index i contributed
+}
+
+// MarshalAssembled encodes an Assembled payload.
+func MarshalAssembled(a Assembled) ([]byte, error) {
+	if len(a.Fs) == 0 || len(a.Fs) > MaxComponents {
+		return nil, fmt.Errorf("message: %d components out of [1, %d]", len(a.Fs), MaxComponents)
+	}
+	buf := make([]byte, 1+2+len(a.Fs)*4)
+	buf[0] = byte(len(a.Fs))
+	binary.BigEndian.PutUint16(buf[1:], a.Mask)
+	off := 3
+	for _, f := range a.Fs {
+		binary.BigEndian.PutUint32(buf[off:], uint32(f))
+		off += 4
+	}
+	return buf, nil
+}
+
+// UnmarshalAssembled decodes an Assembled payload.
+func UnmarshalAssembled(buf []byte) (Assembled, error) {
+	if len(buf) < 3 {
+		return Assembled{}, ErrTruncated
+	}
+	c := int(buf[0])
+	if c == 0 || c > MaxComponents {
+		return Assembled{}, fmt.Errorf("message: bad component count %d", c)
+	}
+	if len(buf) < 3+c*4 {
+		return Assembled{}, ErrTruncated
+	}
+	a := Assembled{Mask: binary.BigEndian.Uint16(buf[1:]), Fs: make([]field.Element, c)}
+	off := 3
+	for i := range a.Fs {
+		a.Fs[i] = field.Element(binary.BigEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return a, nil
+}
+
+// ChildEntry is one child cluster head's contribution as echoed in a
+// parent's Announce. Totals carries one value per additive component.
+type ChildEntry struct {
+	Child  topo.NodeID
+	Totals []field.Element
+	Count  uint32
+}
+
+// equalElems compares component vectors.
+func equalElems(a, b []field.Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal compares child entries.
+func (c ChildEntry) Equal(o ChildEntry) bool {
+	return c.Child == o.Child && c.Count == o.Count && equalElems(c.Totals, o.Totals)
+}
+
+// Announce is a cluster head's outgoing aggregate, transmitted up the CH
+// tree and overheard by three audiences: (a) the parent accumulates it,
+// (b) the head's own cluster members witness the ClusterSum component, and
+// (c) each child head witnesses its echoed entry.
+//
+// FValues echoes the complete assembled-value vector (positional by roster
+// index) that the head solved. This is the integrity commitment: every
+// member can verify its own entry (a forged vector is caught by the member
+// whose F was altered) and re-solve the vector, so an announced ClusterSum
+// inconsistent with the true in-cluster data always triggers an alarm from
+// at least one honest member.
+type Announce struct {
+	Origin      topo.NodeID     // the head that produced this announce
+	ClusterSums []field.Element // one per component; nil when the cluster failed
+	ClusterCnt  uint32          // members contributing (0 = cluster failed)
+	// FMatrix echoes the assembled values the head solved: row-major by
+	// roster index, Components values per member. Empty when the cluster
+	// failed.
+	Components uint8
+	FMatrix    []field.Element
+	Children   []ChildEntry
+}
+
+// clusterSum returns the cluster's contribution for component k (zero when
+// the cluster failed).
+func (a Announce) clusterSum(k int) field.Element {
+	if k < len(a.ClusterSums) {
+		return a.ClusterSums[k]
+	}
+	return 0
+}
+
+// ClusterSumOrZero returns the first component's cluster sum (zero when the
+// cluster failed) — a convenience for alarm payloads.
+func (a Announce) ClusterSumOrZero() field.Element { return a.clusterSum(0) }
+
+// Total returns the full aggregate vector the announce carries upward,
+// sized to the announce's component count.
+func (a Announce) Total() []field.Element {
+	c := int(a.Components)
+	if c == 0 {
+		c = 1
+	}
+	out := make([]field.Element, c)
+	for k := range out {
+		out[k] = a.clusterSum(k)
+		for _, ch := range a.Children {
+			if k < len(ch.Totals) {
+				out[k] = out[k].Add(ch.Totals[k])
+			}
+		}
+	}
+	return out
+}
+
+// TotalCount returns the full participant count carried upward.
+func (a Announce) TotalCount() uint32 {
+	n := a.ClusterCnt
+	for _, c := range a.Children {
+		n += c.Count
+	}
+	return n
+}
+
+// MarshalAnnounce encodes an Announce payload.
+func MarshalAnnounce(a Announce) ([]byte, error) {
+	c := int(a.Components)
+	if c == 0 || c > MaxComponents {
+		return nil, fmt.Errorf("message: component count %d out of [1, %d]", c, MaxComponents)
+	}
+	if len(a.Children) > 255 {
+		return nil, fmt.Errorf("message: %d children exceed max 255", len(a.Children))
+	}
+	if len(a.ClusterSums) != 0 && len(a.ClusterSums) != c {
+		return nil, fmt.Errorf("message: %d cluster sums for %d components", len(a.ClusterSums), c)
+	}
+	if len(a.FMatrix)%c != 0 || len(a.FMatrix)/c > MaxClusterSize {
+		return nil, fmt.Errorf("message: bad F matrix size %d for %d components", len(a.FMatrix), c)
+	}
+	for _, ch := range a.Children {
+		if len(ch.Totals) != c {
+			return nil, fmt.Errorf("message: child %d has %d totals for %d components", ch.Child, len(ch.Totals), c)
+		}
+	}
+	members := len(a.FMatrix) / c
+	size := 4 + 4 + 1 + 1 + 1 + 1 + len(a.ClusterSums)*4 + len(a.FMatrix)*4 +
+		len(a.Children)*(4+4+c*4)
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf, uint32(int32(a.Origin)))
+	binary.BigEndian.PutUint32(buf[4:], a.ClusterCnt)
+	buf[8] = byte(c)
+	if len(a.ClusterSums) > 0 {
+		buf[9] = 1
+	}
+	buf[10] = byte(members)
+	buf[11] = byte(len(a.Children))
+	off := 12
+	for _, s := range a.ClusterSums {
+		binary.BigEndian.PutUint32(buf[off:], uint32(s))
+		off += 4
+	}
+	for _, f := range a.FMatrix {
+		binary.BigEndian.PutUint32(buf[off:], uint32(f))
+		off += 4
+	}
+	for _, ch := range a.Children {
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(ch.Child)))
+		binary.BigEndian.PutUint32(buf[off+4:], ch.Count)
+		off += 8
+		for _, v := range ch.Totals {
+			binary.BigEndian.PutUint32(buf[off:], uint32(v))
+			off += 4
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalAnnounce decodes an Announce payload.
+func UnmarshalAnnounce(buf []byte) (Announce, error) {
+	if len(buf) < 12 {
+		return Announce{}, ErrTruncated
+	}
+	c := int(buf[8])
+	hasSums := buf[9] == 1
+	members := int(buf[10])
+	nc := int(buf[11])
+	if c == 0 || c > MaxComponents || members > MaxClusterSize {
+		return Announce{}, fmt.Errorf("message: bad announce dims c=%d m=%d", c, members)
+	}
+	sumLen := 0
+	if hasSums {
+		sumLen = c
+	}
+	need := 12 + sumLen*4 + members*c*4 + nc*(8+c*4)
+	if len(buf) < need {
+		return Announce{}, ErrTruncated
+	}
+	a := Announce{
+		Origin:     topo.NodeID(int32(binary.BigEndian.Uint32(buf))),
+		ClusterCnt: binary.BigEndian.Uint32(buf[4:]),
+		Components: uint8(c),
+	}
+	off := 12
+	if hasSums {
+		a.ClusterSums = make([]field.Element, c)
+		for i := range a.ClusterSums {
+			a.ClusterSums[i] = field.Element(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	if members > 0 {
+		a.FMatrix = make([]field.Element, members*c)
+		for i := range a.FMatrix {
+			a.FMatrix[i] = field.Element(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	if nc > 0 {
+		a.Children = make([]ChildEntry, nc)
+	}
+	for i := 0; i < nc; i++ {
+		ch := ChildEntry{
+			Child: topo.NodeID(int32(binary.BigEndian.Uint32(buf[off:]))),
+			Count: binary.BigEndian.Uint32(buf[off+4:]),
+		}
+		off += 8
+		ch.Totals = make([]field.Element, c)
+		for k := range ch.Totals {
+			ch.Totals[k] = field.Element(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		a.Children[i] = ch
+	}
+	return a, nil
+}
+
+// Relay wraps an inner frame a cluster head forwards verbatim between two
+// members that are out of mutual radio range. The inner payload stays
+// encrypted end-to-end; the head cannot read it.
+type Relay struct {
+	Inner []byte // marshalled inner frame
+}
+
+// MarshalRelay encodes a Relay payload.
+func MarshalRelay(r Relay) ([]byte, error) {
+	if len(r.Inner) > 0xFFFF-2 {
+		return nil, fmt.Errorf("message: relayed frame too large: %d", len(r.Inner))
+	}
+	buf := make([]byte, 2+len(r.Inner))
+	binary.BigEndian.PutUint16(buf, uint16(len(r.Inner)))
+	copy(buf[2:], r.Inner)
+	return buf, nil
+}
+
+// UnmarshalRelay decodes a Relay payload.
+func UnmarshalRelay(buf []byte) (Relay, error) {
+	if len(buf) < 2 {
+		return Relay{}, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return Relay{}, ErrTruncated
+	}
+	return Relay{Inner: append([]byte(nil), buf[2:2+n]...)}, nil
+}

@@ -1,0 +1,300 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestRosterRoundTrip(t *testing.T) {
+	r := Roster{
+		Head: 12,
+		Entries: []RosterEntry{
+			{ID: 12, Seed: 13},
+			{ID: 40, Seed: 41},
+			{ID: 77, Seed: 78},
+		},
+	}
+	buf, err := MarshalRoster(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRoster(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Head != r.Head || len(got.Entries) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range r.Entries {
+		if got.Entries[i] != r.Entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got.Entries[i], r.Entries[i])
+		}
+	}
+}
+
+func TestRosterEmpty(t *testing.T) {
+	buf, err := MarshalRoster(Roster{Head: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRoster(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Head != 5 || len(got.Entries) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRosterTooLarge(t *testing.T) {
+	r := Roster{Entries: make([]RosterEntry, MaxClusterSize+1)}
+	if _, err := MarshalRoster(r); err == nil {
+		t.Error("oversized roster should fail to marshal")
+	}
+}
+
+func TestRosterTruncated(t *testing.T) {
+	if _, err := UnmarshalRoster([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+	r := Roster{Head: 1, Entries: []RosterEntry{{ID: 2, Seed: 3}}}
+	buf, _ := MarshalRoster(r)
+	if _, err := UnmarshalRoster(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+	// Claimed count beyond MaxClusterSize must be rejected even if bytes
+	// are present.
+	bad := make([]byte, 5+300*8)
+	bad[4] = 255
+	if _, err := UnmarshalRoster(bad); err == nil {
+		t.Error("oversized claimed count should fail")
+	}
+}
+
+func TestAssembledRoundTrip(t *testing.T) {
+	f := func(v1, v2 uint32, mask uint16) bool {
+		a := Assembled{Fs: []field.Element{field.New(uint64(v1)), field.New(uint64(v2))}, Mask: mask}
+		buf, err := MarshalAssembled(a)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalAssembled(buf)
+		return err == nil && got.Mask == a.Mask && len(got.Fs) == 2 &&
+			got.Fs[0] == a.Fs[0] && got.Fs[1] == a.Fs[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalAssembled([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAssembledValidation(t *testing.T) {
+	if _, err := MarshalAssembled(Assembled{}); err == nil {
+		t.Error("empty vector should fail")
+	}
+	if _, err := MarshalAssembled(Assembled{Fs: make([]field.Element, MaxComponents+1)}); err == nil {
+		t.Error("oversized vector should fail")
+	}
+	buf, _ := MarshalAssembled(Assembled{Fs: []field.Element{1}})
+	buf[0] = 0
+	if _, err := UnmarshalAssembled(buf); err == nil {
+		t.Error("zero component count should fail to decode")
+	}
+	a := Assembled{Fs: []field.Element{1, 2, 3}}
+	buf, _ = MarshalAssembled(a)
+	if _, err := UnmarshalAssembled(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Error("short assembled should be truncated")
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	a := Announce{
+		Origin:      3,
+		ClusterSums: []field.Element{1000, 2000},
+		ClusterCnt:  5,
+		Components:  2,
+		FMatrix:     []field.Element{1, 2, 3, 4, 5, 6}, // 3 members x 2 components
+		Children: []ChildEntry{
+			{Child: 9, Totals: []field.Element{400, 800}, Count: 7},
+			{Child: 11, Totals: []field.Element{600, 1200}, Count: 12},
+		},
+	}
+	buf, err := MarshalAnnounce(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != a.Origin || got.ClusterCnt != a.ClusterCnt || got.Components != 2 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.ClusterSums) != 2 || got.ClusterSums[1] != 2000 {
+		t.Fatalf("sums mismatch: %+v", got.ClusterSums)
+	}
+	if len(got.FMatrix) != 6 || got.FMatrix[5] != 6 {
+		t.Fatalf("F matrix mismatch: %+v", got.FMatrix)
+	}
+	if len(got.Children) != 2 || !got.Children[0].Equal(a.Children[0]) || !got.Children[1].Equal(a.Children[1]) {
+		t.Fatalf("children mismatch: %+v", got.Children)
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	if _, err := MarshalAnnounce(Announce{Components: 0}); err == nil {
+		t.Error("zero components should fail")
+	}
+	if _, err := MarshalAnnounce(Announce{Components: MaxComponents + 1}); err == nil {
+		t.Error("too many components should fail")
+	}
+	if _, err := MarshalAnnounce(Announce{Components: 2, ClusterSums: []field.Element{1}}); err == nil {
+		t.Error("sums/components mismatch should fail")
+	}
+	if _, err := MarshalAnnounce(Announce{Components: 2, FMatrix: []field.Element{1, 2, 3}}); err == nil {
+		t.Error("ragged F matrix should fail")
+	}
+	if _, err := MarshalAnnounce(Announce{
+		Components: 2,
+		Children:   []ChildEntry{{Child: 1, Totals: []field.Element{1}}},
+	}); err == nil {
+		t.Error("child totals width mismatch should fail")
+	}
+}
+
+func TestAnnounceTotals(t *testing.T) {
+	a := Announce{
+		ClusterSums: []field.Element{100, 10},
+		ClusterCnt:  4,
+		Components:  2,
+		Children: []ChildEntry{
+			{Child: 1, Totals: []field.Element{50, 5}, Count: 2},
+			{Child: 2, Totals: []field.Element{25, 2}, Count: 1},
+		},
+	}
+	got := a.Total()
+	if len(got) != 2 || got[0] != 175 || got[1] != 17 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := a.TotalCount(); got != 7 {
+		t.Errorf("TotalCount = %v", got)
+	}
+	if a.ClusterSumOrZero() != 100 {
+		t.Errorf("ClusterSumOrZero = %v", a.ClusterSumOrZero())
+	}
+	var failed Announce
+	if failed.ClusterSumOrZero() != 0 {
+		t.Error("failed cluster sum should be 0")
+	}
+}
+
+func TestAnnounceNoChildren(t *testing.T) {
+	buf, err := MarshalAnnounce(Announce{
+		Origin: 0, ClusterSums: []field.Element{9}, ClusterCnt: 3, Components: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Children) != 0 || got.ClusterSumOrZero() != 9 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestAnnounceFailedCluster(t *testing.T) {
+	// A failed cluster carries no sums and no F matrix.
+	buf, err := MarshalAnnounce(Announce{Origin: 4, Components: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClusterSums != nil || got.FMatrix != nil || got.ClusterCnt != 0 {
+		t.Errorf("got %+v", got)
+	}
+	if tot := got.Total(); len(tot) != 1 || tot[0] != 0 {
+		t.Errorf("Total = %v", tot)
+	}
+}
+
+func TestAnnounceTruncated(t *testing.T) {
+	if _, err := UnmarshalAnnounce([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+	a := Announce{Components: 1, Children: []ChildEntry{{Child: 1, Totals: []field.Element{2}, Count: 3}}}
+	buf, _ := MarshalAnnounce(a)
+	if _, err := UnmarshalAnnounce(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRelayRoundTrip(t *testing.T) {
+	inner := message(t)
+	r := Relay{Inner: inner}
+	buf, err := MarshalRelay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRelay(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Inner, inner) {
+		t.Error("inner frame corrupted")
+	}
+	// The relayed frame itself decodes.
+	m, err := Unmarshal(got.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindShare {
+		t.Errorf("inner kind = %v", m.Kind)
+	}
+}
+
+func TestRelayTruncated(t *testing.T) {
+	if _, err := UnmarshalRelay([]byte{0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+	buf, _ := MarshalRelay(Relay{Inner: []byte{1, 2, 3, 4}})
+	if _, err := UnmarshalRelay(buf[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func message(t *testing.T) []byte {
+	t.Helper()
+	m := Build(KindShare, 4, 5, 2, MarshalValue(Value{V: 99}))
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSeqSurvivesRoundTrip(t *testing.T) {
+	m := Build(KindReading, 1, 2, 3, MarshalValue(Value{V: 4}))
+	m.Seq = 777
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 777 {
+		t.Errorf("Seq = %d", got.Seq)
+	}
+}

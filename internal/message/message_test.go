@@ -1,0 +1,221 @@
+package message
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/topo"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind:    KindAggregate,
+		From:    42,
+		To:      BroadcastID,
+		Round:   7,
+		Payload: []byte{1, 2, 3},
+	}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.From != m.From || got.To != m.To || got.Round != m.Round {
+		t.Errorf("header mismatch: %+v vs %+v", got, m)
+	}
+	if string(got.Payload) != string(m.Payload) {
+		t.Errorf("payload mismatch: %v", got.Payload)
+	}
+	if !got.IsBroadcast() {
+		t.Error("broadcast flag lost")
+	}
+}
+
+func TestMarshalRejectsInvalidKind(t *testing.T) {
+	m := &Message{Kind: 0}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("zero kind should fail")
+	}
+	m.Kind = kindEnd
+	if _, err := m.Marshal(); err == nil {
+		t.Error("out-of-range kind should fail")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header err = %v", err)
+	}
+	m := &Message{Kind: KindHello, Payload: []byte{1, 2, 3, 4, 5, 6, 7}}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload err = %v", err)
+	}
+}
+
+func TestUnmarshalInvalidKind(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	buf[0] = 200
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("invalid kind should fail to decode")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := &Message{Kind: KindReading, Payload: make([]byte, 4)}
+	if got := m.WireSize(); got != PHYOverhead+HeaderSize+4 {
+		t.Errorf("WireSize = %d", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindHello.String() != "hello" {
+		t.Errorf("KindHello = %q", KindHello.String())
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	f := func(origin int32, role uint8, hops uint16) bool {
+		h := Hello{Origin: topo.NodeID(origin), Role: role, Hops: hops}
+		got, err := UnmarshalHello(MarshalHello(h))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalHello([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Error("short hello should be truncated")
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	f := func(head int32, seed uint32) bool {
+		j := Join{Head: topo.NodeID(head), Seed: field.New(uint64(seed))}
+		got, err := UnmarshalJoin(MarshalJoin(j))
+		return err == nil && got == j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalJoin(nil); !errors.Is(err, ErrTruncated) {
+		t.Error("short join should be truncated")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		val := Value{V: field.New(uint64(v))}
+		got, err := UnmarshalValue(MarshalValue(val))
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalValue([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Error("short value should be truncated")
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	f := func(sum, count uint32) bool {
+		a := Aggregate{Sum: field.New(uint64(sum)), Count: count}
+		got, err := UnmarshalAggregate(MarshalAggregate(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalAggregate([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Error("short aggregate should be truncated")
+	}
+}
+
+func TestAlarmRoundTrip(t *testing.T) {
+	f := func(suspect int32, obs, exp uint32) bool {
+		a := Alarm{
+			Suspect:  topo.NodeID(suspect),
+			Observed: field.New(uint64(obs)),
+			Expected: field.New(uint64(exp)),
+		}
+		got, err := UnmarshalAlarm(MarshalAlarm(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalAlarm([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Error("short alarm should be truncated")
+	}
+}
+
+func TestBuildAndFixedSizes(t *testing.T) {
+	m := Build(KindShare, 3, 4, 1, MarshalValue(Value{V: 9}))
+	if m.Kind != KindShare || m.From != 3 || m.To != 4 || m.Round != 1 {
+		t.Errorf("Build = %+v", m)
+	}
+	for _, k := range []Kind{KindHello, KindJoin, KindShare, KindAggregate, KindAlarm, KindReading, KindSlice} {
+		if _, err := DecodePayloadLen(k); err != nil {
+			t.Errorf("DecodePayloadLen(%v): %v", k, err)
+		}
+	}
+	if _, err := DecodePayloadLen(Kind(99)); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestFullFrameRoundTripAllKinds(t *testing.T) {
+	payloads := map[Kind][]byte{
+		KindHello: MarshalHello(Hello{Origin: 1, Role: 2, Hops: 3}),
+		KindJoin:  MarshalJoin(Join{Head: 5, Seed: 6}),
+		KindShare: MarshalValue(Value{V: 7}),
+
+		KindAggregate: MarshalAggregate(Aggregate{Sum: 9, Count: 10}),
+		KindAlarm:     MarshalAlarm(Alarm{Suspect: 11, Observed: 12, Expected: 13}),
+		KindReading:   MarshalValue(Value{V: 14}),
+		KindSlice:     MarshalValue(Value{V: 15}),
+	}
+	for k, p := range payloads {
+		m := Build(k, 1, 2, 3, p)
+		buf, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		want, _ := DecodePayloadLen(k)
+		if len(got.Payload) != want {
+			t.Errorf("%v: payload len %d, want %d", k, len(got.Payload), want)
+		}
+	}
+	// Variable-size kinds round-trip through their own codecs.
+	asm, err := MarshalAssembled(Assembled{Fs: []field.Element{8}, Mask: 0b101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(KindAssembled, 1, 2, 3, asm)
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalAssembled(got.Payload)
+	if err != nil || back.Mask != 0b101 {
+		t.Errorf("assembled round trip: %v %v", back, err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package metrics collects the quantities the evaluation reports: bytes and
+// messages on the air (per node and total), collision losses, aggregation
+// accuracy, coverage/participation, privacy disclosure and integrity
+// detection statistics.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// Recorder accumulates radio-level traffic counters for one simulation run.
+// It is not safe for concurrent use; one trial owns one Recorder.
+type Recorder struct {
+	txBytes    map[topo.NodeID]int
+	rxBytes    map[topo.NodeID]int
+	txMsgs     map[topo.NodeID]int
+	rxMsgs     map[topo.NodeID]int
+	collisions int
+	dropped    int // frames lost to collisions (receiver-side)
+	byKind     map[string]int
+	msgsByKind map[string]int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		txBytes:    make(map[topo.NodeID]int),
+		rxBytes:    make(map[topo.NodeID]int),
+		txMsgs:     make(map[topo.NodeID]int),
+		rxMsgs:     make(map[topo.NodeID]int),
+		byKind:     make(map[string]int),
+		msgsByKind: make(map[string]int),
+	}
+}
+
+// OnTransmit records a frame leaving node from.
+func (r *Recorder) OnTransmit(from topo.NodeID, kind string, bytes int) {
+	r.txBytes[from] += bytes
+	r.txMsgs[from]++
+	r.byKind[kind] += bytes
+	r.msgsByKind[kind]++
+}
+
+// OnReceive records a successfully delivered frame at node to.
+func (r *Recorder) OnReceive(to topo.NodeID, bytes int) {
+	r.rxBytes[to] += bytes
+	r.rxMsgs[to]++
+}
+
+// OnCollision records a collision event (one per corrupted reception).
+func (r *Recorder) OnCollision() { r.collisions++ }
+
+// OnDrop records a frame lost at a receiver.
+func (r *Recorder) OnDrop() { r.dropped++ }
+
+// TotalTxBytes returns the total bytes put on the air.
+func (r *Recorder) TotalTxBytes() int {
+	total := 0
+	for _, b := range r.txBytes {
+		total += b
+	}
+	return total
+}
+
+// TotalTxMessages returns the total frames transmitted.
+func (r *Recorder) TotalTxMessages() int {
+	total := 0
+	for _, m := range r.txMsgs {
+		total += m
+	}
+	return total
+}
+
+// TotalRxMessages returns the total frames delivered.
+func (r *Recorder) TotalRxMessages() int {
+	total := 0
+	for _, m := range r.rxMsgs {
+		total += m
+	}
+	return total
+}
+
+// NodeTxBytes returns bytes transmitted by one node.
+func (r *Recorder) NodeTxBytes(id topo.NodeID) int { return r.txBytes[id] }
+
+// NodeRxBytes returns bytes successfully received by one node.
+func (r *Recorder) NodeRxBytes(id topo.NodeID) int { return r.rxBytes[id] }
+
+// NodeTxMessages returns frames transmitted by one node.
+func (r *Recorder) NodeTxMessages(id topo.NodeID) int { return r.txMsgs[id] }
+
+// Collisions returns the number of collision events observed.
+func (r *Recorder) Collisions() int { return r.collisions }
+
+// Dropped returns the number of receptions lost to collisions.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// TxMessagesOfKind returns how many frames of one kind went on the air.
+func (r *Recorder) TxMessagesOfKind(kind string) int { return r.msgsByKind[kind] }
+
+// AppMessages returns transmitted frames excluding MAC-level ACKs — the
+// quantity the lineage papers count as "messages per node".
+func (r *Recorder) AppMessages() int {
+	return r.TotalTxMessages() - r.msgsByKind["ack"]
+}
+
+// BytesByKind returns a copy of the per-message-kind byte totals.
+func (r *Recorder) BytesByKind() map[string]int {
+	out := make(map[string]int, len(r.byKind))
+	for k, v := range r.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// KindsSorted returns kind labels in deterministic order.
+func (r *Recorder) KindsSorted() []string {
+	keys := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RoundResult captures the outcome of one aggregation round as seen at the
+// base station, compared against ground truth.
+type RoundResult struct {
+	Protocol     string
+	TrueSum      int64 // ground-truth sum over ALL deployed sensor nodes
+	TrueCount    int64 // ground-truth count of all deployed sensor nodes
+	ReportedSum  int64 // what the base station accepted
+	ReportedCnt  int64
+	Participants int  // nodes whose reading entered the aggregate
+	Covered      int  // nodes structurally able to participate
+	Accepted     bool // base-station integrity verdict
+	Alarms       int  // witness alarms received
+	TxBytes      int
+	TxMessages   int // all frames including MAC ACKs
+	AppMessages  int // frames excluding MAC ACKs
+}
+
+// Accuracy is reported-sum / true-sum, the paper's accuracy metric
+// (1.0 = no data loss). Zero when the true sum is zero.
+func (r RoundResult) Accuracy() float64 {
+	if r.TrueSum == 0 {
+		return 0
+	}
+	return float64(r.ReportedSum) / float64(r.TrueSum)
+}
+
+// CountAccuracy is the COUNT-aggregation analogue.
+func (r RoundResult) CountAccuracy() float64 {
+	if r.TrueCount == 0 {
+		return 0
+	}
+	return float64(r.ReportedCnt) / float64(r.TrueCount)
+}
+
+// ParticipationRate is the fraction of deployed nodes that contributed.
+func (r RoundResult) ParticipationRate() float64 {
+	if r.TrueCount == 0 {
+		return 0
+	}
+	return float64(r.Participants) / float64(r.TrueCount)
+}
+
+// CoverageRate is the fraction of nodes structurally covered by the
+// protocol (reachable by the required trees / in a viable cluster).
+func (r RoundResult) CoverageRate() float64 {
+	if r.TrueCount == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.TrueCount)
+}
+
+// String renders a one-line summary.
+func (r RoundResult) String() string {
+	return fmt.Sprintf("%s: sum=%d/%d count=%d/%d accepted=%v alarms=%d tx=%dB",
+		r.Protocol, r.ReportedSum, r.TrueSum, r.ReportedCnt, r.TrueCount,
+		r.Accepted, r.Alarms, r.TxBytes)
+}

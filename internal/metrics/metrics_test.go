@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestRecorderCounters(t *testing.T) {
+	r := NewRecorder()
+	r.OnTransmit(1, "hello", 30)
+	r.OnTransmit(1, "share", 50)
+	r.OnTransmit(2, "hello", 30)
+	r.OnReceive(3, 30)
+	r.OnReceive(3, 50)
+	r.OnCollision()
+	r.OnDrop()
+
+	if got := r.TotalTxBytes(); got != 110 {
+		t.Errorf("TotalTxBytes = %d", got)
+	}
+	if got := r.TotalTxMessages(); got != 3 {
+		t.Errorf("TotalTxMessages = %d", got)
+	}
+	if got := r.TotalRxMessages(); got != 2 {
+		t.Errorf("TotalRxMessages = %d", got)
+	}
+	if got := r.NodeTxBytes(1); got != 80 {
+		t.Errorf("NodeTxBytes(1) = %d", got)
+	}
+	if got := r.NodeTxMessages(2); got != 1 {
+		t.Errorf("NodeTxMessages(2) = %d", got)
+	}
+	if r.Collisions() != 1 || r.Dropped() != 1 {
+		t.Errorf("collisions/drops = %d/%d", r.Collisions(), r.Dropped())
+	}
+}
+
+func TestRecorderByKind(t *testing.T) {
+	r := NewRecorder()
+	r.OnTransmit(1, "hello", 30)
+	r.OnTransmit(2, "hello", 30)
+	r.OnTransmit(1, "ack", 23)
+	byKind := r.BytesByKind()
+	if byKind["hello"] != 60 || byKind["ack"] != 23 {
+		t.Errorf("byKind = %v", byKind)
+	}
+	// Returned map is a copy.
+	byKind["hello"] = 0
+	if r.BytesByKind()["hello"] != 60 {
+		t.Error("BytesByKind must return a copy")
+	}
+	if got := r.TxMessagesOfKind("hello"); got != 2 {
+		t.Errorf("TxMessagesOfKind = %d", got)
+	}
+	if got := r.AppMessages(); got != 2 {
+		t.Errorf("AppMessages = %d (ACKs must be excluded)", got)
+	}
+	kinds := r.KindsSorted()
+	if len(kinds) != 2 || kinds[0] != "ack" || kinds[1] != "hello" {
+		t.Errorf("KindsSorted = %v", kinds)
+	}
+}
+
+func TestRoundResultMetrics(t *testing.T) {
+	r := RoundResult{
+		Protocol:     "x",
+		TrueSum:      200,
+		TrueCount:    10,
+		ReportedSum:  150,
+		ReportedCnt:  8,
+		Participants: 8,
+		Covered:      9,
+	}
+	if got := r.Accuracy(); got != 0.75 {
+		t.Errorf("Accuracy = %g", got)
+	}
+	if got := r.CountAccuracy(); got != 0.8 {
+		t.Errorf("CountAccuracy = %g", got)
+	}
+	if got := r.ParticipationRate(); got != 0.8 {
+		t.Errorf("ParticipationRate = %g", got)
+	}
+	if got := r.CoverageRate(); got != 0.9 {
+		t.Errorf("CoverageRate = %g", got)
+	}
+	if r.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestRoundResultZeroDivision(t *testing.T) {
+	var r RoundResult
+	if r.Accuracy() != 0 || r.CountAccuracy() != 0 || r.ParticipationRate() != 0 || r.CoverageRate() != 0 {
+		t.Error("zero RoundResult must not divide by zero")
+	}
+}

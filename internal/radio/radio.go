@@ -1,0 +1,248 @@
+// Package radio models the shared wireless medium: broadcast propagation to
+// every node in range, serialization delay at the configured bitrate,
+// half-duplex radios, and receiver-side collisions (including hidden
+// terminals). Delivery is promiscuous — every in-range node hears every
+// frame — because the cluster protocol's integrity witnesses rely on
+// overhearing; addressing is filtered above the radio.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Handler consumes a delivered frame at a node. The frame is already
+// decoded; handlers must not retain the message beyond the call unless they
+// copy it.
+type Handler func(at topo.NodeID, msg *message.Message)
+
+// Config parameterises the medium.
+type Config struct {
+	// BitrateBps is the channel rate; the lineage papers use 1 Mbps.
+	BitrateBps float64
+	// Ideal disables collisions and half-duplex losses — an error-free
+	// channel used for "perfect" reference curves and unit tests.
+	Ideal bool
+
+	// Fading enables a distance-dependent reception probability inside the
+	// radio disc (the "gray zone" real radios exhibit): a frame at distance
+	// d from its sender is independently lost with probability
+	// EdgeLoss · (d/range)^FadingBeta, on top of collisions.
+	Fading     bool
+	EdgeLoss   float64 // loss probability at exactly the range edge
+	FadingBeta float64 // shape exponent (higher = sharper edge)
+}
+
+// DefaultConfig matches the papers' setup: 1 Mbps, lossy disc model.
+func DefaultConfig() Config {
+	return Config{BitrateBps: 1e6}
+}
+
+// FadingConfig returns a gray-zone channel: 25% loss at the range edge
+// with a cubic falloff toward the sender.
+func FadingConfig() Config {
+	return Config{BitrateBps: 1e6, Fading: true, EdgeLoss: 0.25, FadingBeta: 3}
+}
+
+type transmission struct {
+	from       topo.NodeID
+	msg        *message.Message
+	wireSize   int
+	start, end time.Duration
+}
+
+// Medium is the shared channel. One Medium serves one simulated network.
+type Medium struct {
+	eng      *sim.Engine
+	net      *topo.Network
+	rec      *metrics.Recorder
+	cfg      Config
+	rng      *rand.Rand // fading draws; nil unless cfg.Fading
+	handlers []Handler
+	active   []*transmission // recent transmissions kept for overlap checks
+	maxDur   time.Duration   // longest frame airtime seen; bounds retention
+}
+
+// NewMedium wires a medium over the network. rec may be nil to skip
+// accounting.
+func NewMedium(eng *sim.Engine, net *topo.Network, rec *metrics.Recorder, cfg Config) (*Medium, error) {
+	if cfg.BitrateBps <= 0 {
+		return nil, fmt.Errorf("radio: bitrate must be positive, got %g", cfg.BitrateBps)
+	}
+	if cfg.Fading {
+		if cfg.EdgeLoss < 0 || cfg.EdgeLoss > 1 || cfg.FadingBeta <= 0 {
+			return nil, fmt.Errorf("radio: invalid fading edgeLoss=%g beta=%g", cfg.EdgeLoss, cfg.FadingBeta)
+		}
+	}
+	return &Medium{
+		eng:      eng,
+		net:      net,
+		rec:      rec,
+		cfg:      cfg,
+		handlers: make([]Handler, net.Size()),
+	}, nil
+}
+
+// SetFadingSource injects the RNG used for gray-zone loss draws. Required
+// when cfg.Fading is set; typically the deployment's seeded RNG so runs
+// stay reproducible.
+func (m *Medium) SetFadingSource(rng *rand.Rand) { m.rng = rng }
+
+// SetHandler installs the receive callback for a node.
+func (m *Medium) SetHandler(id topo.NodeID, h Handler) {
+	m.handlers[id] = h
+}
+
+// AirTime returns the serialization delay of a frame of the given on-air
+// size in bytes.
+func (m *Medium) AirTime(wireSize int) time.Duration {
+	seconds := float64(wireSize*8) / m.cfg.BitrateBps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Busy reports whether node id can currently hear an ongoing transmission
+// (its own included). This is the MAC's carrier-sense primitive.
+func (m *Medium) Busy(id topo.NodeID) bool {
+	return m.BusyWithin(id, 0)
+}
+
+// BusyWithin reports whether node id heard any transmission during the last
+// `guard` interval (or hears one now). Data senders carrier-sense with a
+// DIFS-sized guard so that SIFS-spaced ACKs win the inter-frame gap, as in
+// 802.11.
+func (m *Medium) BusyWithin(id topo.NodeID, guard time.Duration) bool {
+	now := m.eng.Now()
+	for _, t := range m.active {
+		if t.start <= now && t.end+guard > now {
+			if t.from == id || m.net.InRange(t.from, id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Transmitting reports whether node id itself is mid-transmission.
+func (m *Medium) Transmitting(id topo.NodeID) bool {
+	now := m.eng.Now()
+	for _, t := range m.active {
+		if t.from == id && t.start <= now && now < t.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Transmit puts a frame on the air from node `from`, returning the
+// transmission duration. Delivery outcomes are decided at end-of-frame.
+func (m *Medium) Transmit(from topo.NodeID, msg *message.Message) (time.Duration, error) {
+	if _, err := msg.Marshal(); err != nil { // validate encodability
+		return 0, fmt.Errorf("radio: %w", err)
+	}
+	size := msg.WireSize()
+	dur := m.AirTime(size)
+	t := &transmission{
+		from:     from,
+		msg:      msg,
+		wireSize: size,
+		start:    m.eng.Now(),
+		end:      m.eng.Now() + dur,
+	}
+	if dur > m.maxDur {
+		m.maxDur = dur
+	}
+	m.prune()
+	m.active = append(m.active, t)
+	if m.rec != nil {
+		m.rec.OnTransmit(from, msg.Kind.String(), size)
+	}
+	m.eng.At(t.end, func() { m.deliver(t) })
+	return dur, nil
+}
+
+// deliver resolves reception at every neighbour of the transmitter.
+func (m *Medium) deliver(t *transmission) {
+	for _, rcv := range m.net.Neighbors(t.from) {
+		h := m.handlers[rcv]
+		if h == nil {
+			continue
+		}
+		if !m.cfg.Ideal && m.corrupted(t, rcv) {
+			if m.rec != nil {
+				m.rec.OnCollision()
+				m.rec.OnDrop()
+			}
+			continue
+		}
+		if !m.cfg.Ideal && m.faded(t.from, rcv) {
+			if m.rec != nil {
+				m.rec.OnDrop()
+			}
+			continue
+		}
+		if m.rec != nil {
+			m.rec.OnReceive(rcv, t.wireSize)
+		}
+		h(rcv, t.msg)
+	}
+}
+
+// faded draws the gray-zone loss for one reception.
+func (m *Medium) faded(from, rcv topo.NodeID) bool {
+	if !m.cfg.Fading || m.rng == nil {
+		return false
+	}
+	d := m.net.Position(from).Dist(m.net.Position(rcv))
+	loss := m.cfg.EdgeLoss * math.Pow(d/m.net.Range(), m.cfg.FadingBeta)
+	return m.rng.Float64() < loss
+}
+
+// corrupted reports whether reception of t at rcv failed: the receiver was
+// itself transmitting (half-duplex), or another audible transmission
+// overlapped t's airtime (collision).
+func (m *Medium) corrupted(t *transmission, rcv topo.NodeID) bool {
+	for _, o := range m.active {
+		if o == t {
+			continue
+		}
+		if o.end <= t.start || o.start >= t.end {
+			continue // no temporal overlap
+		}
+		if o.from == rcv {
+			return true // half-duplex: receiver was talking
+		}
+		if m.net.InRange(o.from, rcv) {
+			return true // audible interferer
+		}
+	}
+	return false
+}
+
+// pruneGuard bounds how long BusyWithin guards can look back.
+const pruneGuard = time.Millisecond
+
+// prune drops transmissions that can no longer matter. A finished
+// transmission o must survive until every frame it could have overlapped has
+// been delivered (any such frame started before o.end and ends before
+// o.end + maxDur) and until carrier-sense guards can no longer see it.
+func (m *Medium) prune() {
+	now := m.eng.Now()
+	kept := m.active[:0]
+	for _, t := range m.active {
+		if t.end+m.maxDur+pruneGuard > now {
+			kept = append(kept, t)
+		}
+	}
+	// Zero the tail so pruned transmissions can be collected.
+	for i := len(kept); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = kept
+}

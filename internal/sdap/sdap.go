@@ -1,0 +1,329 @@
+// Package sdap implements a simplified SDAP-class comparator (Yang et al.,
+// MobiHoc 2006): TAG-style tree aggregation hardened by commit-and-attest
+// sampling. After the aggregate arrives, the base station challenges a
+// random sample of aggregators; each must attest its subtree with its
+// children's MAC-authenticated reports, which an attacker cannot forge, so
+// a sampled attacker is caught — but an unsampled one is not.
+//
+// This is the *statistical* integrity design the cluster paper's related
+// work criticises: detection probability equals the sample fraction (paid
+// for with attestation traffic every round), whereas the cluster protocol's
+// witnesses give deterministic detection for free. Experiment
+// F14-statistical quantifies the contrast on this shared substrate.
+//
+// Simplifications relative to full SDAP, documented per the reproduction
+// rules: groups are aggregator subtrees rather than probabilistically
+// re-grouped sets; MAC authentication is modelled (a sampled attacker's
+// attestation is marked inconsistent rather than carrying real per-child
+// MACs); the commit phase is folded into the aggregation frames. None of
+// these change the headline property — sampling-bounded detection.
+package sdap
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+	"repro/internal/wsn"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	FormationWindow time.Duration
+	EpochSlot       time.Duration
+	MaxHops         int
+	// AttestWindow is how long after aggregation the attestation phase
+	// runs.
+	AttestWindow time.Duration
+	// SampleFraction of aggregators (nodes with children) challenged per
+	// round.
+	SampleFraction float64
+
+	// Polluter adds PollutionDelta to the aggregate it forwards.
+	Polluter       topo.NodeID
+	PollutionDelta int64
+}
+
+// DefaultConfig mirrors the TAG schedule plus an attestation phase.
+func DefaultConfig() Config {
+	return Config{
+		FormationWindow: 1500 * time.Millisecond,
+		EpochSlot:       150 * time.Millisecond,
+		MaxHops:         16,
+		AttestWindow:    2 * time.Second,
+		SampleFraction:  0.2,
+		Polluter:        -1,
+	}
+}
+
+type nodeState struct {
+	parent     topo.NodeID
+	hops       int
+	childSum   field.Element
+	childCount uint32
+	children   []topo.NodeID
+	sent       field.Element // what this node reported upward
+	reported   bool
+	attestSeen bool // challenge-flood dedup
+}
+
+// Protocol is one SDAP-lite instance over an Env.
+type Protocol struct {
+	env   *wsn.Env
+	cfg   Config
+	nodes []nodeState
+	round uint16
+
+	detected  bool
+	attested  int
+	startB    int
+	startMsgs int
+	startApp  int
+}
+
+// New wires an instance onto the environment's MAC.
+func New(env *wsn.Env, cfg Config) (*Protocol, error) {
+	if cfg.FormationWindow <= 0 || cfg.EpochSlot <= 0 || cfg.MaxHops < 1 ||
+		cfg.AttestWindow <= 0 || cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
+		return nil, fmt.Errorf("sdap: invalid config %+v", cfg)
+	}
+	return &Protocol{env: env, cfg: cfg}, nil
+}
+
+// Run executes one aggregation + attestation round.
+func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
+	p.round = round
+	n := p.env.Net.Size()
+	p.nodes = make([]nodeState, n)
+	for i := range p.nodes {
+		p.nodes[i].parent = -1
+	}
+	p.detected = false
+	p.attested = 0
+	p.startB = p.env.Rec.TotalTxBytes()
+	p.startMsgs = p.env.Rec.TotalTxMessages()
+	p.startApp = p.env.Rec.AppMessages()
+	for i := 0; i < n; i++ {
+		id := topo.NodeID(i)
+		p.env.MAC.SetReceiver(id, p.receive)
+	}
+	p.nodes[topo.BaseStationID].parent = topo.BaseStationID
+	p.env.Eng.After(0, func() { p.sendHello(topo.BaseStationID, 0) })
+	p.env.Eng.After(p.cfg.FormationWindow, func() { p.scheduleReports() })
+	aggEnd := p.cfg.FormationWindow + time.Duration(p.cfg.MaxHops+1)*p.cfg.EpochSlot
+	p.env.Eng.After(aggEnd, func() { p.challenge() })
+
+	if err := p.env.Eng.Run(0); err != nil {
+		return metrics.RoundResult{}, fmt.Errorf("sdap: %w", err)
+	}
+
+	bs := &p.nodes[topo.BaseStationID]
+	covered := 0
+	for i := 1; i < n; i++ {
+		if p.nodes[i].parent >= 0 {
+			covered++
+		}
+	}
+	return metrics.RoundResult{
+		Protocol:     "sdap",
+		TrueSum:      p.env.TrueSum(),
+		TrueCount:    p.env.TrueCount(),
+		ReportedSum:  bs.childSum.Int(),
+		ReportedCnt:  int64(bs.childCount),
+		Participants: int(bs.childCount),
+		Covered:      covered,
+		Accepted:     !p.detected,
+		Alarms:       boolToInt(p.detected),
+		TxBytes:      p.env.Rec.TotalTxBytes() - p.startB,
+		TxMessages:   p.env.Rec.TotalTxMessages() - p.startMsgs,
+		AppMessages:  p.env.Rec.AppMessages() - p.startApp,
+	}, nil
+}
+
+// Attested returns how many aggregators were challenged last round.
+func (p *Protocol) Attested() int { return p.attested }
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *Protocol) sendHello(from topo.NodeID, hops int) {
+	p.env.MAC.Send(message.Build(
+		message.KindHello, from, message.BroadcastID, p.round,
+		message.MarshalHello(message.Hello{Origin: topo.BaseStationID, Hops: uint16(hops)}),
+	))
+}
+
+func (p *Protocol) receive(at topo.NodeID, msg *message.Message) {
+	switch msg.Kind {
+	case message.KindHello:
+		p.onHello(at, msg)
+	case message.KindAggregate:
+		p.onAggregate(at, msg)
+	case message.KindAttest:
+		p.onAttest(at, msg)
+	case message.KindAttestResp:
+		p.onAttestResp(at, msg)
+	}
+}
+
+func (p *Protocol) onHello(at topo.NodeID, msg *message.Message) {
+	st := &p.nodes[at]
+	if st.parent >= 0 {
+		return
+	}
+	h, err := message.UnmarshalHello(msg.Payload)
+	if err != nil {
+		return
+	}
+	st.parent = msg.From
+	st.hops = int(h.Hops) + 1
+	p.sendHello(at, st.hops)
+}
+
+func (p *Protocol) scheduleReports() {
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.parent < 0 {
+			continue
+		}
+		slot := p.cfg.MaxHops - st.hops
+		if slot < 0 {
+			slot = 0
+		}
+		jitter := time.Duration(p.env.Rng.Int63n(int64(p.cfg.EpochSlot / 2)))
+		at := time.Duration(slot)*p.cfg.EpochSlot + jitter
+		p.env.Eng.After(at, func() { p.report(id) })
+	}
+}
+
+func (p *Protocol) report(id topo.NodeID) {
+	st := &p.nodes[id]
+	sum := st.childSum.Add(p.env.ReadingElement(id))
+	if id == p.cfg.Polluter {
+		sum = sum.Add(field.FromInt(p.cfg.PollutionDelta))
+	}
+	st.sent = sum
+	st.reported = true
+	p.env.MAC.Send(message.Build(
+		message.KindAggregate, id, st.parent, p.round,
+		message.MarshalAggregate(message.Aggregate{Sum: sum, Count: st.childCount + 1}),
+	))
+}
+
+func (p *Protocol) onAggregate(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	agg, err := message.UnmarshalAggregate(msg.Payload)
+	if err != nil {
+		return
+	}
+	st := &p.nodes[at]
+	st.childSum = st.childSum.Add(agg.Sum)
+	st.childCount += agg.Count
+	st.children = append(st.children, msg.From)
+}
+
+// challenge floods the base station's sample set; every sampled aggregator
+// that reported must attest.
+func (p *Protocol) challenge() {
+	if p.cfg.SampleFraction == 0 {
+		return
+	}
+	var sample []topo.NodeID
+	for i := 1; i < p.env.Net.Size(); i++ {
+		st := &p.nodes[i]
+		if len(st.children) == 0 || !st.reported {
+			continue // leaves carry no subtree to attest
+		}
+		if p.env.Rng.Float64() < p.cfg.SampleFraction {
+			sample = append(sample, topo.NodeID(i))
+		}
+	}
+	if len(sample) == 0 {
+		return
+	}
+	p.attested = len(sample)
+	payload, err := message.MarshalIDList(sample)
+	if err != nil {
+		return
+	}
+	p.env.MAC.Send(message.Build(
+		message.KindAttest, topo.BaseStationID, message.BroadcastID, p.round, payload))
+}
+
+// onAttest floods the challenge (every node rebroadcasts once via the
+// round/seq dedup in the MAC is not enough: the same frame kind from
+// different forwarders differs, so dedup locally via the reported flag on a
+// scratch bit) and answers it when sampled.
+func (p *Protocol) onAttest(at topo.NodeID, msg *message.Message) {
+	st := &p.nodes[at]
+	if st.attestSeen {
+		return
+	}
+	st.attestSeen = true
+	// Re-flood so the challenge reaches deep aggregators.
+	p.env.MAC.Send(message.Build(message.KindAttest, at, message.BroadcastID, msg.Round, msg.Payload))
+	ids, err := message.UnmarshalIDList(msg.Payload)
+	if err != nil {
+		return
+	}
+	for _, id := range ids {
+		if id != at {
+			continue
+		}
+		// Attest: in a real deployment this carries the children's
+		// MAC-authenticated reports. The attacker cannot forge those, so
+		// its attestation is inconsistent with what it sent upward.
+		resp := message.AttestResp{
+			Subject:    at,
+			Reported:   st.sent,
+			Consistent: at != p.cfg.Polluter,
+		}
+		p.env.MAC.Send(message.Build(
+			message.KindAttestResp, at, st.parent, msg.Round,
+			message.MarshalAttestResp(resp)))
+	}
+}
+
+// onAttestResp relays attestations up the tree and verdicts at the base
+// station.
+func (p *Protocol) onAttestResp(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	resp, err := message.UnmarshalAttestResp(msg.Payload)
+	if err != nil {
+		return
+	}
+	if at == topo.BaseStationID {
+		if !resp.Consistent {
+			p.detected = true
+		}
+		return
+	}
+	st := &p.nodes[at]
+	if st.parent < 0 {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindAttestResp, at, st.parent, msg.Round, msg.Payload))
+}
+
+// PickAggregator deterministically returns the lowest-ID node that
+// aggregated children in the last Run, or -1.
+func (p *Protocol) PickAggregator() topo.NodeID {
+	for i := 1; i < len(p.nodes); i++ {
+		if len(p.nodes[i].children) > 0 && p.nodes[i].reported {
+			return topo.NodeID(i)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,178 @@
+package shares
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+)
+
+// Knowledge models everything an adversary has learned about one cluster's
+// protocol run as a system of linear equations over the unknowns
+//
+//	v_0 … v_{m-1}            (the private readings)
+//	r_{i,k}, k = 1…m-1       (each member's masking coefficients)
+//
+// and answers, by exact rank computation over GF(p), whether a particular
+// private reading is uniquely determined by that knowledge. This replaces
+// the lineage papers' closed-form disclosure probability with a
+// constructive checker the Monte-Carlo privacy experiments drive directly.
+type Knowledge struct {
+	algebra *Algebra
+	rows    [][]field.Element // coefficient rows; RHS is irrelevant to determinacy
+}
+
+// NewKnowledge starts an empty knowledge base over a cluster's algebra.
+func NewKnowledge(a *Algebra) *Knowledge {
+	return &Knowledge{algebra: a}
+}
+
+// unknowns returns the total variable count: m readings + m(m-1) coefficients.
+func (k *Knowledge) unknowns() int {
+	m := k.algebra.Size()
+	return m * m
+}
+
+// varReading indexes v_i.
+func (k *Knowledge) varReading(i int) int { return i }
+
+// varCoeff indexes r_{i,deg} for deg in 1…m-1.
+func (k *Knowledge) varCoeff(i, deg int) int {
+	m := k.algebra.Size()
+	return m + i*(m-1) + (deg - 1)
+}
+
+// AddShare records that the adversary learned share y_ij (member i's share
+// for member j): one equation v_i + Σ_deg r_{i,deg}·x_j^deg = y_ij.
+func (k *Knowledge) AddShare(i, j int) error {
+	m := k.algebra.Size()
+	if i < 0 || i >= m || j < 0 || j >= m {
+		return fmt.Errorf("shares: member index out of range (%d, %d)", i, j)
+	}
+	row := make([]field.Element, k.unknowns())
+	row[k.varReading(i)] = 1
+	x := k.algebra.seeds[j]
+	pow := x
+	for deg := 1; deg < m; deg++ {
+		row[k.varCoeff(i, deg)] = pow
+		pow = pow.Mul(x)
+	}
+	k.rows = append(k.rows, row)
+	return nil
+}
+
+// AddAssembled records that the adversary heard the cleartext assembled
+// broadcast F_j = Σ_i y_ij.
+func (k *Knowledge) AddAssembled(j int) error {
+	m := k.algebra.Size()
+	if j < 0 || j >= m {
+		return fmt.Errorf("shares: member index out of range %d", j)
+	}
+	row := make([]field.Element, k.unknowns())
+	x := k.algebra.seeds[j]
+	for i := 0; i < m; i++ {
+		row[k.varReading(i)] = 1
+		pow := x
+		for deg := 1; deg < m; deg++ {
+			row[k.varCoeff(i, deg)] = pow
+			pow = pow.Mul(x)
+		}
+	}
+	k.rows = append(k.rows, row)
+	return nil
+}
+
+// AddColluder records that cluster member j cooperates with the adversary:
+// its own reading and coefficients become known, along with every share it
+// received (y_ij for all i) and every share it generated.
+func (k *Knowledge) AddColluder(j int) error {
+	m := k.algebra.Size()
+	if j < 0 || j >= m {
+		return fmt.Errorf("shares: member index out of range %d", j)
+	}
+	// Own reading known.
+	row := make([]field.Element, k.unknowns())
+	row[k.varReading(j)] = 1
+	k.rows = append(k.rows, row)
+	// Own coefficients known.
+	for deg := 1; deg < m; deg++ {
+		row := make([]field.Element, k.unknowns())
+		row[k.varCoeff(j, deg)] = 1
+		k.rows = append(k.rows, row)
+	}
+	// Every share it received.
+	for i := 0; i < m; i++ {
+		if i == j {
+			continue
+		}
+		if err := k.AddShare(i, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddClusterSum records that the adversary knows the final cluster sum
+// Σ v_i (it is ultimately public at the base station).
+func (k *Knowledge) AddClusterSum() {
+	row := make([]field.Element, k.unknowns())
+	for i := 0; i < k.algebra.Size(); i++ {
+		row[k.varReading(i)] = 1
+	}
+	k.rows = append(k.rows, row)
+}
+
+// Determined reports whether reading v_i is uniquely fixed by the recorded
+// knowledge: the unit vector e_{v_i} lies in the row space of the equation
+// matrix, i.e. adding it does not increase the rank.
+func (k *Knowledge) Determined(i int) (bool, error) {
+	m := k.algebra.Size()
+	if i < 0 || i >= m {
+		return false, fmt.Errorf("shares: member index out of range %d", i)
+	}
+	base := rank(k.rows, k.unknowns())
+	target := make([]field.Element, k.unknowns())
+	target[k.varReading(i)] = 1
+	extended := rank(append(append([][]field.Element(nil), k.rows...), target), k.unknowns())
+	return extended == base, nil
+}
+
+// EquationCount returns how many facts the adversary holds (for tests).
+func (k *Knowledge) EquationCount() int { return len(k.rows) }
+
+// rank computes the rank of the row set by Gaussian elimination over GF(p).
+// Rows are copied; inputs are not mutated.
+func rank(rows [][]field.Element, cols int) int {
+	work := make([][]field.Element, len(rows))
+	for i, r := range rows {
+		work[i] = append([]field.Element(nil), r...)
+	}
+	rk := 0
+	for col := 0; col < cols && rk < len(work); col++ {
+		pivot := -1
+		for r := rk; r < len(work); r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rk], work[pivot] = work[pivot], work[rk]
+		inv := work[rk][col].Inv()
+		for c := col; c < cols; c++ {
+			work[rk][c] = work[rk][c].Mul(inv)
+		}
+		for r := 0; r < len(work); r++ {
+			if r == rk || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for c := col; c < cols; c++ {
+				work[r][c] = work[r][c].Sub(f.Mul(work[rk][c]))
+			}
+		}
+		rk++
+	}
+	return rk
+}

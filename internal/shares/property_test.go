@@ -1,0 +1,116 @@
+package shares
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+// Property: for any cluster size and any private inputs, a full exchange
+// reconstructs exactly the sum — and permuting which member assembles which
+// column never changes it.
+func TestPropertyExchangeReconstructsSum(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8, inputsRaw []uint32) bool {
+		m := 3 + int(sizeRaw%6) // 3..8
+		rng := rand.New(rand.NewSource(seed))
+		seeds := make([]field.Element, m)
+		for i := range seeds {
+			seeds[i] = SeedFor(i)
+		}
+		algebra, err := NewAlgebra(seeds)
+		if err != nil {
+			return false
+		}
+		privates := make([]field.Element, m)
+		var want field.Element
+		for i := range privates {
+			v := uint32(0)
+			if i < len(inputsRaw) {
+				v = inputsRaw[i]
+			}
+			privates[i] = field.New(uint64(v))
+			want = want.Add(privates[i])
+		}
+		all := make([]Shares, m)
+		for i := range all {
+			all[i] = algebra.Generate(rng, privates[i])
+		}
+		assembled := make([]field.Element, m)
+		for j := 0; j < m; j++ {
+			var col field.Element
+			for i := 0; i < m; i++ {
+				col = col.Add(all[i].ForMember[j])
+			}
+			assembled[j] = col
+		}
+		got, err := algebra.RecoverSum(assembled)
+		if err != nil || got != want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single share in isolation is marginally uniform-looking —
+// concretely, masking the same private value twice never yields the same
+// transmitted share vector (collision probability ~m/p).
+func TestPropertySharesNeverRepeat(t *testing.T) {
+	f := func(seed int64, v uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seeds := []field.Element{SeedFor(0), SeedFor(1), SeedFor(2), SeedFor(3)}
+		algebra, err := NewAlgebra(seeds)
+		if err != nil {
+			return false
+		}
+		a := algebra.Generate(rng, field.New(uint64(v)))
+		b := algebra.Generate(rng, field.New(uint64(v)))
+		for j := range a.ForMember {
+			if a.ForMember[j] != b.ForMember[j] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fewer than m colluders never determine an honest reading
+// without eavesdropping, for every cluster size in the protocol's range.
+func TestPropertyCollusionThresholdHolds(t *testing.T) {
+	f := func(sizeRaw, colludersRaw uint8) bool {
+		m := 3 + int(sizeRaw%6)          // 3..8
+		c := int(colludersRaw) % (m - 1) // 0..m-2
+		seeds := make([]field.Element, m)
+		for i := range seeds {
+			seeds[i] = SeedFor(i)
+		}
+		algebra, err := NewAlgebra(seeds)
+		if err != nil {
+			return false
+		}
+		k := NewKnowledge(algebra)
+		for j := 0; j < m; j++ {
+			if err := k.AddAssembled(j); err != nil {
+				return false
+			}
+		}
+		k.AddClusterSum()
+		for j := 1; j <= c; j++ {
+			if err := k.AddColluder(j); err != nil {
+				return false
+			}
+		}
+		det, err := k.Determined(0)
+		return err == nil && !det
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

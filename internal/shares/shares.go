@@ -1,0 +1,107 @@
+// Package shares implements the CPDA-style additive secret-sharing algebra
+// used inside clusters: each member masks its private reading behind a
+// random polynomial evaluated at the members' public seeds, members exchange
+// encrypted shares, broadcast the assembled column sums in cleartext, and
+// anyone holding all assembled values recovers the cluster SUM — and only
+// the sum — by solving the Vandermonde system.
+//
+// For a cluster of m members with distinct non-zero public seeds x_1…x_m,
+// member i holding v_i draws random coefficients r_{i,1}…r_{i,m-1} and sends
+// member j the share
+//
+//	y_ij = v_i + r_{i,1}·x_j + … + r_{i,m-1}·x_j^{m-1}  (mod p).
+//
+// Member j assembles F_j = Σ_i y_ij = S + R_1·x_j + … + R_{m-1}·x_j^{m-1}
+// where S = Σ v_i. Solving V(x)·c = F yields c_0 = S.
+package shares
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+// MinClusterSize is the smallest cluster the algebra protects: with fewer
+// than 3 members the cluster sum itself reveals a member's reading to the
+// other member.
+const MinClusterSize = 3
+
+// Algebra fixes a cluster's public parameters: its ordered member seeds.
+type Algebra struct {
+	seeds []field.Element
+}
+
+// NewAlgebra validates the seeds (distinct, non-zero) and returns the
+// cluster algebra.
+func NewAlgebra(seeds []field.Element) (*Algebra, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("shares: need at least 2 seeds, got %d", len(seeds))
+	}
+	if err := field.CheckSeeds(seeds); err != nil {
+		return nil, fmt.Errorf("shares: %w", err)
+	}
+	return &Algebra{seeds: append([]field.Element(nil), seeds...)}, nil
+}
+
+// Size returns the cluster size m.
+func (a *Algebra) Size() int { return len(a.seeds) }
+
+// Seeds returns a copy of the public seeds.
+func (a *Algebra) Seeds() []field.Element {
+	return append([]field.Element(nil), a.seeds...)
+}
+
+// SeedFor derives a canonical public seed from a small non-negative
+// identifier (e.g. a node ID): id+1, guaranteed non-zero and distinct for
+// distinct ids below P-1.
+func SeedFor(id int) field.Element {
+	return field.New(uint64(id) + 1)
+}
+
+// Shares is the output of one member's share generation: Coeffs are the
+// member's private random coefficients (kept for the privacy analysis),
+// ForMember[j] is the share destined for the j-th member (by seed order).
+type Shares struct {
+	Coeffs    []field.Element
+	ForMember []field.Element
+}
+
+// Generate draws random coefficients and evaluates the masking polynomial
+// at every member seed. private is the member's reading embedded in the
+// field.
+func (a *Algebra) Generate(rng *rand.Rand, private field.Element) Shares {
+	m := a.Size()
+	coeffs := make([]field.Element, m)
+	coeffs[0] = private
+	for k := 1; k < m; k++ {
+		coeffs[k] = field.New(rng.Uint64())
+	}
+	out := Shares{Coeffs: coeffs[1:], ForMember: make([]field.Element, m)}
+	for j, x := range a.seeds {
+		out.ForMember[j] = field.EvalPoly(coeffs, x)
+	}
+	return out
+}
+
+// Assemble sums the shares one member received (its column sum F_j).
+func Assemble(received []field.Element) field.Element {
+	return field.Sum(received)
+}
+
+// RecoverSum solves the Vandermonde system from all assembled values and
+// returns the cluster sum (the constant coefficient).
+func (a *Algebra) RecoverSum(assembled []field.Element) (field.Element, error) {
+	if len(assembled) != a.Size() {
+		return 0, fmt.Errorf("shares: %d assembled values for cluster of %d", len(assembled), a.Size())
+	}
+	coeffs, err := field.SolveVandermonde(a.seeds, assembled)
+	if err != nil {
+		return 0, err
+	}
+	return coeffs[0], nil
+}
+
+// VerifyShareCount reports whether a cluster of m members can run the
+// protocol (m >= MinClusterSize).
+func Viable(m int) bool { return m >= MinClusterSize }

@@ -1,0 +1,133 @@
+package shares
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func algebraOf(t *testing.T, m int) *Algebra {
+	t.Helper()
+	seeds := make([]field.Element, m)
+	for i := range seeds {
+		seeds[i] = SeedFor(i)
+	}
+	a, err := NewAlgebra(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAlgebraValidation(t *testing.T) {
+	if _, err := NewAlgebra([]field.Element{1}); err == nil {
+		t.Error("single seed should fail")
+	}
+	if _, err := NewAlgebra([]field.Element{0, 1}); err == nil {
+		t.Error("zero seed should fail")
+	}
+	if _, err := NewAlgebra([]field.Element{2, 2}); err == nil {
+		t.Error("duplicate seeds should fail")
+	}
+}
+
+func TestSeedFor(t *testing.T) {
+	if SeedFor(0) != 1 {
+		t.Errorf("SeedFor(0) = %v", SeedFor(0))
+	}
+	if SeedFor(0) == SeedFor(1) {
+		t.Error("seeds must be distinct")
+	}
+}
+
+func TestSeedsCopied(t *testing.T) {
+	a := algebraOf(t, 3)
+	s := a.Seeds()
+	s[0] = 999
+	if a.Seeds()[0] == 999 {
+		t.Error("Seeds must return a copy")
+	}
+}
+
+// TestFullProtocolRecoversSum is the core correctness property of the whole
+// scheme: m members generate shares, exchange, assemble, and the recovered
+// constant term equals the true sum of the private inputs.
+func TestFullProtocolRecoversSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range []int{2, 3, 4, 5, 8} {
+		for trial := 0; trial < 20; trial++ {
+			a := algebraOf(t, m)
+			privates := make([]field.Element, m)
+			var want field.Element
+			for i := range privates {
+				privates[i] = field.New(uint64(rng.Intn(10000)))
+				want = want.Add(privates[i])
+			}
+			all := make([]Shares, m)
+			for i := range all {
+				all[i] = a.Generate(rng, privates[i])
+			}
+			assembled := make([]field.Element, m)
+			for j := 0; j < m; j++ {
+				col := make([]field.Element, m)
+				for i := 0; i < m; i++ {
+					col[i] = all[i].ForMember[j]
+				}
+				assembled[j] = Assemble(col)
+			}
+			got, err := a.RecoverSum(assembled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("m=%d trial=%d: sum = %v, want %v", m, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRecoverSumLengthMismatch(t *testing.T) {
+	a := algebraOf(t, 3)
+	if _, err := a.RecoverSum([]field.Element{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestSharesDifferPerRun(t *testing.T) {
+	a := algebraOf(t, 3)
+	rng := rand.New(rand.NewSource(1))
+	s1 := a.Generate(rng, 100)
+	s2 := a.Generate(rng, 100)
+	same := true
+	for j := range s1.ForMember {
+		if s1.ForMember[j] != s2.ForMember[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two generations of the same private value must mask differently")
+	}
+}
+
+func TestShareIsPolynomialEval(t *testing.T) {
+	a := algebraOf(t, 4)
+	rng := rand.New(rand.NewSource(2))
+	private := field.Element(777)
+	s := a.Generate(rng, private)
+	coeffs := append([]field.Element{private}, s.Coeffs...)
+	for j, x := range a.Seeds() {
+		if got := field.EvalPoly(coeffs, x); got != s.ForMember[j] {
+			t.Fatalf("share %d mismatch", j)
+		}
+	}
+}
+
+func TestViable(t *testing.T) {
+	if Viable(2) {
+		t.Error("2-member cluster is not viable")
+	}
+	if !Viable(3) {
+		t.Error("3-member cluster is viable")
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: whatever order events are scheduled in, they execute in
+// non-decreasing time order, and same-time events preserve scheduling order.
+func TestPropertyExecutionOrder(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type fired struct {
+			at  time.Duration
+			seq int
+		}
+		var got []fired
+		for i, d := range delaysRaw {
+			i := i
+			at := time.Duration(d) * time.Microsecond
+			e.At(at, func() { got = append(got, fired{at: e.Now(), seq: i}) })
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false // time order violated
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false // FIFO tie-break violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the clock after a drained run equals the latest scheduled time.
+func TestPropertyClockEndsAtLatestEvent(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		latest := time.Duration(0)
+		for _, d := range delaysRaw {
+			at := time.Duration(d) * time.Microsecond
+			if at > latest {
+				latest = at
+			}
+			e.At(at, func() {})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		return e.Now() == latest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of events fires exactly the
+// complement.
+func TestPropertyCancellationComplement(t *testing.T) {
+	f := func(delaysRaw []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		var fired []int
+		var timers []*Timer
+		for i, d := range delaysRaw {
+			i := i
+			timers = append(timers, e.At(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, i)
+			}))
+		}
+		want := make(map[int]bool)
+		for i := range delaysRaw {
+			want[i] = true
+		}
+		for i, cancel := range cancelMask {
+			if i < len(timers) && cancel {
+				timers[i].Cancel()
+				delete(want, i)
+			}
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		if len(fired) != len(want) {
+			return false
+		}
+		sort.Ints(fired)
+		for _, i := range fired {
+			if !want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(time.Second, func() {
+		e.After(500*time.Millisecond, func() { at = e.Now() })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1500*time.Millisecond {
+		t.Errorf("nested event at %v, want 1.5s", at)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event with negative delay should fire")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock = %v, want 0", e.Now())
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(time.Second, func() {
+		e.At(time.Millisecond, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Second {
+		t.Errorf("past event ran at %v, want clamped to 1s", at)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(time.Second, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel is fine
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	err := e.Run(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Errorf("processed %d events, want 2", count)
+	}
+}
+
+func TestHorizonPausesAndResumes(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for i := 1; i <= 4; i++ {
+		d := time.Duration(i) * time.Second
+		e.At(d, func() { got = append(got, d) })
+	}
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("after horizon 2s: %v", got)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want horizon", e.Now())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("after full run: %v", got)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var reschedule func()
+	reschedule = func() { e.After(time.Millisecond, reschedule) }
+	e.After(0, reschedule)
+	if err := e.Run(0); err == nil {
+		t.Fatal("runaway schedule should trip the event limit")
+	}
+	if e.Processed() != 11 {
+		t.Errorf("processed = %d, want 11 (limit+1 detected)", e.Processed())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Second, func() {})
+	e.At(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d", e.Pending())
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.Min != 5 || s.Max != 5 || s.Median != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Errorf("CI95 of single sample = %g, want 0", s.CI95())
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Mean, 5) {
+		t.Errorf("mean = %g, want 5", s.Mean)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.Std, want) {
+		t.Errorf("std = %g, want %g", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Errorf("median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("median = %g, want 5", s.Median)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip inputs whose sum overflows
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.99, -3, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	// Bins: [0,2) gets 0, 1.9 and clamped -3 => 3 samples.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[1] != 1 {
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	// Last bin gets 9.99 and clamped 15.
+	if h.Counts[4] != 2 {
+		t.Errorf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if !almostEqual(h.Fraction(0), 0.5) {
+		t.Errorf("fraction(0) = %g, want 0.5", h.Fraction(0))
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(10, 0, 3); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("fraction of empty histogram should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Add(200, 1.0)
+	s.Add(200, 3.0)
+	s.Add(100, 7.0)
+	xs := s.Xs()
+	if len(xs) != 2 || xs[0] != 100 || xs[1] != 200 {
+		t.Fatalf("Xs = %v", xs)
+	}
+	if got := s.At(200).Mean; got != 2.0 {
+		t.Errorf("At(200).Mean = %g, want 2", got)
+	}
+	if got := s.At(100).N; got != 1 {
+		t.Errorf("At(100).N = %d, want 1", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.At(999).N != 0 {
+		t.Error("missing x should summarize empty")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("String should be non-empty")
+	}
+}

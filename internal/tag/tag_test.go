@@ -1,0 +1,156 @@
+package tag
+
+import (
+	"testing"
+
+	"repro/internal/wsn"
+)
+
+func run(t *testing.T, nodes int, seed int64, ideal bool) (*wsn.Env, *Protocol) {
+	t.Helper()
+	cfg := wsn.DefaultConfig(nodes, seed)
+	cfg.Radio.Ideal = ideal
+	env, err := wsn.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(env, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, p
+}
+
+func TestNewValidation(t *testing.T) {
+	env, _ := run(t, 50, 1, true)
+	bad := []Config{
+		{FormationWindow: 0, EpochSlot: 1, MaxHops: 1},
+		{FormationWindow: 1, EpochSlot: 0, MaxHops: 1},
+		{FormationWindow: 1, EpochSlot: 1, MaxHops: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(env, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestIdealChannelExactAggregation(t *testing.T) {
+	// On an error-free channel with a connected topology, TAG must deliver
+	// the exact sum and count.
+	env, p := run(t, 400, 7, true)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment; seed-dependent")
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReportedSum != res.TrueSum {
+		t.Errorf("sum = %d, want %d", res.ReportedSum, res.TrueSum)
+	}
+	if res.ReportedCnt != res.TrueCount {
+		t.Errorf("count = %d, want %d", res.ReportedCnt, res.TrueCount)
+	}
+	if res.Accuracy() != 1.0 {
+		t.Errorf("accuracy = %g", res.Accuracy())
+	}
+	if res.Covered != int(res.TrueCount) {
+		t.Errorf("covered = %d", res.Covered)
+	}
+}
+
+func TestLossyChannelNearExact(t *testing.T) {
+	env, p := run(t, 400, 11, false)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lineage papers report TAG accuracy well above 0.9 at this density.
+	if acc := res.Accuracy(); acc < 0.85 || acc > 1.0 {
+		t.Errorf("accuracy = %g, want [0.85, 1.0]", acc)
+	}
+	if res.TxBytes == 0 || res.TxMessages == 0 {
+		t.Error("traffic not accounted")
+	}
+}
+
+func TestEachNodeSendsTwoMessages(t *testing.T) {
+	// The iPDA paper's overhead analysis: TAG sends one HELLO and one
+	// aggregate per node. Verify message count ≈ 2N on an ideal channel.
+	env, p := run(t, 300, 3, true)
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := res.Covered + 1 // plus base station's HELLO
+	want := 2*joined - 1      // base station sends HELLO but no aggregate
+	if res.AppMessages != want {
+		t.Errorf("app messages = %d, want %d (2 per joined node)", res.AppMessages, want)
+	}
+	if res.TxMessages <= res.AppMessages {
+		t.Error("total messages should include MAC ACKs")
+	}
+	_ = env
+}
+
+func TestSparseNetworkLosesCoverage(t *testing.T) {
+	env, p := run(t, 60, 5, true)
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := env.Net.ReachableCount(0) - 1
+	if res.Covered != reach {
+		t.Errorf("covered = %d, want reachable %d", res.Covered, reach)
+	}
+	if res.Covered >= int(res.TrueCount) {
+		t.Skip("sparse network unexpectedly connected")
+	}
+	if res.ReportedCnt > int64(res.Covered) {
+		t.Errorf("count %d exceeds covered %d", res.ReportedCnt, res.Covered)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, p1 := run(t, 200, 42, false)
+	r1, err := p1.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2 := run(t, 200, 42, false)
+	r2, err := p2.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReportedSum != r2.ReportedSum || r1.TxBytes != r2.TxBytes {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestCountQuery(t *testing.T) {
+	cfg := wsn.DefaultConfig(300, 9)
+	cfg.Radio.Ideal = true
+	cfg.ReadingMin, cfg.ReadingMax = 1, 1
+	env, err := wsn.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	p, err := New(env, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReportedSum != 299 {
+		t.Errorf("COUNT = %d, want 299", res.ReportedSum)
+	}
+}

@@ -1,0 +1,197 @@
+// Package topo builds and analyses the connectivity graph induced by a
+// sensor deployment: which nodes can hear which, node degrees, connected
+// components, and hop distances from the base station. The graph is static
+// per deployment — WSN topologies in this protocol family do not move.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node in a deployment. The base station is always
+// node 0 by convention of NewNetwork.
+type NodeID int
+
+// BaseStationID is the conventional ID of the base station.
+const BaseStationID NodeID = 0
+
+// Network is an immutable geometric radio graph over a deployment.
+type Network struct {
+	field     geom.Field
+	rng       float64 // radio range in meters
+	positions []geom.Point
+	neighbors [][]NodeID
+}
+
+// Config describes a deployment to build.
+type Config struct {
+	Field geom.Field
+	Range float64 // radio range, meters
+	Nodes int     // total nodes including the base station
+	Seed  int64
+
+	// BaseAtCenter places the base station at the field center (the
+	// lineage papers' setup). When false the base station is random
+	// like any other node.
+	BaseAtCenter bool
+
+	// Grid switches to jittered-grid deployment (smart-meter scenario).
+	Grid bool
+	// GridJitter is the per-axis jitter for grid deployment, meters.
+	GridJitter float64
+}
+
+// NewNetwork deploys Config.Nodes nodes (node 0 is the base station) and
+// precomputes neighbour tables.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Range <= 0 {
+		return nil, fmt.Errorf("topo: radio range must be positive, got %g", cfg.Range)
+	}
+	if cfg.Field.Area() <= 0 {
+		return nil, fmt.Errorf("topo: field must have positive area")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pts []geom.Point
+	if cfg.Grid {
+		pts = geom.GridDeploy(rng, cfg.Field, cfg.Nodes, cfg.GridJitter)
+	} else {
+		pts = geom.UniformDeploy(rng, cfg.Field, cfg.Nodes)
+	}
+	if cfg.BaseAtCenter {
+		pts[0] = cfg.Field.Center()
+	}
+	n := &Network{field: cfg.Field, rng: cfg.Range, positions: pts}
+	n.buildNeighbors()
+	return n, nil
+}
+
+// buildNeighbors fills the adjacency lists with a simple grid-bucketed
+// range query (O(n) buckets, near-linear for uniform deployments).
+func (n *Network) buildNeighbors() {
+	count := len(n.positions)
+	n.neighbors = make([][]NodeID, count)
+	cell := n.rng
+	cols := int(math.Ceil(n.field.Width/cell)) + 1
+	rows := int(math.Ceil(n.field.Height/cell)) + 1
+	buckets := make([][]NodeID, cols*rows)
+	bucketOf := func(p geom.Point) (int, int) {
+		c := int(p.X / cell)
+		r := int(p.Y / cell)
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return c, r
+	}
+	for i, p := range n.positions {
+		c, r := bucketOf(p)
+		buckets[r*cols+c] = append(buckets[r*cols+c], NodeID(i))
+	}
+	for i, p := range n.positions {
+		c, r := bucketOf(p)
+		for dr := -1; dr <= 1; dr++ {
+			for dc := -1; dc <= 1; dc++ {
+				nc, nr := c+dc, r+dr
+				if nc < 0 || nc >= cols || nr < 0 || nr >= rows {
+					continue
+				}
+				for _, j := range buckets[nr*cols+nc] {
+					if int(j) == i {
+						continue
+					}
+					if p.InRange(n.positions[j], n.rng) {
+						n.neighbors[i] = append(n.neighbors[i], j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Size returns the number of nodes, including the base station.
+func (n *Network) Size() int { return len(n.positions) }
+
+// Range returns the radio range in meters.
+func (n *Network) Range() float64 { return n.rng }
+
+// Field returns the deployment field.
+func (n *Network) Field() geom.Field { return n.field }
+
+// Position returns node id's location.
+func (n *Network) Position(id NodeID) geom.Point { return n.positions[id] }
+
+// Neighbors returns the one-hop neighbours of id. The returned slice is
+// owned by the network; callers must not mutate it.
+func (n *Network) Neighbors(id NodeID) []NodeID { return n.neighbors[id] }
+
+// Degree returns the number of one-hop neighbours of id.
+func (n *Network) Degree(id NodeID) int { return len(n.neighbors[id]) }
+
+// AverageDegree returns the mean node degree.
+func (n *Network) AverageDegree() float64 {
+	if len(n.positions) == 0 {
+		return 0
+	}
+	total := 0
+	for _, nbrs := range n.neighbors {
+		total += len(nbrs)
+	}
+	return float64(total) / float64(len(n.positions))
+}
+
+// InRange reports whether a and b can hear each other.
+func (n *Network) InRange(a, b NodeID) bool {
+	return a != b && n.positions[a].InRange(n.positions[b], n.rng)
+}
+
+// HopDistances returns the BFS hop count from root to every node;
+// unreachable nodes get -1.
+func (n *Network) HopDistances(root NodeID) []int {
+	dist := make([]int, len(n.positions))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.neighbors[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every node can reach the base station.
+func (n *Network) Connected() bool {
+	for _, d := range n.HopDistances(BaseStationID) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachableCount returns how many nodes (including root) can reach root.
+func (n *Network) ReachableCount(root NodeID) int {
+	count := 0
+	for _, d := range n.HopDistances(root) {
+		if d >= 0 {
+			count++
+		}
+	}
+	return count
+}

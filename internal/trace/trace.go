@@ -1,0 +1,150 @@
+// Package trace provides a bounded, structured event log for protocol
+// debugging: simulations record what each node did and when (virtual time),
+// a ring buffer bounds memory, and dumps can be filtered by node or
+// category. Tracing is optional — a nil *Tracer is a no-op everywhere —
+// so the hot path pays one nil check when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// Event is one recorded protocol action.
+type Event struct {
+	At       time.Duration // virtual time
+	Node     topo.NodeID
+	Category string // e.g. "election", "join", "solve", "witness"
+	Detail   string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v node=%-4d %-10s %s", e.At, e.Node, e.Category, e.Detail)
+}
+
+// Tracer is a fixed-capacity ring buffer of events.
+type Tracer struct {
+	buf     []Event
+	next    int
+	total   int
+	dropped int
+}
+
+// New returns a tracer holding up to capacity events (older ones are
+// evicted). Capacity below 1 is clamped to 1.
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event. Nil tracers are valid no-ops.
+func (t *Tracer) Record(at time.Duration, node topo.NodeID, category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: at, Node: node, Category: category, Detail: fmt.Sprintf(format, args...)}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % cap(t.buf)
+		t.dropped++
+	}
+	t.total++
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (t *Tracer) Total() int {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Filter describes what Dump writes; zero value means everything.
+type Filter struct {
+	Node     topo.NodeID // match this node only; -1 or 0 value via Any
+	AnyNode  bool
+	Category string // match this category only; empty = all
+}
+
+// AllEvents is the match-everything filter.
+func AllEvents() Filter { return Filter{AnyNode: true} }
+
+// NodeEvents filters to one node.
+func NodeEvents(id topo.NodeID) Filter { return Filter{Node: id} }
+
+// CategoryEvents filters to one category.
+func CategoryEvents(cat string) Filter { return Filter{AnyNode: true, Category: cat} }
+
+func (f Filter) match(e Event) bool {
+	if !f.AnyNode && e.Node != f.Node {
+		return false
+	}
+	if f.Category != "" && e.Category != f.Category {
+		return false
+	}
+	return true
+}
+
+// Dump writes the matching retained events, one per line, plus a summary
+// footer when events were evicted.
+func (t *Tracer) Dump(w io.Writer, f Filter) error {
+	if t == nil {
+		return nil
+	}
+	var b strings.Builder
+	matched := 0
+	for _, e := range t.Events() {
+		if !f.match(e) {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+		matched++
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, "-- %d earlier events evicted (capacity %d)\n", t.dropped, cap(t.buf))
+	}
+	fmt.Fprintf(&b, "-- %d events matched of %d retained\n", matched, len(t.buf))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Counts returns per-category event counts over retained events.
+func (t *Tracer) Counts() map[string]int {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, e := range t.buf {
+		out[e.Category]++
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(time.Second, 1, "x", "y") // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Error("nil tracer should report zero")
+	}
+	if tr.Events() != nil {
+		t.Error("nil tracer events should be nil")
+	}
+	if err := tr.Dump(&strings.Builder{}, AllEvents()); err != nil {
+		t.Error(err)
+	}
+	if tr.Counts() != nil {
+		t.Error("nil tracer counts should be nil")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New(10)
+	tr.Record(time.Second, 3, "election", "became head pc=%.2f", 0.25)
+	tr.Record(2*time.Second, 4, "join", "joined %d", 3)
+	if tr.Len() != 2 || tr.Total() != 2 {
+		t.Fatalf("len=%d total=%d", tr.Len(), tr.Total())
+	}
+	evs := tr.Events()
+	if evs[0].Category != "election" || evs[1].Node != 4 {
+		t.Errorf("events = %+v", evs)
+	}
+	if !strings.Contains(evs[0].Detail, "0.25") {
+		t.Errorf("formatting lost: %q", evs[0].Detail)
+	}
+	if !strings.Contains(evs[0].String(), "election") {
+		t.Errorf("String = %q", evs[0].String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(time.Duration(i)*time.Second, 1, "c", "%d", i)
+	}
+	if tr.Len() != 3 || tr.Total() != 5 {
+		t.Fatalf("len=%d total=%d", tr.Len(), tr.Total())
+	}
+	evs := tr.Events()
+	// Oldest two evicted; order preserved.
+	if evs[0].Detail != "2" || evs[2].Detail != "4" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	tr := New(0)
+	tr.Record(0, 1, "a", "x")
+	tr.Record(0, 1, "a", "y")
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestDumpFilters(t *testing.T) {
+	tr := New(10)
+	tr.Record(0, 1, "election", "a")
+	tr.Record(0, 2, "join", "b")
+	tr.Record(0, 1, "join", "c")
+
+	var all strings.Builder
+	if err := tr.Dump(&all, AllEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(all.String(), "3 events matched") {
+		t.Errorf("all dump:\n%s", all.String())
+	}
+
+	var node1 strings.Builder
+	if err := tr.Dump(&node1, NodeEvents(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(node1.String(), "2 events matched") {
+		t.Errorf("node dump:\n%s", node1.String())
+	}
+
+	var joins strings.Builder
+	if err := tr.Dump(&joins, CategoryEvents("join")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joins.String(), "2 events matched") {
+		t.Errorf("category dump:\n%s", joins.String())
+	}
+}
+
+func TestDumpMentionsEviction(t *testing.T) {
+	tr := New(1)
+	tr.Record(0, 1, "a", "x")
+	tr.Record(0, 1, "a", "y")
+	var b strings.Builder
+	if err := tr.Dump(&b, AllEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "evicted") {
+		t.Errorf("dump:\n%s", b.String())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := New(10)
+	tr.Record(0, 1, "a", "")
+	tr.Record(0, 1, "a", "")
+	tr.Record(0, 1, "b", "")
+	c := tr.Counts()
+	if c["a"] != 2 || c["b"] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}

@@ -1,0 +1,243 @@
+// Package wsn assembles the full simulation substrate — topology, event
+// engine, radio, MAC, key scheme, sensor readings — into one Env that the
+// protocol implementations (tag, ipda, core) run on. One Env is one
+// deployment; protocols may run multiple rounds on it.
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wsncrypto"
+)
+
+// KeySchemeKind selects the key-management substitution.
+type KeySchemeKind int
+
+// Key scheme choices.
+const (
+	KeyPairwise KeySchemeKind = iota + 1
+	KeyEG
+)
+
+// Config describes a deployment plus substrate parameters. Zero values get
+// the lineage papers' defaults from DefaultConfig.
+type Config struct {
+	Nodes        int     // total nodes including the base station
+	FieldSize    float64 // square side, meters
+	Range        float64 // radio range, meters
+	Seed         int64
+	Grid         bool // jittered-grid deployment (smart metering)
+	BaseAtCenter bool
+
+	Radio radio.Config
+	MAC   mac.Config
+
+	KeyScheme  KeySchemeKind
+	EGPoolSize int // pool size for KeyEG
+	EGRingSize int // ring size for KeyEG
+
+	// Readings are drawn uniformly in [ReadingMin, ReadingMax]. Set both
+	// to 1 for COUNT queries.
+	ReadingMin int64
+	ReadingMax int64
+
+	// EventLimit is the runaway-schedule safety valve.
+	EventLimit uint64
+}
+
+// DefaultConfig returns the papers' standard setup: 400 m × 400 m field,
+// 50 m range, 1 Mbps, base station at the center, pairwise keys, readings
+// in [10, 100].
+func DefaultConfig(nodes int, seed int64) Config {
+	return Config{
+		Nodes:        nodes,
+		FieldSize:    400,
+		Range:        50,
+		Seed:         seed,
+		BaseAtCenter: true,
+		Radio:        radio.DefaultConfig(),
+		MAC:          mac.DefaultConfig(),
+		KeyScheme:    KeyPairwise,
+		ReadingMin:   10,
+		ReadingMax:   100,
+		EventLimit:   50_000_000,
+	}
+}
+
+// Env is one fully wired deployment.
+type Env struct {
+	Cfg      Config
+	Eng      *sim.Engine
+	Net      *topo.Network
+	Rec      *metrics.Recorder
+	Medium   *radio.Medium
+	MAC      *mac.Layer
+	Rng      *rand.Rand
+	Keys     wsncrypto.KeyScheme
+	Readings []int64 // per node; index 0 (base station) is always 0
+
+	// Trace, when non-nil, records protocol events (see internal/trace).
+	Trace *trace.Tracer
+
+	sealers map[[2]topo.NodeID]*wsncrypto.Sealer
+}
+
+// Tracef records a protocol event at the current virtual time. Safe to call
+// with tracing disabled.
+func (e *Env) Tracef(node topo.NodeID, category, format string, args ...any) {
+	e.Trace.Record(e.Eng.Now(), node, category, format, args...)
+}
+
+// NewEnv builds the substrate.
+func NewEnv(cfg Config) (*Env, error) {
+	if cfg.FieldSize <= 0 || cfg.Range <= 0 {
+		return nil, fmt.Errorf("wsn: field %g / range %g must be positive", cfg.FieldSize, cfg.Range)
+	}
+	if cfg.ReadingMin > cfg.ReadingMax {
+		return nil, fmt.Errorf("wsn: reading range [%d, %d] inverted", cfg.ReadingMin, cfg.ReadingMax)
+	}
+	net, err := topo.NewNetwork(topo.Config{
+		Field:        geom.Field{Width: cfg.FieldSize, Height: cfg.FieldSize},
+		Range:        cfg.Range,
+		Nodes:        cfg.Nodes,
+		Seed:         cfg.Seed,
+		BaseAtCenter: cfg.BaseAtCenter,
+		Grid:         cfg.Grid,
+		GridJitter:   cfg.Range / 10,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wsn: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	eng := sim.NewEngine()
+	if cfg.EventLimit > 0 {
+		eng.SetEventLimit(cfg.EventLimit)
+	}
+	rec := metrics.NewRecorder()
+	medium, err := radio.NewMedium(eng, net, rec, cfg.Radio)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: %w", err)
+	}
+	if cfg.Radio.Fading {
+		medium.SetFadingSource(rng)
+	}
+	layer, err := mac.NewLayer(eng, medium, cfg.Nodes, rng, cfg.MAC)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: %w", err)
+	}
+	var keys wsncrypto.KeyScheme
+	switch cfg.KeyScheme {
+	case KeyPairwise:
+		keys = wsncrypto.NewPairwiseScheme([]byte(fmt.Sprintf("master-%d", cfg.Seed)))
+	case KeyEG:
+		keys, err = wsncrypto.NewEGScheme(rng, cfg.Nodes, cfg.EGPoolSize, cfg.EGRingSize)
+		if err != nil {
+			return nil, fmt.Errorf("wsn: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("wsn: unknown key scheme %d", cfg.KeyScheme)
+	}
+	readings := make([]int64, cfg.Nodes)
+	span := cfg.ReadingMax - cfg.ReadingMin
+	for i := 1; i < cfg.Nodes; i++ {
+		readings[i] = cfg.ReadingMin
+		if span > 0 {
+			readings[i] += rng.Int63n(span + 1)
+		}
+	}
+	return &Env{
+		Cfg:      cfg,
+		Eng:      eng,
+		Net:      net,
+		Rec:      rec,
+		Medium:   medium,
+		MAC:      layer,
+		Rng:      rng,
+		Keys:     keys,
+		Readings: readings,
+		sealers:  make(map[[2]topo.NodeID]*wsncrypto.Sealer),
+	}, nil
+}
+
+// ResampleReadings draws fresh sensor readings from the configured range,
+// modelling the next measurement epoch on the same deployment.
+func (e *Env) ResampleReadings() {
+	span := e.Cfg.ReadingMax - e.Cfg.ReadingMin
+	for i := 1; i < e.Cfg.Nodes; i++ {
+		e.Readings[i] = e.Cfg.ReadingMin
+		if span > 0 {
+			e.Readings[i] += e.Rng.Int63n(span + 1)
+		}
+	}
+}
+
+// TrueSum is the ground-truth sum over every deployed sensor (excluding the
+// base station, which has no reading).
+func (e *Env) TrueSum() int64 {
+	var s int64
+	for _, r := range e.Readings {
+		s += r
+	}
+	return s
+}
+
+// TrueCount is the number of sensor nodes (excluding the base station).
+func (e *Env) TrueCount() int64 { return int64(e.Cfg.Nodes - 1) }
+
+// ReadingElement returns node id's reading embedded in the field.
+func (e *Env) ReadingElement(id topo.NodeID) field.Element {
+	return field.FromInt(e.Readings[id])
+}
+
+// sealerFor returns the directional sealer a uses to talk to b, or nil when
+// the key scheme gives the pair no shared key.
+func (e *Env) sealerFor(a, b topo.NodeID) (*wsncrypto.Sealer, error) {
+	k := [2]topo.NodeID{a, b}
+	if s, ok := e.sealers[k]; ok {
+		return s, nil
+	}
+	key, ok := e.Keys.LinkKey(a, b)
+	if !ok {
+		return nil, fmt.Errorf("wsn: no link key for %d<->%d", a, b)
+	}
+	s, err := wsncrypto.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	e.sealers[k] = s
+	return s, nil
+}
+
+// Seal encrypts a payload from a to b. Returns an error when the key scheme
+// leaves the pair keyless (possible under EG predistribution).
+func (e *Env) Seal(a, b topo.NodeID, plaintext []byte) ([]byte, error) {
+	s, err := e.sealerFor(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return s.Seal(plaintext), nil
+}
+
+// Open decrypts a payload sent from a to b.
+func (e *Env) Open(a, b topo.NodeID, envelope []byte) ([]byte, error) {
+	s, err := e.sealerFor(b, a) // same symmetric key; the sealer cache is directional only for nonces
+	if err != nil {
+		return nil, err
+	}
+	return s.Open(envelope)
+}
+
+// HasLinkKey reports whether a and b share a key.
+func (e *Env) HasLinkKey(a, b topo.NodeID) bool {
+	_, ok := e.Keys.LinkKey(a, b)
+	return ok
+}

@@ -1,0 +1,192 @@
+package wsn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestDefaultConfigShape(t *testing.T) {
+	cfg := DefaultConfig(400, 7)
+	if cfg.Nodes != 400 || cfg.Seed != 7 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.FieldSize != 400 || cfg.Range != 50 {
+		t.Errorf("field/range = %g/%g", cfg.FieldSize, cfg.Range)
+	}
+	if cfg.KeyScheme != KeyPairwise {
+		t.Error("default key scheme should be pairwise")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	bad := DefaultConfig(100, 1)
+	bad.FieldSize = 0
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("zero field should fail")
+	}
+	bad = DefaultConfig(100, 1)
+	bad.ReadingMin, bad.ReadingMax = 10, 5
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("inverted reading range should fail")
+	}
+	bad = DefaultConfig(100, 1)
+	bad.KeyScheme = 0
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("unknown key scheme should fail")
+	}
+	bad = DefaultConfig(100, 1)
+	bad.KeyScheme = KeyEG // missing pool/ring
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("EG without sizes should fail")
+	}
+}
+
+func TestReadingsGroundTruth(t *testing.T) {
+	cfg := DefaultConfig(50, 3)
+	cfg.ReadingMin, cfg.ReadingMax = 10, 100
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Readings[0] != 0 {
+		t.Error("base station must have no reading")
+	}
+	var sum int64
+	for i := 1; i < 50; i++ {
+		r := env.Readings[i]
+		if r < 10 || r > 100 {
+			t.Fatalf("reading %d out of range: %d", i, r)
+		}
+		sum += r
+	}
+	if env.TrueSum() != sum {
+		t.Errorf("TrueSum = %d, want %d", env.TrueSum(), sum)
+	}
+	if env.TrueCount() != 49 {
+		t.Errorf("TrueCount = %d", env.TrueCount())
+	}
+}
+
+func TestCountReadings(t *testing.T) {
+	cfg := DefaultConfig(30, 1)
+	cfg.ReadingMin, cfg.ReadingMax = 1, 1
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.TrueSum() != 29 {
+		t.Errorf("COUNT TrueSum = %d", env.TrueSum())
+	}
+	if env.ReadingElement(5) != 1 {
+		t.Errorf("ReadingElement = %v", env.ReadingElement(5))
+	}
+}
+
+func TestSealOpenAcrossEnv(t *testing.T) {
+	env, err := NewEnv(DefaultConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("share bytes")
+	ct, err := env.Seal(3, 7, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.Open(3, 7, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Errorf("round trip = %q", got)
+	}
+	// Opening with swapped roles must fail (different sealer state is fine,
+	// but a different pair is a different key).
+	if _, err := env.Open(3, 8, ct); err == nil {
+		t.Error("wrong pair must not decrypt")
+	}
+	if !env.HasLinkKey(3, 7) {
+		t.Error("pairwise scheme always has link keys")
+	}
+}
+
+func TestEGEnvKeylessPairs(t *testing.T) {
+	cfg := DefaultConfig(40, 9)
+	cfg.KeyScheme = KeyEG
+	cfg.EGPoolSize = 10000
+	cfg.EGRingSize = 5
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyless := 0
+	for a := 1; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			if !env.HasLinkKey(topoNode(a), topoNode(b)) {
+				keyless++
+			}
+		}
+	}
+	if keyless == 0 {
+		t.Error("tiny rings over a huge pool should leave keyless pairs")
+	}
+	// Sealing over a keyless pair errors instead of panicking.
+	for a := 1; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			if !env.HasLinkKey(topoNode(a), topoNode(b)) {
+				if _, err := env.Seal(topoNode(a), topoNode(b), []byte("x")); err == nil {
+					t.Fatal("keyless Seal should error")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestDeterministicEnv(t *testing.T) {
+	a, err := NewEnv(DefaultConfig(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEnv(DefaultConfig(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Readings {
+		if a.Readings[i] != b.Readings[i] {
+			t.Fatalf("readings differ at %d", i)
+		}
+	}
+}
+
+func topoNode(i int) topo.NodeID { return topo.NodeID(i) }
+
+func TestResampleReadings(t *testing.T) {
+	env, err := NewEnv(DefaultConfig(80, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.TrueSum()
+	env.ResampleReadings()
+	after := env.TrueSum()
+	if before == after {
+		t.Error("readings did not change (possible but wildly improbable)")
+	}
+	if env.Readings[0] != 0 {
+		t.Error("base station gained a reading")
+	}
+	for i := 1; i < 80; i++ {
+		if r := env.Readings[i]; r < 10 || r > 100 {
+			t.Fatalf("resampled reading %d out of range: %d", i, r)
+		}
+	}
+}
+
+func TestTracefNilSafe(t *testing.T) {
+	env, err := NewEnv(DefaultConfig(10, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Tracef(1, "cat", "detail %d", 5) // Trace nil: must not panic
+}

@@ -1,0 +1,82 @@
+package wsncrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Envelope framing:
+//
+//	nonce  8 bytes (sender counter, unique per key per direction)
+//	ct     len(plaintext) bytes (AES-256-CTR)
+//	tag    8 bytes (HMAC-SHA256 truncated)
+//
+// Overhead is the extra bytes an encrypted payload carries on the air.
+const (
+	nonceSize = 8
+	tagSize   = 8
+	// Overhead is nonceSize + tagSize.
+	Overhead = nonceSize + tagSize
+)
+
+// ErrAuth reports a failed authentication tag check.
+var ErrAuth = errors.New("wsncrypto: authentication failed")
+
+// Sealer encrypts and authenticates payloads under one link key, keeping a
+// monotonic nonce counter. One Sealer per (sender, key) pair.
+type Sealer struct {
+	block   cipher.Block
+	macKey  []byte
+	counter uint64
+}
+
+// NewSealer builds a Sealer from a link key of at least 32 bytes.
+func NewSealer(key []byte) (*Sealer, error) {
+	if len(key) < 32 {
+		return nil, fmt.Errorf("wsncrypto: key too short: %d bytes", len(key))
+	}
+	block, err := aes.NewCipher(key[:32])
+	if err != nil {
+		return nil, fmt.Errorf("wsncrypto: %w", err)
+	}
+	mk := sha256.Sum256(append([]byte("mac:"), key[:32]...))
+	return &Sealer{block: block, macKey: mk[:]}, nil
+}
+
+// Seal encrypts plaintext, returning nonce || ciphertext || tag.
+func (s *Sealer) Seal(plaintext []byte) []byte {
+	s.counter++
+	out := make([]byte, nonceSize+len(plaintext)+tagSize)
+	binary.BigEndian.PutUint64(out, s.counter)
+	var iv [aes.BlockSize]byte
+	copy(iv[:], out[:nonceSize])
+	cipher.NewCTR(s.block, iv[:]).XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, s.macKey)
+	mac.Write(out[:nonceSize+len(plaintext)])
+	copy(out[nonceSize+len(plaintext):], mac.Sum(nil)[:tagSize])
+	return out
+}
+
+// Open verifies and decrypts an envelope produced by Seal under the same key.
+func (s *Sealer) Open(envelope []byte) ([]byte, error) {
+	if len(envelope) < Overhead {
+		return nil, fmt.Errorf("wsncrypto: envelope too short: %d", len(envelope))
+	}
+	body := envelope[:len(envelope)-tagSize]
+	mac := hmac.New(sha256.New, s.macKey)
+	mac.Write(body)
+	want := mac.Sum(nil)[:tagSize]
+	if !hmac.Equal(want, envelope[len(envelope)-tagSize:]) {
+		return nil, ErrAuth
+	}
+	var iv [aes.BlockSize]byte
+	copy(iv[:], envelope[:nonceSize])
+	pt := make([]byte, len(body)-nonceSize)
+	cipher.NewCTR(s.block, iv[:]).XORKeyStream(pt, body[nonceSize:])
+	return pt, nil
+}

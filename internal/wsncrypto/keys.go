@@ -1,0 +1,187 @@
+// Package wsncrypto provides the link-level cryptography the aggregation
+// protocols assume: per-link symmetric keys under two key-management
+// schemes (ideal pairwise keys and Eschenauer–Gligor random key
+// predistribution), and an AES-CTR + HMAC-SHA256 sealed envelope for
+// first-hop shares and slices.
+//
+// The protocols only need (a) the byte overhead an encrypted payload adds
+// on the air, and (b) the key-sharing structure that determines which third
+// parties can read a link (the privacy analysis in the evaluation). Both
+// are modelled faithfully; key establishment handshakes are out of scope,
+// as in the lineage papers.
+package wsncrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// KeyScheme exposes the key-sharing structure of a network.
+type KeyScheme interface {
+	// LinkKey returns the symmetric key protecting the a<->b link and
+	// whether one exists. Keys are symmetric in (a, b).
+	LinkKey(a, b topo.NodeID) ([]byte, bool)
+	// ThirdPartyCanRead reports whether the observer node holds key
+	// material sufficient to decrypt traffic on the a<->b link. Always
+	// false for pairwise keys; possible under random predistribution.
+	ThirdPartyCanRead(observer, a, b topo.NodeID) bool
+	// Name labels the scheme in experiment output.
+	Name() string
+}
+
+// PairwiseScheme derives a unique key per node pair from a master secret —
+// the idealised key distribution in which no third party ever shares a
+// link key.
+type PairwiseScheme struct {
+	master []byte
+}
+
+var _ KeyScheme = (*PairwiseScheme)(nil)
+
+// NewPairwiseScheme builds the scheme from a master secret.
+func NewPairwiseScheme(master []byte) *PairwiseScheme {
+	m := append([]byte(nil), master...)
+	return &PairwiseScheme{master: m}
+}
+
+// LinkKey derives HMAC(master, sort(a,b)).
+func (s *PairwiseScheme) LinkKey(a, b topo.NodeID) ([]byte, bool) {
+	if a == b {
+		return nil, false
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	mac := hmac.New(sha256.New, s.master)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(int32(lo)))
+	binary.BigEndian.PutUint32(buf[4:], uint32(int32(hi)))
+	mac.Write(buf[:])
+	return mac.Sum(nil), true
+}
+
+// ThirdPartyCanRead is always false: pairwise keys are never shared.
+func (s *PairwiseScheme) ThirdPartyCanRead(observer, a, b topo.NodeID) bool {
+	return false
+}
+
+// Name implements KeyScheme.
+func (s *PairwiseScheme) Name() string { return "pairwise" }
+
+// EGScheme is Eschenauer–Gligor random key predistribution: a global pool
+// of PoolSize keys, each node preloaded with a ring of RingSize random
+// pool keys. Two nodes can talk securely iff their rings intersect; they
+// use the smallest-index common key, which other ring-holders of that key
+// can also read.
+type EGScheme struct {
+	poolSize int
+	ringSize int
+	rings    []map[int]struct{} // per node: set of pool key indices
+	poolKeys [][]byte
+}
+
+var _ KeyScheme = (*EGScheme)(nil)
+
+// NewEGScheme draws rings for n nodes with the given pool and ring sizes.
+func NewEGScheme(rng *rand.Rand, n, poolSize, ringSize int) (*EGScheme, error) {
+	if poolSize <= 0 || ringSize <= 0 || ringSize > poolSize {
+		return nil, fmt.Errorf("wsncrypto: invalid EG sizes pool=%d ring=%d", poolSize, ringSize)
+	}
+	s := &EGScheme{
+		poolSize: poolSize,
+		ringSize: ringSize,
+		rings:    make([]map[int]struct{}, n),
+		poolKeys: make([][]byte, poolSize),
+	}
+	for i := range s.poolKeys {
+		k := make([]byte, 32)
+		for j := range k {
+			k[j] = byte(rng.Intn(256))
+		}
+		s.poolKeys[i] = k
+	}
+	for i := range s.rings {
+		ring := make(map[int]struct{}, ringSize)
+		for len(ring) < ringSize {
+			ring[rng.Intn(poolSize)] = struct{}{}
+		}
+		s.rings[i] = ring
+	}
+	return s, nil
+}
+
+// sharedKeyIndex returns the smallest pool index common to both rings,
+// or -1 when the rings are disjoint.
+func (s *EGScheme) sharedKeyIndex(a, b topo.NodeID) int {
+	ra, rb := s.rings[a], s.rings[b]
+	if len(rb) < len(ra) {
+		ra, rb = rb, ra
+	}
+	candidates := make([]int, 0, len(ra))
+	for idx := range ra {
+		if _, ok := rb[idx]; ok {
+			candidates = append(candidates, idx)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	sort.Ints(candidates)
+	return candidates[0]
+}
+
+// LinkKey implements KeyScheme.
+func (s *EGScheme) LinkKey(a, b topo.NodeID) ([]byte, bool) {
+	if a == b {
+		return nil, false
+	}
+	idx := s.sharedKeyIndex(a, b)
+	if idx < 0 {
+		return nil, false
+	}
+	return s.poolKeys[idx], true
+}
+
+// ThirdPartyCanRead implements KeyScheme: true iff the observer's ring
+// contains the key index a and b use.
+func (s *EGScheme) ThirdPartyCanRead(observer, a, b topo.NodeID) bool {
+	if observer == a || observer == b {
+		return true
+	}
+	idx := s.sharedKeyIndex(a, b)
+	if idx < 0 {
+		return false
+	}
+	_, ok := s.rings[observer][idx]
+	return ok
+}
+
+// Name implements KeyScheme.
+func (s *EGScheme) Name() string { return "eg-predistribution" }
+
+// Connectivity returns the fraction of node pairs that share at least one
+// key — the EG scheme's key-graph connectivity, used to size pool/ring
+// parameters in experiments.
+func (s *EGScheme) Connectivity() float64 {
+	n := len(s.rings)
+	if n < 2 {
+		return 0
+	}
+	pairs, connected := 0, 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs++
+			if s.sharedKeyIndex(topo.NodeID(a), topo.NodeID(b)) >= 0 {
+				connected++
+			}
+		}
+	}
+	return float64(connected) / float64(pairs)
+}

@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+)
+
+// PrivacyScenario describes a cluster round attacked by a passive
+// eavesdropper and optional colluding members (see EXPERIMENTS.md F4/F8).
+type PrivacyScenario struct {
+	ClusterSize int     // m >= 3
+	Px          float64 // per-link compromise probability
+	Colluders   int     // colluding members, 0 <= c < m
+}
+
+// DisclosureProbability Monte-Carlo estimates the probability that an
+// honest member's reading is uniquely determined by everything the
+// adversary learns in one cluster round. Disclosure is decided by exact
+// linear algebra over GF(p), not by heuristics.
+func DisclosureProbability(s PrivacyScenario, trials int, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p, err := attack.DisclosureProbability(rng, attack.ClusterScenario{
+		M:         s.ClusterSize,
+		Px:        s.Px,
+		Colluders: s.Colluders,
+	}, trials)
+	if err != nil {
+		return 0, fmt.Errorf("repro: %w", err)
+	}
+	return p, nil
+}
+
+// DisclosureClosedForm returns the analytical approximation px^(2(m-1)) for
+// the cluster scheme (the eavesdropper must break all of a victim's
+// outgoing and incoming share links).
+func DisclosureClosedForm(px float64, clusterSize int) float64 {
+	return attack.ClusterDisclosureClosedForm(px, clusterSize)
+}
+
+// IPDADisclosureClosedForm returns the iPDA comparator's published privacy
+// capacity for l slices and expected incoming link count nl.
+func IPDADisclosureClosedForm(px float64, slices int, incomingLinks float64) float64 {
+	return attack.IPDADisclosure(px, slices, incomingLinks)
+}

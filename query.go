@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/aggfunc"
+	"repro/internal/core"
+)
+
+// QueryKind enumerates the statistics queries the protocol answers by
+// reduction to additive aggregation (the paper's mean/count/variance
+// construction plus bucketised MIN/MAX).
+type QueryKind int
+
+// Supported query kinds.
+const (
+	QuerySum QueryKind = iota + 1
+	QueryCount
+	QueryAverage
+	QueryVariance
+	QueryStdDev
+	QueryMin
+	QueryMax
+)
+
+func (k QueryKind) internal() (aggfunc.Kind, error) {
+	switch k {
+	case QuerySum:
+		return aggfunc.Sum, nil
+	case QueryCount:
+		return aggfunc.Count, nil
+	case QueryAverage:
+		return aggfunc.Average, nil
+	case QueryVariance:
+		return aggfunc.Variance, nil
+	case QueryStdDev:
+		return aggfunc.StdDev, nil
+	case QueryMin:
+		return aggfunc.Min, nil
+	case QueryMax:
+		return aggfunc.Max, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown query kind %d", k)
+	}
+}
+
+// QueryAnswer is the base station's answer to a statistics query.
+type QueryAnswer struct {
+	Value    float64 // aggregated answer
+	Truth    float64 // ground truth over all deployed sensors
+	Rounds   int     // aggregation rounds spent (one per additive component)
+	Accepted bool    // false if any round tripped the integrity check
+}
+
+// RunQuery answers a statistics query with the cluster-based protocol: the
+// query compiles to additive components that travel together as one vector
+// through a single aggregation round, so every component is computed over
+// exactly the same participant population. Individual readings stay
+// protected by the share algebra throughout.
+func (d *Deployment) RunQuery(kind QueryKind, o ClusterOptions) (QueryAnswer, error) {
+	ik, err := kind.internal()
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	p, err := core.New(d.env, o.config())
+	if err != nil {
+		return QueryAnswer{}, fmt.Errorf("repro: %w", err)
+	}
+	q := aggfunc.Query{
+		Kind:       ik,
+		ReadingMin: d.env.Cfg.ReadingMin,
+		ReadingMax: d.env.Cfg.ReadingMax,
+	}
+	out, err := p.RunQuery(q, 1)
+	if err != nil {
+		return QueryAnswer{}, fmt.Errorf("repro: %w", err)
+	}
+	return QueryAnswer{
+		Value:    out.Value,
+		Truth:    out.Truth,
+		Rounds:   out.Rounds,
+		Accepted: out.Accepted,
+	}, nil
+}

@@ -1,0 +1,364 @@
+// Package repro is a from-scratch Go reproduction of "A Cluster-Based
+// Protocol to Enforce Integrity and Preserve Privacy in Data Aggregation"
+// (ICDCS 2009): a complete wireless-sensor-network simulation substrate
+// (discrete-event engine, shared-medium radio with collisions, CSMA/CA MAC
+// with ARQ, link cryptography) carrying three aggregation protocols —
+//
+//   - the cluster-based privacy+integrity protocol (the paper's
+//     contribution; package internal/core),
+//   - TAG (Madden et al.), the no-security baseline, and
+//   - iPDA (He et al.), the disjoint-tree comparator —
+//
+// plus the adversary models and the experiment harness that regenerates
+// every table and figure of the evaluation (see DESIGN.md and
+// EXPERIMENTS.md).
+//
+// This package is the stable facade: deploy a network once, run any
+// protocol on it, and inspect the base station's view of the round.
+//
+//	dep, err := repro.NewDeployment(repro.Options{Nodes: 400, Seed: 1})
+//	res, err := dep.RunCluster(repro.ClusterOptions{})
+//	fmt.Printf("accuracy=%.3f accepted=%v\n", res.Accuracy(), res.Accepted)
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/ipda"
+	"repro/internal/metrics"
+	"repro/internal/sdap"
+	"repro/internal/tag"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wsn"
+)
+
+// Options describes a deployment. Zero values take the lineage papers'
+// defaults: 400 m × 400 m field, 50 m radio range, 1 Mbps lossy channel,
+// base station at the field centre, readings uniform in [10, 100].
+type Options struct {
+	Nodes      int     // total nodes including the base station (default 400)
+	FieldSize  float64 // square field side in meters (default 400)
+	Range      float64 // radio range in meters (default 50)
+	Seed       int64   // deployment + protocol randomness seed
+	Ideal      bool    // error-free channel (no collisions)
+	CountQuery bool    // unit readings (COUNT aggregation)
+	Grid       bool    // jittered-grid deployment (smart metering)
+}
+
+// Deployment is one placed network; protocols run on top of it. A
+// Deployment is not safe for concurrent use.
+type Deployment struct {
+	env *wsn.Env
+}
+
+// EnableTrace turns on protocol event tracing with the given ring-buffer
+// capacity and returns a dump function that writes the recorded events
+// (election, join, merge, announce, witness, crash) to w.
+func (d *Deployment) EnableTrace(capacity int) func(w io.Writer) error {
+	tr := trace.New(capacity)
+	d.env.Trace = tr
+	return func(w io.Writer) error { return tr.Dump(w, trace.AllEvents()) }
+}
+
+// NewDeployment places the network and wires the full substrate.
+func NewDeployment(o Options) (*Deployment, error) {
+	if o.Nodes == 0 {
+		o.Nodes = 400
+	}
+	cfg := wsn.DefaultConfig(o.Nodes, o.Seed)
+	if o.FieldSize > 0 {
+		cfg.FieldSize = o.FieldSize
+	}
+	if o.Range > 0 {
+		cfg.Range = o.Range
+	}
+	cfg.Radio.Ideal = o.Ideal
+	cfg.Grid = o.Grid
+	if o.CountQuery {
+		cfg.ReadingMin, cfg.ReadingMax = 1, 1
+	}
+	env, err := wsn.NewEnv(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Deployment{env: env}, nil
+}
+
+// Size returns the node count including the base station.
+func (d *Deployment) Size() int { return d.env.Net.Size() }
+
+// AverageDegree returns the deployment's mean one-hop neighbour count.
+func (d *Deployment) AverageDegree() float64 { return d.env.Net.AverageDegree() }
+
+// Connected reports whether every node can reach the base station.
+func (d *Deployment) Connected() bool { return d.env.Net.Connected() }
+
+// TrueSum returns the ground-truth sum of all sensor readings.
+func (d *Deployment) TrueSum() int64 { return d.env.TrueSum() }
+
+// Result is the base station's view of one aggregation round.
+type Result struct {
+	Protocol     string
+	TrueSum      int64
+	TrueCount    int64
+	ReportedSum  int64
+	ReportedCnt  int64
+	Participants int
+	Covered      int
+	Accepted     bool // integrity verdict (always true for TAG)
+	Alarms       int  // witness alarms that reached the base station
+	TxBytes      int  // bytes on the air, MAC ACKs included
+	TxMessages   int
+	AppMessages  int // frames excluding MAC ACKs
+}
+
+// Accuracy is ReportedSum / TrueSum (1.0 = lossless).
+func (r Result) Accuracy() float64 {
+	if r.TrueSum == 0 {
+		return 0
+	}
+	return float64(r.ReportedSum) / float64(r.TrueSum)
+}
+
+// ParticipationRate is the fraction of sensors whose reading entered the
+// aggregate.
+func (r Result) ParticipationRate() float64 {
+	if r.TrueCount == 0 {
+		return 0
+	}
+	return float64(r.Participants) / float64(r.TrueCount)
+}
+
+func fromRound(m metrics.RoundResult) Result {
+	return Result{
+		Protocol:     m.Protocol,
+		TrueSum:      m.TrueSum,
+		TrueCount:    m.TrueCount,
+		ReportedSum:  m.ReportedSum,
+		ReportedCnt:  m.ReportedCnt,
+		Participants: m.Participants,
+		Covered:      m.Covered,
+		Accepted:     m.Accepted,
+		Alarms:       m.Alarms,
+		TxBytes:      m.TxBytes,
+		TxMessages:   m.TxMessages,
+		AppMessages:  m.AppMessages,
+	}
+}
+
+// ClusterOptions tunes the cluster-based protocol. Zero values take the
+// reference parameters.
+type ClusterOptions struct {
+	Pc             float64 // head-election probability (default 0.25)
+	PlainFallback  bool    // undersized clusters report without slicing
+	NoMerge        bool    // disable undersized-cluster merging (ablation)
+	Polluter       int     // node ID of a pollution attacker; < 0 or 0 = none
+	PollutionDelta int64
+	PolluteChild   bool    // tamper a child echo instead of the own sum
+	PolluteFrom    int     // first round the attacker acts in (0 = always)
+	Colluders      []int   // nodes that suppress witness alarms (collusive attack)
+	CrashRate      float64 // fraction of nodes fail-stopping mid-round
+}
+
+func (o ClusterOptions) config() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Pc > 0 {
+		cfg.Pc = o.Pc
+	}
+	if o.PlainFallback {
+		cfg.Undersized = core.UndersizedPlain
+	}
+	cfg.NoMerge = o.NoMerge
+	if o.Polluter > 0 {
+		cfg.Polluter = topoID(o.Polluter)
+		cfg.PollutionDelta = o.PollutionDelta
+		if o.PolluteChild {
+			cfg.Target = core.PolluteChild
+		}
+		if o.PolluteFrom > 0 {
+			cfg.PolluteFromRound = uint16(o.PolluteFrom)
+		}
+	}
+	if len(o.Colluders) > 0 {
+		cfg.Colluders = make(map[topo.NodeID]bool, len(o.Colluders))
+		for _, id := range o.Colluders {
+			cfg.Colluders[topoID(id)] = true
+		}
+	}
+	cfg.CrashRate = o.CrashRate
+	return cfg
+}
+
+// RunCluster executes one round of the cluster-based protocol.
+func (d *Deployment) RunCluster(o ClusterOptions) (Result, error) {
+	p, err := core.New(d.env, o.config())
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	return fromRound(res), nil
+}
+
+// RunClusterRounds executes `rounds` consecutive measurement epochs on one
+// cluster formation: the first round forms clusters, later rounds re-sample
+// every sensor's reading and re-run the privacy and integrity phases on the
+// retained structure — the steady-state operation mode (e.g. hourly meter
+// reads).
+func (d *Deployment) RunClusterRounds(rounds int, o ClusterOptions) ([]Result, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("repro: rounds must be positive, got %d", rounds)
+	}
+	p, err := core.New(d.env, o.config())
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	out := make([]Result, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		var res metrics.RoundResult
+		if r == 1 {
+			res, err = p.Run(uint16(r))
+		} else {
+			d.env.ResampleReadings()
+			res, err = p.RunRetaining(uint16(r))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("repro: round %d: %w", r, err)
+		}
+		out = append(out, fromRound(res))
+	}
+	return out, nil
+}
+
+// LocalizationResult reports the bisection search outcome.
+type LocalizationResult struct {
+	Suspect int // -1 when the first full round was already clean
+	Rounds  int
+}
+
+// LocalizePolluter runs the O(log N) bisection against a configured
+// attacker and returns the isolated suspect.
+func (d *Deployment) LocalizePolluter(o ClusterOptions) (LocalizationResult, error) {
+	p, err := core.New(d.env, o.config())
+	if err != nil {
+		return LocalizationResult{}, fmt.Errorf("repro: %w", err)
+	}
+	loc, err := p.Localize()
+	if err != nil {
+		return LocalizationResult{}, fmt.Errorf("repro: %w", err)
+	}
+	return LocalizationResult{Suspect: int(loc.Suspect), Rounds: loc.Rounds}, nil
+}
+
+// RunTAG executes one TAG round (no privacy, no integrity).
+func (d *Deployment) RunTAG() (Result, error) {
+	p, err := tag.New(d.env, tag.DefaultConfig())
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	return fromRound(res), nil
+}
+
+// IPDAOptions tunes the iPDA comparator.
+type IPDAOptions struct {
+	Slices int // pieces per tree (default 2)
+	// Th is the acceptance threshold on |S_red - S_blue|. The paper uses 5
+	// for COUNT queries; the facade defaults to 300, sized for SUM queries
+	// over readings in [10, 100] where one residual slice loss distorts a
+	// tree by up to ~100.
+	Th             int64
+	Polluter       int // aggregator that pollutes its own tree; 0 = none
+	PollutionDelta int64
+}
+
+// RunIPDA executes one iPDA round (disjoint red/blue trees).
+func (d *Deployment) RunIPDA(o IPDAOptions) (Result, error) {
+	cfg := ipda.DefaultConfig()
+	cfg.Th = 300
+	if o.Slices > 0 {
+		cfg.L = o.Slices
+	}
+	if o.Th > 0 {
+		cfg.Th = o.Th
+	}
+	if o.Polluter > 0 {
+		cfg.Polluter = topoID(o.Polluter)
+		cfg.PollutionDelta = o.PollutionDelta
+	}
+	p, err := ipda.New(d.env, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	return fromRound(res), nil
+}
+
+// ExperimentIDs lists the reproduction's tables and figures.
+func ExperimentIDs() []string {
+	all := experiment.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunExperiment regenerates one table/figure and returns the rendered text
+// table. quick shrinks sweeps for smoke testing.
+func RunExperiment(id string, quick bool, seed int64) (string, error) {
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("repro: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	res, err := e.Run(experiment.RunConfig{Quick: quick, Seed: seed})
+	if err != nil {
+		return "", fmt.Errorf("repro: %w", err)
+	}
+	return res.Render(), nil
+}
+
+// SDAPOptions tunes the SDAP-class statistical comparator.
+type SDAPOptions struct {
+	// SampleFraction of aggregators the base station challenges per round
+	// (default 0.2). Detection probability tracks this fraction.
+	SampleFraction float64
+	Polluter       int
+	PollutionDelta int64
+}
+
+// RunSDAP executes one round of the SDAP-class comparator: TAG aggregation
+// hardened by commit-and-attest sampling. It contrasts with RunCluster's
+// witnesses: detection is probabilistic (≈ the sample fraction) and costs
+// attestation traffic, and there is no privacy protection at all.
+func (d *Deployment) RunSDAP(o SDAPOptions) (Result, error) {
+	cfg := sdap.DefaultConfig()
+	if o.SampleFraction > 0 {
+		cfg.SampleFraction = o.SampleFraction
+	}
+	if o.Polluter > 0 {
+		cfg.Polluter = topoID(o.Polluter)
+		cfg.PollutionDelta = o.PollutionDelta
+	}
+	p, err := sdap.New(d.env, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: %w", err)
+	}
+	return fromRound(res), nil
+}
