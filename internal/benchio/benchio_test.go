@@ -1,0 +1,124 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.40GHz
+BenchmarkRoundCluster-8   	      28	  41400000 ns/op	13200000 B/op	  211924 allocs/op
+BenchmarkClusterAlgebra/m=16-8  	  35000	     33997 ns/op	    7912 B/op	      39 allocs/op
+BenchmarkFieldInv-8       	 6100000	       196.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8          	 1000000	      1234 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	rc, ok := m["BenchmarkRoundCluster"]
+	if !ok {
+		t.Fatal("proc suffix not stripped")
+	}
+	if rc.NsPerOp != 41400000 || rc.BytesPerOp != 13200000 || rc.AllocsPerOp != 211924 {
+		t.Errorf("RoundCluster = %+v", rc)
+	}
+	sub, ok := m["BenchmarkClusterAlgebra/m=16"]
+	if !ok || sub.NsPerOp != 33997 {
+		t.Errorf("sub-bench = %+v ok=%v (the /m=16 path must survive)", sub, ok)
+	}
+	if inv := m["BenchmarkFieldInv"]; inv.NsPerOp != 196.4 {
+		t.Errorf("fractional ns/op = %+v", inv)
+	}
+	if nm := m["BenchmarkNoMem"]; nm.NsPerOp != 1234 || nm.AllocsPerOp != 0 {
+		t.Errorf("benchmem-less line = %+v", nm)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := Snapshot{
+		Date:      "2026-08-05",
+		GoVersion: "go1.24.0",
+		Host:      "ci",
+		Benchmarks: map[string]Metrics{
+			"BenchmarkX": {NsPerOp: 12.5, BytesPerOp: 64, AllocsPerOp: 2},
+		},
+	}
+	path := NextPath(dir, snap.Date)
+	if filepath.Base(path) != "BENCH_2026-08-05.json" {
+		t.Errorf("first path = %s", path)
+	}
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != snap.Date || got.Benchmarks["BenchmarkX"] != snap.Benchmarks["BenchmarkX"] {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Same-day snapshots suffix _2, _3, … and list oldest-first.
+	p2 := NextPath(dir, snap.Date)
+	if filepath.Base(p2) != "BENCH_2026-08-05_2.json" {
+		t.Errorf("second path = %s", p2)
+	}
+	if err := WriteFile(p2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(dir, "BENCH_2026-08-04.json"), snap); err != nil {
+		t.Fatal(err)
+	}
+	list, err := ListSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_2026-08-04.json", "BENCH_2026-08-05.json", "BENCH_2026-08-05_2.json"}
+	if len(list) != len(want) {
+		t.Fatalf("list = %v", list)
+	}
+	for i := range want {
+		if filepath.Base(list[i]) != want[i] {
+			t.Errorf("list[%d] = %s, want %s", i, filepath.Base(list[i]), want[i])
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	prev := Snapshot{Benchmarks: map[string]Metrics{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkC":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkGone": {NsPerOp: 100},
+	}}
+	cur := Snapshot{Benchmarks: map[string]Metrics{
+		"BenchmarkA":   {NsPerOp: 150, AllocsPerOp: 10}, // time regression
+		"BenchmarkB":   {NsPerOp: 90, AllocsPerOp: 13},  // alloc regression
+		"BenchmarkC":   {NsPerOp: 110, AllocsPerOp: 5},  // within threshold; zero-alloc base ignored
+		"BenchmarkNew": {NsPerOp: 999},                  // no baseline: skipped
+	}}
+	regs := Compare(prev, cur, 0.2)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2", regs)
+	}
+	if regs[0].Name != "BenchmarkA" || regs[0].Metric != "ns/op" || regs[0].Ratio != 1.5 {
+		t.Errorf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkB" || regs[1].Metric != "allocs/op" {
+		t.Errorf("regs[1] = %+v", regs[1])
+	}
+	if len(Compare(prev, cur, 0.6)) != 0 {
+		t.Error("loose threshold should pass everything")
+	}
+}

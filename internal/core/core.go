@@ -179,6 +179,13 @@ type Protocol struct {
 	// the round then aggregates the whole component vector at once
 	// (see query.go). Nil means one component: the raw reading.
 	comps []func(int64) int64
+
+	// Round-scoped scratch reused across members so the share-exchange and
+	// recovery phases stop allocating per member per round. Safe because the
+	// engine is single-threaded and each buffer is consumed within one event.
+	scratchOuts []shares.Shares
+	scratchVec  []field.Element
+	scratchRows [][]field.Element
 }
 
 // nComponents returns the active component-vector width.

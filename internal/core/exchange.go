@@ -41,18 +41,25 @@ func (p *Protocol) exchangeShares(id topo.NodeID) {
 	st := &p.nodes[id]
 	c := p.nComponents()
 	reading := p.readingVector(id)
-	outs := make([]shares.Shares, c)
-	for k := 0; k < c; k++ {
-		outs[k] = st.algebra.Generate(p.env.Rng, reading[k])
+	if cap(p.scratchOuts) < c {
+		p.scratchOuts = make([]shares.Shares, c)
 	}
+	outs := p.scratchOuts[:c]
+	for k := 0; k < c; k++ {
+		st.algebra.GenerateInto(p.env.Rng, reading[k], &outs[k])
+	}
+	if cap(p.scratchVec) < c {
+		p.scratchVec = make([]field.Element, c)
+	}
+	vec := p.scratchVec[:c]
 	for j, entry := range st.roster.Entries {
 		target := entry.ID
-		vec := make([]field.Element, c)
 		for k := 0; k < c; k++ {
 			vec[k] = outs[k].ForMember[j]
 		}
 		if target == id {
-			p.acceptShare(id, st.myIdx, vec)
+			// acceptShare retains the vector; the scratch must not leak in.
+			p.acceptShare(id, st.myIdx, append([]field.Element(nil), vec...))
 			continue
 		}
 		if !p.env.HasLinkKey(id, target) {
@@ -174,12 +181,11 @@ func (p *Protocol) scheduleAssembledBroadcasts() {
 func (p *Protocol) broadcastAssembled(id topo.NodeID) {
 	st := &p.nodes[id]
 	c := p.nComponents()
+	// fs is retained in fSeen (and shipped inside the Assembled), so it is
+	// allocated fresh rather than drawn from the round scratch.
 	fs := make([]field.Element, c)
 	for i := 0; i < len(st.roster.Entries); i++ {
-		vec := st.recvShares[i]
-		for k := 0; k < c && k < len(vec); k++ {
-			fs[k] = fs[k].Add(vec[k])
-		}
+		field.AddInto(fs, st.recvShares[i])
 	}
 	a := message.Assembled{Fs: fs, Mask: st.recvMask}
 	// Record our own F locally: it is the witness's ground truth.
@@ -231,23 +237,20 @@ func (p *Protocol) solveCluster(st *nodeState) ([]field.Element, uint32, bool) {
 	}
 	c := p.nComponents()
 	full := uint16(1)<<uint(m) - 1
+	if cap(p.scratchRows) < m {
+		p.scratchRows = make([][]field.Element, m)
+	}
+	rows := p.scratchRows[:m]
 	for i := 0; i < m; i++ {
 		a, ok := st.fSeen[i]
 		if !ok || a.Mask != full || len(a.Fs) != c {
 			return nil, 0, false
 		}
+		rows[i] = a.Fs
 	}
 	sums := make([]field.Element, c)
-	assembled := make([]field.Element, m)
-	for k := 0; k < c; k++ {
-		for i := 0; i < m; i++ {
-			assembled[i] = st.fSeen[i].Fs[k]
-		}
-		sum, err := st.algebra.RecoverSum(assembled)
-		if err != nil {
-			return nil, 0, false
-		}
-		sums[k] = sum
+	if err := st.algebra.RecoverSumInto(sums, rows); err != nil {
+		return nil, 0, false
 	}
 	return sums, uint32(m), true
 }

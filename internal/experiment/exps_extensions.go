@@ -33,7 +33,11 @@ var _ = register(Experiment{
 			detected, runs := 0, 0
 			for t := 0; t < trials; t++ {
 				seed := trialSeed(cfg.Seed, n, t)
-				_, dry, err := runCore(n, seed, false, nil)
+				env, err := wsn.NewEnv(envConfig(n, seed, false))
+				if err != nil {
+					return nil, err
+				}
+				_, dry, err := runCoreEnv(env, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -52,7 +56,11 @@ var _ = register(Experiment{
 				for i := 0; i < int(frac*float64(len(members))+0.5); i++ {
 					colluders[members[i]] = true
 				}
-				r, _, err := runCore(n, seed, false, func(c *core.Config) {
+				// Replay the identical deployment with the colluders armed.
+				if err := env.Reset(seed); err != nil {
+					return nil, err
+				}
+				r, _, err := runCoreEnv(env, func(c *core.Config) {
 					c.Polluter = polluter
 					c.PollutionDelta = 9999
 					c.Target = core.PolluteOwnSum
@@ -97,27 +105,28 @@ var _ = register(Experiment{
 			var tagTotal, coreTotal, coreMean, coreMax, lifetime float64
 			for t := 0; t < trials; t++ {
 				seed := trialSeed(cfg.Seed, n, t)
-				envT, err := wsn.NewEnv(envConfig(n, seed, false))
+				env, err := wsn.NewEnv(envConfig(n, seed, false))
 				if err != nil {
 					return nil, err
 				}
-				if _, err := runTAGOn(envT); err != nil {
+				if _, err := runTAGOn(env); err != nil {
 					return nil, err
 				}
-				repT, err := model.Audit(envT.Rec, n)
+				repT, err := model.Audit(env.Rec, n)
 				if err != nil {
 					return nil, err
 				}
 				tagTotal += repT.TotalMicroJ / 1000
 
-				envC, err := wsn.NewEnv(envConfig(n, seed, false))
-				if err != nil {
+				// Same deployment, same randomness: Reset replays the trial
+				// seed for the cluster protocol's turn.
+				if err := env.Reset(seed); err != nil {
 					return nil, err
 				}
-				if _, err := runCoreOn(envC); err != nil {
+				if _, err := runCoreOn(env); err != nil {
 					return nil, err
 				}
-				repC, err := model.Audit(envC.Rec, n)
+				repC, err := model.Audit(env.Rec, n)
 				if err != nil {
 					return nil, err
 				}
@@ -321,20 +330,19 @@ var _ = register(Experiment{
 				if fading {
 					ecfg.Radio = radio.FadingConfig()
 				}
-				envT, err := wsn.NewEnv(ecfg)
+				env, err := wsn.NewEnv(ecfg)
 				if err != nil {
 					return nil, err
 				}
-				rt, err := runTAGOn(envT)
+				rt, err := runTAGOn(env)
 				if err != nil {
 					return nil, err
 				}
 				tagAcc += rt.Accuracy()
-				envC, err := wsn.NewEnv(ecfg)
-				if err != nil {
+				if err := env.Reset(seed); err != nil {
 					return nil, err
 				}
-				rc, err := runCoreOn(envC)
+				rc, err := runCoreOn(env)
 				if err != nil {
 					return nil, err
 				}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/topo"
+	"repro/internal/wsn"
 )
 
 // F4: privacy capacity — disclosure probability vs px.
@@ -151,10 +152,16 @@ var _ = register(Experiment{
 })
 
 // pollutionTrial picks a suitable attacker from a dry run, then replays the
-// deployment with the attack enabled. applicable=false when the topology
-// offered no suitable attacker (skipped trial).
+// same deployment with the attack enabled — env.Reset to the same seed
+// reproduces the dry run bit-for-bit without re-deploying the topology.
+// applicable=false when the topology offered no suitable attacker (skipped
+// trial).
 func pollutionTrial(n int, seed int64, delta int64, target core.PollutionTarget) (detected, applicable bool, err error) {
-	_, dry, err := runCore(n, seed, false, nil)
+	env, err := wsn.NewEnv(envConfig(n, seed, false))
+	if err != nil {
+		return false, false, err
+	}
+	_, dry, err := runCoreEnv(env, nil)
 	if err != nil {
 		return false, false, err
 	}
@@ -162,8 +169,11 @@ func pollutionTrial(n int, seed int64, delta int64, target core.PollutionTarget)
 	if polluter < 0 {
 		return false, false, nil
 	}
+	if err := env.Reset(seed); err != nil {
+		return false, false, err
+	}
 	var attacker topo.NodeID = polluter
-	r, _, err := runCore(n, seed, false, func(c *core.Config) {
+	r, _, err := runCoreEnv(env, func(c *core.Config) {
 		c.Polluter = attacker
 		c.PollutionDelta = delta
 		c.Target = target

@@ -57,12 +57,20 @@ func runIPDA(n int, seed int64, count bool, mut func(*ipda.Config)) (metrics.Rou
 	return res, p, err
 }
 
-// runCore executes one cluster-protocol round; mut may adjust the config.
+// runCore executes one cluster-protocol round on a fresh deployment; mut
+// may adjust the config.
 func runCore(n int, seed int64, count bool, mut func(*core.Config)) (metrics.RoundResult, *core.Protocol, error) {
 	env, err := wsn.NewEnv(envConfig(n, seed, count))
 	if err != nil {
 		return metrics.RoundResult{}, nil, err
 	}
+	return runCoreEnv(env, mut)
+}
+
+// runCoreEnv executes one cluster-protocol round on an existing environment.
+// Dry-run/replay trials reuse one deployment through env.Reset instead of
+// re-deploying the topology for every run at the same seed.
+func runCoreEnv(env *wsn.Env, mut func(*core.Config)) (metrics.RoundResult, *core.Protocol, error) {
 	cfg := core.DefaultConfig()
 	if mut != nil {
 		mut(&cfg)
@@ -168,15 +176,16 @@ func sdapPollutionTrial(n int, seed int64, delta int64, sampleFrac float64) (det
 	if polluter < 0 {
 		return false, false, 0, nil
 	}
-	env2, err := wsn.NewEnv(envConfig(n, seed, false))
-	if err != nil {
+	// Replay the same deployment with the attack enabled: Reset to the same
+	// seed reproduces the dry run bit-for-bit without re-deploying.
+	if err := env.Reset(seed); err != nil {
 		return false, false, 0, err
 	}
 	cfg := sdap.DefaultConfig()
 	cfg.SampleFraction = sampleFrac
 	cfg.Polluter = polluter
 	cfg.PollutionDelta = delta
-	p, err := sdap.New(env2, cfg)
+	p, err := sdap.New(env, cfg)
 	if err != nil {
 		return false, false, 0, err
 	}

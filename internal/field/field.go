@@ -73,9 +73,19 @@ func (e Element) Neg() Element {
 }
 
 // Mul returns e * o mod P. Both operands are < 2^31 so the product fits
-// in a uint64.
+// in a uint64, and the Mersenne modulus reduces by folding: with
+// x = a·2^31 + b, x ≡ a + b (mod 2^31−1). Two folds bring any 62-bit
+// product below 2^31+1; one conditional subtract canonicalises. This is
+// several times faster than a hardware division and dominates the share
+// algebra's hot path.
 func (e Element) Mul(o Element) Element {
-	return Element(uint64(e) * uint64(o) % P)
+	t := uint64(e) * uint64(o)
+	t = (t >> 31) + (t & P)
+	t = (t >> 31) + (t & P)
+	if t >= P {
+		t -= P
+	}
+	return Element(t)
 }
 
 // Pow returns e^k mod P by square-and-multiply.
@@ -128,4 +138,94 @@ func EvalPoly(coeffs []Element, x Element) Element {
 		acc = acc.Mul(x).Add(coeffs[i])
 	}
 	return acc
+}
+
+// EvalPolyInto evaluates the polynomial at every point in xs, writing
+// dst[i] = c(xs[i]). dst must have len(xs) elements. This is the
+// scratch-buffer variant share generation uses to evaluate one masking
+// polynomial at every member seed without allocating.
+//
+// The Horner recurrences run with the POINT loop innermost: each point's
+// chain is independent, so the CPU overlaps their multiply latencies instead
+// of stalling on one serial Mul/Add chain — worth ~3x on wide clusters.
+// Reduction inside the loop is lazy (two folds, no canonical subtract); the
+// invariant is every intermediate stays below P+2, so the next product fits
+// a uint64, and one final subtract per point canonicalises. Results are
+// bit-identical to EvalPoly at every point (property-tested).
+func EvalPolyInto(dst, coeffs, xs []Element) {
+	dst = dst[:len(xs)]
+	if len(coeffs) == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	top := coeffs[len(coeffs)-1]
+	for j := range dst {
+		dst[j] = top
+	}
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		c := uint64(coeffs[i])
+		for j, x := range xs {
+			t := uint64(dst[j])*uint64(x) + c
+			t = (t >> 31) + (t & P)
+			t = (t >> 31) + (t & P)
+			dst[j] = Element(t)
+		}
+	}
+	for j, v := range dst {
+		if uint64(v) >= P {
+			dst[j] = Element(uint64(v) - P)
+		}
+	}
+}
+
+// Dot returns the inner product Σ a[i]·b[i]. The slices must have equal
+// length. With precomputed recovery weights this single pass replaces a
+// full Gaussian elimination in the cluster SUM recovery.
+// Each product is folded once (below 2^32) and accumulated unreduced — safe
+// for billions of terms — with the full reduction deferred to the end.
+func Dot(a, b []Element) Element {
+	_ = b[:len(a)]
+	var acc uint64
+	for i, x := range a {
+		t := uint64(x) * uint64(b[i])
+		acc += (t >> 31) + (t & P)
+	}
+	acc = (acc >> 31) + (acc & P)
+	acc = (acc >> 31) + (acc & P)
+	if acc >= P {
+		acc -= P
+	}
+	return Element(acc)
+}
+
+// DotInto computes the weighted combination of component vectors:
+// dst[k] = Σ_i w[i]·rows[i][k], zeroing dst first. rows must have len(w)
+// vectors, each at least len(dst) long. It is the multi-component
+// (vector-query) form of Dot, used to recover every component's cluster
+// sum in one pass over the assembled F vectors.
+func DotInto(dst, w []Element, rows [][]Element) {
+	for k := range dst {
+		dst[k] = 0
+	}
+	for i, wi := range w {
+		row := rows[i][:len(dst)]
+		for k, v := range row {
+			dst[k] = dst[k].Add(wi.Mul(v))
+		}
+	}
+}
+
+// AddInto adds src elementwise into dst over their common prefix:
+// dst[i] += src[i] for i < min(len(dst), len(src)). The exchange assembly
+// accumulates received share vectors with it instead of allocating
+// temporaries.
+func AddInto(dst, src []Element) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	for i, v := range src {
+		dst[i] = dst[i].Add(v)
+	}
 }

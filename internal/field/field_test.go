@@ -170,3 +170,77 @@ func TestEvalPolyAtZeroIsConstantTerm(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMulMatchesModularReference(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		want := Element(uint64(x) * uint64(y) % P)
+		return x.Mul(y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Fold-boundary corners the random sweep is unlikely to hit.
+	for _, pair := range [][2]Element{
+		{0, 0}, {0, Element(P - 1)}, {1, Element(P - 1)},
+		{Element(P - 1), Element(P - 1)}, {Element(P / 2), 2}, {Element(P - 1), 2},
+	} {
+		x, y := pair[0], pair[1]
+		want := Element(uint64(x) * uint64(y) % P)
+		if got := x.Mul(y); got != want {
+			t.Errorf("Mul(%v, %v) = %v, want %v", x, y, got, want)
+		}
+	}
+}
+
+func TestEvalPolyIntoMatchesEvalPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coeffs := make([]Element, 6)
+	for i := range coeffs {
+		coeffs[i] = New(rng.Uint64())
+	}
+	xs := make([]Element, 9)
+	for i := range xs {
+		xs[i] = New(rng.Uint64())
+	}
+	dst := make([]Element, len(xs))
+	EvalPolyInto(dst, coeffs, xs)
+	for i, x := range xs {
+		if want := EvalPoly(coeffs, x); dst[i] != want {
+			t.Errorf("EvalPolyInto[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []Element{1, 2, 3}
+	b := []Element{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("empty Dot = %v, want 0", got)
+	}
+}
+
+func TestDotIntoCombinesRows(t *testing.T) {
+	rows := [][]Element{{1, 10}, {2, 20}, {3, 30}}
+	w := []Element{7, 1, 2}
+	dst := []Element{99, 99} // must be overwritten, not accumulated into
+	DotInto(dst, w, rows)
+	if dst[0] != 15 || dst[1] != 150 {
+		t.Errorf("DotInto = %v, want [15 150]", dst)
+	}
+}
+
+func TestAddIntoCommonPrefix(t *testing.T) {
+	dst := []Element{1, 2, 3}
+	AddInto(dst, []Element{10, 20})
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 3 {
+		t.Errorf("AddInto short src = %v", dst)
+	}
+	AddInto(dst, []Element{1, 1, 1, 1})
+	if dst[0] != 12 || dst[1] != 23 || dst[2] != 4 {
+		t.Errorf("AddInto long src = %v", dst)
+	}
+}

@@ -108,6 +108,37 @@ func SolveVandermonde(seeds, assembled []Element) ([]Element, error) {
 	return SolveLinear(Vandermonde(seeds), assembled)
 }
 
+// RecoveryWeights returns the weight vector w = e₀ᵀ·V(seeds)⁻¹, i.e. the
+// first row of the inverse Vandermonde matrix. With it, the constant
+// coefficient of the interpolated polynomial — the cluster SUM — is the
+// single dot product c₀ = Σ_j w_j·F_j instead of an O(m³) elimination.
+//
+// The closed form is Lagrange interpolation evaluated at zero:
+//
+//	w_j = L_j(0) = Π_{k≠j} x_k / (x_k − x_j),
+//
+// computed in O(m²) multiplications plus one inversion per seed. Seeds
+// must be distinct and non-zero (ErrSingular otherwise), which also
+// guarantees every denominator is invertible.
+func RecoveryWeights(seeds []Element) ([]Element, error) {
+	if err := CheckSeeds(seeds); err != nil {
+		return nil, err
+	}
+	w := make([]Element, len(seeds))
+	for j, xj := range seeds {
+		num, den := Element(1), Element(1)
+		for k, xk := range seeds {
+			if k == j {
+				continue
+			}
+			num = num.Mul(xk)
+			den = den.Mul(xk.Sub(xj))
+		}
+		w[j] = num.Mul(den.Inv())
+	}
+	return w, nil
+}
+
 // CheckSeeds verifies that the seed set is usable for a Vandermonde system:
 // all non-zero and pairwise distinct.
 func CheckSeeds(seeds []Element) error {

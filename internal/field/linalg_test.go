@@ -137,3 +137,46 @@ func distinctSeeds(rng *rand.Rand, n int) []Element {
 	}
 	return out
 }
+
+func TestRecoveryWeightsMatchInverseFirstRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for m := 2; m <= 12; m++ {
+		seeds := make([]Element, m)
+		seen := map[Element]bool{}
+		for i := range seeds {
+			for {
+				s := New(rng.Uint64())
+				if s != 0 && !seen[s] {
+					seen[s] = true
+					seeds[i] = s
+					break
+				}
+			}
+		}
+		w, err := RecoveryWeights(seeds)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		// For random coefficient vectors, w·(V·c) must equal c[0].
+		coeffs := make([]Element, m)
+		for i := range coeffs {
+			coeffs[i] = New(rng.Uint64())
+		}
+		assembled := make([]Element, m)
+		for i, x := range seeds {
+			assembled[i] = EvalPoly(coeffs, x)
+		}
+		if got := Dot(w, assembled); got != coeffs[0] {
+			t.Errorf("m=%d: w·F = %v, want c0 = %v", m, got, coeffs[0])
+		}
+	}
+}
+
+func TestRecoveryWeightsRejectBadSeeds(t *testing.T) {
+	if _, err := RecoveryWeights([]Element{1, 0, 2}); err == nil {
+		t.Error("zero seed should fail")
+	}
+	if _, err := RecoveryWeights([]Element{1, 2, 2}); err == nil {
+		t.Error("duplicate seed should fail")
+	}
+}

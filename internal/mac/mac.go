@@ -76,7 +76,7 @@ type port struct {
 	txTries  int
 	seq      uint16
 	awaiting *message.Message       // unicast awaiting ACK
-	ackTimer *sim.Timer             // pending ACK timeout
+	ackTimer sim.Timer              // pending ACK timeout
 	lastSeq  map[topo.NodeID]uint16 // dedup: last seq accepted per sender
 	seenAny  map[topo.NodeID]struct{}
 	dead     bool // crashed node: radio silent both ways
@@ -113,6 +113,34 @@ func NewLayer(eng *sim.Engine, medium *radio.Medium, n int, rng *rand.Rand, cfg 
 	return l, nil
 }
 
+// Reset returns every port to its just-built state: queues emptied, ARQ and
+// backoff state cleared, sequence numbers and dedup tables rewound, crashed
+// nodes revived, and the layer counters zeroed. Protocol receivers are
+// dropped too — each protocol run installs its own. Reset the engine first
+// so outstanding ACK timers are already recycled.
+func (l *Layer) Reset() {
+	for _, p := range l.ports {
+		p.queue = nil
+		p.pending = false
+		p.cw = l.cfg.MinCW
+		p.csTries = 0
+		p.txTries = 0
+		p.seq = 0
+		p.awaiting = nil
+		p.ackTimer.Cancel()
+		p.ackTimer = sim.Timer{}
+		clear(p.lastSeq)
+		clear(p.seenAny)
+		p.dead = false
+	}
+	for i := range l.recvers {
+		l.recvers[i] = nil
+	}
+	l.drops = 0
+	l.acksTx = 0
+	l.retxTx = 0
+}
+
 // SetReceiver installs the protocol-level receive callback for a node.
 func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
 	l.recvers[id] = r
@@ -130,10 +158,8 @@ func (l *Layer) Disable(id topo.NodeID) {
 		p.awaiting = nil
 		l.drops++
 	}
-	if p.ackTimer != nil {
-		p.ackTimer.Cancel()
-		p.ackTimer = nil
-	}
+	p.ackTimer.Cancel()
+	p.ackTimer = sim.Timer{}
 }
 
 // Disabled reports whether a node has been crashed.
@@ -283,10 +309,8 @@ func (l *Layer) onReceive(at topo.NodeID, msg *message.Message) {
 		if msg.To == at && p.awaiting != nil && msg.Seq == p.awaiting.Seq && msg.From == p.awaiting.To {
 			p.awaiting = nil
 			p.txTries = 0
-			if p.ackTimer != nil {
-				p.ackTimer.Cancel()
-				p.ackTimer = nil
-			}
+			p.ackTimer.Cancel()
+			p.ackTimer = sim.Timer{}
 			p.pending = false
 			l.kick(p)
 		}

@@ -36,6 +36,20 @@ func NewRecorder() *Recorder {
 	}
 }
 
+// Reset clears every counter, returning the Recorder to its just-built
+// state. It keeps the allocated maps so a reused deployment does not churn
+// the heap between trials.
+func (r *Recorder) Reset() {
+	clear(r.txBytes)
+	clear(r.rxBytes)
+	clear(r.txMsgs)
+	clear(r.rxMsgs)
+	r.collisions = 0
+	r.dropped = 0
+	clear(r.byKind)
+	clear(r.msgsByKind)
+}
+
 // OnTransmit records a frame leaving node from.
 func (r *Recorder) OnTransmit(from topo.NodeID, kind string, bytes int) {
 	r.txBytes[from] += bytes

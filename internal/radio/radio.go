@@ -90,6 +90,18 @@ func NewMedium(eng *sim.Engine, net *topo.Network, rec *metrics.Recorder, cfg Co
 	}, nil
 }
 
+// Reset clears the channel: in-flight and recently-finished transmissions
+// are dropped and the airtime retention bound rewinds. It must accompany an
+// engine reset — retained transmissions carry end-times from the old
+// timeline and would otherwise jam carrier sense on the rewound clock.
+func (m *Medium) Reset() {
+	for i := range m.active {
+		m.active[i] = nil
+	}
+	m.active = m.active[:0]
+	m.maxDur = 0
+}
+
 // SetFadingSource injects the RNG used for gray-zone loss draws. Required
 // when cfg.Fading is set; typically the deployment's seeded RNG so runs
 // stay reproducible.

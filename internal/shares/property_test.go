@@ -114,3 +114,58 @@ func TestPropertyCollusionThresholdHolds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property (the fast-recovery cross-check): for random cluster sizes
+// m∈[3,32], random distinct seeds, and arbitrary assembled vectors — valid
+// exchanges or garbage alike — the precomputed weight-vector RecoverSum
+// equals the Gaussian-elimination reference path bit for bit.
+func TestPropertyFastRecoveryMatchesReference(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		m := 3 + int(sizeRaw%30) // 3..32
+		rng := rand.New(rand.NewSource(seed))
+		seeds := make([]field.Element, m)
+		seen := map[field.Element]bool{}
+		for i := range seeds {
+			for {
+				s := field.New(rng.Uint64())
+				if s != 0 && !seen[s] {
+					seen[s] = true
+					seeds[i] = s
+					break
+				}
+			}
+		}
+		algebra, err := NewAlgebra(seeds)
+		if err != nil {
+			return false
+		}
+		assembled := make([]field.Element, m)
+		for i := range assembled {
+			assembled[i] = field.New(rng.Uint64())
+		}
+		fast, err := algebra.RecoverSum(assembled)
+		if err != nil {
+			return false
+		}
+		ref, err := algebra.RecoverSumReference(assembled)
+		if err != nil {
+			return false
+		}
+		if fast != ref {
+			return false
+		}
+		// The vectorised multi-component path must agree with the scalar one.
+		var sums [1]field.Element
+		rows := make([][]field.Element, m)
+		for i := range rows {
+			rows[i] = assembled[i : i+1]
+		}
+		if err := algebra.RecoverSumInto(sums[:], rows); err != nil {
+			return false
+		}
+		return sums[0] == fast
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -27,21 +27,28 @@ import (
 // other member.
 const MinClusterSize = 3
 
-// Algebra fixes a cluster's public parameters: its ordered member seeds.
+// Algebra fixes a cluster's public parameters: its ordered member seeds and
+// the recovery weight vector w = e₀ᵀ·V(seeds)⁻¹ precomputed once so every
+// RecoverSum is a single O(m) dot product instead of an O(m³) elimination.
 type Algebra struct {
-	seeds []field.Element
+	seeds   []field.Element
+	weights []field.Element
 }
 
-// NewAlgebra validates the seeds (distinct, non-zero) and returns the
-// cluster algebra.
+// NewAlgebra validates the seeds (distinct, non-zero), precomputes the
+// recovery weights, and returns the cluster algebra.
 func NewAlgebra(seeds []field.Element) (*Algebra, error) {
 	if len(seeds) < 2 {
 		return nil, fmt.Errorf("shares: need at least 2 seeds, got %d", len(seeds))
 	}
-	if err := field.CheckSeeds(seeds); err != nil {
+	w, err := field.RecoveryWeights(seeds)
+	if err != nil {
 		return nil, fmt.Errorf("shares: %w", err)
 	}
-	return &Algebra{seeds: append([]field.Element(nil), seeds...)}, nil
+	return &Algebra{
+		seeds:   append([]field.Element(nil), seeds...),
+		weights: w,
+	}, nil
 }
 
 // Size returns the cluster size m.
@@ -71,17 +78,37 @@ type Shares struct {
 // at every member seed. private is the member's reading embedded in the
 // field.
 func (a *Algebra) Generate(rng *rand.Rand, private field.Element) Shares {
-	m := a.Size()
-	coeffs := make([]field.Element, m)
-	coeffs[0] = private
-	for k := 1; k < m; k++ {
-		coeffs[k] = field.New(rng.Uint64())
-	}
-	out := Shares{Coeffs: coeffs[1:], ForMember: make([]field.Element, m)}
-	for j, x := range a.seeds {
-		out.ForMember[j] = field.EvalPoly(coeffs, x)
-	}
+	var out Shares
+	a.GenerateInto(rng, private, &out)
 	return out
+}
+
+// GenerateInto is the scratch-buffer Generate: it reuses out's slices when
+// they have capacity, so a caller generating one polynomial per member per
+// round allocates nothing in steady state. The coefficient draw order and
+// the produced shares are bit-identical to Generate's.
+func (a *Algebra) GenerateInto(rng *rand.Rand, private field.Element, out *Shares) {
+	m := a.Size()
+	out.Coeffs = growElems(out.Coeffs, m-1)
+	for k := range out.Coeffs {
+		out.Coeffs[k] = field.New(rng.Uint64())
+	}
+	out.ForMember = growElems(out.ForMember, m)
+	// The masking polynomial is private + x·G(x) with G the random part:
+	// evaluate G at every seed, then one Horner step folds the reading in.
+	field.EvalPolyInto(out.ForMember, out.Coeffs, a.seeds)
+	for j, x := range a.seeds {
+		out.ForMember[j] = out.ForMember[j].Mul(x).Add(private)
+	}
+}
+
+// growElems returns s resized to n elements, reusing its backing array when
+// the capacity allows.
+func growElems(s []field.Element, n int) []field.Element {
+	if cap(s) < n {
+		return make([]field.Element, n)
+	}
+	return s[:n]
 }
 
 // Assemble sums the shares one member received (its column sum F_j).
@@ -89,9 +116,21 @@ func Assemble(received []field.Element) field.Element {
 	return field.Sum(received)
 }
 
-// RecoverSum solves the Vandermonde system from all assembled values and
-// returns the cluster sum (the constant coefficient).
+// RecoverSum returns the cluster sum (the constant coefficient of the
+// interpolated polynomial) as the dot product of the precomputed recovery
+// weights with the assembled values — O(m) per call. It is bit-identical
+// to RecoverSumReference (property-tested).
 func (a *Algebra) RecoverSum(assembled []field.Element) (field.Element, error) {
+	if len(assembled) != a.Size() {
+		return 0, fmt.Errorf("shares: %d assembled values for cluster of %d", len(assembled), a.Size())
+	}
+	return field.Dot(a.weights, assembled), nil
+}
+
+// RecoverSumReference recovers the cluster sum by solving the full
+// Vandermonde system with Gaussian elimination — the O(m³) reference
+// implementation the fast weight-vector path is cross-checked against.
+func (a *Algebra) RecoverSumReference(assembled []field.Element) (field.Element, error) {
 	if len(assembled) != a.Size() {
 		return 0, fmt.Errorf("shares: %d assembled values for cluster of %d", len(assembled), a.Size())
 	}
@@ -100,6 +139,28 @@ func (a *Algebra) RecoverSum(assembled []field.Element) (field.Element, error) {
 		return 0, err
 	}
 	return coeffs[0], nil
+}
+
+// RecoverSumInto recovers one cluster sum per query component in a single
+// pass: dst[k] = Σ_i w_i·rows[i][k], where rows[i] is member i's assembled
+// component vector. Every row must carry at least len(dst) components.
+func (a *Algebra) RecoverSumInto(dst []field.Element, rows [][]field.Element) error {
+	if len(rows) != a.Size() {
+		return fmt.Errorf("shares: %d assembled vectors for cluster of %d", len(rows), a.Size())
+	}
+	for i, row := range rows {
+		if len(row) < len(dst) {
+			return fmt.Errorf("shares: assembled vector %d has %d of %d components", i, len(row), len(dst))
+		}
+	}
+	field.DotInto(dst, a.weights, rows)
+	return nil
+}
+
+// Weights returns a copy of the precomputed recovery weight vector
+// w = e₀ᵀ·V⁻¹ (exposed for the privacy analysis and tests).
+func (a *Algebra) Weights() []field.Element {
+	return append([]field.Element(nil), a.weights...)
 }
 
 // VerifyShareCount reports whether a cluster of m members can run the

@@ -77,7 +77,7 @@ func TestPropertyCancellationComplement(t *testing.T) {
 	f := func(delaysRaw []uint16, cancelMask []bool) bool {
 		e := NewEngine()
 		var fired []int
-		var timers []*Timer
+		var timers []Timer
 		for i, d := range delaysRaw {
 			i := i
 			timers = append(timers, e.At(time.Duration(d)*time.Microsecond, func() {

@@ -95,8 +95,8 @@ func TestTimerCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	var nilTimer *Timer
-	nilTimer.Cancel() // must not panic
+	var zero Timer
+	zero.Cancel() // the zero Timer is a valid no-op handle
 }
 
 func TestStop(t *testing.T) {
@@ -169,5 +169,136 @@ func TestPendingCount(t *testing.T) {
 	}
 	if e.Pending() != 0 {
 		t.Errorf("pending after run = %d", e.Pending())
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(time.Second, func() {})
+	e.At(2*time.Second, func() {})
+	tm.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("pending with one cancelled = %d, want 1", e.Pending())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelAfterFireDoesNotTouchRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.At(time.Millisecond, func() { fired++ })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The fired event's node is back in the pool; this schedule reuses it.
+	e.At(2*time.Millisecond, func() { fired += 10 })
+	tm.Cancel() // stale handle: must not cancel the recycled event
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 11 {
+		t.Errorf("fired = %d, want 11 (stale cancel must be a no-op)", fired)
+	}
+}
+
+func TestCancelInsideOwnEventIsNoOp(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	ran := false
+	tm = e.At(time.Millisecond, func() {
+		tm.Cancel() // cancelling the already-firing event must be harmless
+		ran = true
+	})
+	e.At(2*time.Millisecond, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event did not run")
+	}
+}
+
+func TestDeadEventCompaction(t *testing.T) {
+	e := NewEngine()
+	timers := make([]Timer, 0, 200)
+	for i := 0; i < 200; i++ {
+		d := time.Duration(i+1) * time.Millisecond
+		timers = append(timers, e.At(d, func() {}))
+	}
+	for _, tm := range timers[:150] {
+		tm.Cancel()
+	}
+	if e.Pending() != 50 {
+		t.Errorf("pending = %d, want 50", e.Pending())
+	}
+	// Compaction must have shrunk the physical queue below the dead count.
+	if len(e.queue) > 120 {
+		t.Errorf("queue not compacted: %d slots for 50 live events", len(e.queue))
+	}
+	var got int
+	e.At(500*time.Millisecond, func() { got = e.Pending() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 || e.Pending() != 0 {
+		t.Errorf("pending at end = %d/%d, want 0", got, e.Pending())
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(time.Second, func() { count++ })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	e.At(5*time.Second, func() { count += 100 }) // must vanish on reset
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Errorf("after reset: now=%v pending=%d processed=%d", e.Now(), e.Pending(), e.Processed())
+	}
+	e.At(time.Millisecond, func() { count += 10 })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 11 {
+		t.Errorf("count = %d, want 11 (dropped event must not fire)", count)
+	}
+	if e.Now() != time.Millisecond {
+		t.Errorf("clock = %v, want 1ms", e.Now())
+	}
+}
+
+func TestRunAllocatesNoEventNodesInSteadyState(t *testing.T) {
+	e := NewEngine()
+	// Prime the pool with one warm-up round.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	e.After(0, tick)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		n = 0
+		e.After(0, tick)
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Pooled event nodes, value Timers, shared closure: nothing should
+	// reach the heap once the pool is warm.
+	if allocs > 8 {
+		t.Errorf("allocs per 1000-event run = %.0f, want ~0 (pooled)", allocs)
 	}
 }

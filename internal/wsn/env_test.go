@@ -3,7 +3,9 @@ package wsn
 import (
 	"bytes"
 	"testing"
+	"time"
 
+	"repro/internal/message"
 	"repro/internal/topo"
 )
 
@@ -179,6 +181,128 @@ func TestResampleReadings(t *testing.T) {
 	for i := 1; i < 80; i++ {
 		if r := env.Readings[i]; r < 10 || r > 100 {
 			t.Fatalf("resampled reading %d out of range: %d", i, r)
+		}
+	}
+}
+
+func TestResetReplaysFreshEnv(t *testing.T) {
+	cfg := DefaultConfig(60, 11)
+	used, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty every resettable layer: burn RNG draws, run the clock, push a
+	// frame through the MAC, warm the sealer cache.
+	used.Rng.Uint64()
+	used.ResampleReadings()
+	used.Eng.After(time.Millisecond, func() {})
+	if err := used.Eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	used.MAC.Send(&message.Message{Kind: message.KindHello, From: 1, To: message.BroadcastID})
+	if err := used.Eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := used.Seal(3, 7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := used.Reset(11); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used.Eng.Now() != 0 || used.Eng.Pending() != 0 || used.Eng.Processed() != 0 {
+		t.Errorf("engine not rewound: now=%v pending=%d", used.Eng.Now(), used.Eng.Pending())
+	}
+	if used.Rec.TotalTxBytes() != 0 || used.Rec.TotalTxMessages() != 0 {
+		t.Errorf("recorder not cleared: %d bytes", used.Rec.TotalTxBytes())
+	}
+	if used.MAC.Drops() != 0 || used.MAC.AcksSent() != 0 {
+		t.Error("MAC counters not cleared")
+	}
+	for i := range fresh.Readings {
+		if used.Readings[i] != fresh.Readings[i] {
+			t.Fatalf("reading %d = %d after reset, fresh env has %d", i, used.Readings[i], fresh.Readings[i])
+		}
+	}
+	// The RNG must continue from the identical stream.
+	for i := 0; i < 32; i++ {
+		if a, b := used.Rng.Uint64(), fresh.Rng.Uint64(); a != b {
+			t.Fatalf("rng draw %d diverges: %d vs %d", i, a, b)
+		}
+	}
+	// Key material must round-trip across reset and fresh envs.
+	ct, err := used.Seal(3, 7, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := fresh.Open(3, 7, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("payload")) {
+		t.Errorf("cross-env open = %q", pt)
+	}
+}
+
+func TestResetWithNewSeedKeepsTopologyOnly(t *testing.T) {
+	env, err := NewEnv(DefaultConfig(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int64(nil), env.Readings...)
+	degree := env.Net.AverageDegree()
+	if err := env.Reset(99); err != nil {
+		t.Fatal(err)
+	}
+	if env.Cfg.Seed != 99 {
+		t.Errorf("Cfg.Seed = %d", env.Cfg.Seed)
+	}
+	if env.Net.AverageDegree() != degree {
+		t.Error("topology changed across reset")
+	}
+	other, err := NewEnv(DefaultConfig(60, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before {
+		if env.Readings[i] != before[i] {
+			same = false
+		}
+		if env.Readings[i] != other.Readings[i] {
+			t.Fatalf("reading %d = %d, seed-99 env draws %d", i, env.Readings[i], other.Readings[i])
+		}
+	}
+	if same {
+		t.Error("readings unchanged after reseeding (wildly improbable)")
+	}
+}
+
+func TestResetRebuildsEGKeys(t *testing.T) {
+	cfg := DefaultConfig(40, 9)
+	cfg.KeyScheme = KeyEG
+	cfg.EGPoolSize = 200
+	cfg.EGRingSize = 20
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Reset(9); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			if env.HasLinkKey(topoNode(a), topoNode(b)) != fresh.HasLinkKey(topoNode(a), topoNode(b)) {
+				t.Fatalf("key graph diverges at %d<->%d", a, b)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 )
 
 // Envelope framing:
@@ -28,10 +29,14 @@ const (
 var ErrAuth = errors.New("wsncrypto: authentication failed")
 
 // Sealer encrypts and authenticates payloads under one link key, keeping a
-// monotonic nonce counter. One Sealer per (sender, key) pair.
+// monotonic nonce counter. One Sealer per (sender, key) pair. The HMAC state
+// and its sum buffer are long-lived and Reset per call — a simulated round
+// seals thousands of shares, and rebuilding two SHA-256 digests for each one
+// dominated the allocation profile. Not safe for concurrent use.
 type Sealer struct {
 	block   cipher.Block
-	macKey  []byte
+	mac     hash.Hash
+	sum     []byte // scratch for mac.Sum
 	counter uint64
 }
 
@@ -45,7 +50,19 @@ func NewSealer(key []byte) (*Sealer, error) {
 		return nil, fmt.Errorf("wsncrypto: %w", err)
 	}
 	mk := sha256.Sum256(append([]byte("mac:"), key[:32]...))
-	return &Sealer{block: block, macKey: mk[:]}, nil
+	return &Sealer{
+		block: block,
+		mac:   hmac.New(sha256.New, mk[:]),
+		sum:   make([]byte, 0, sha256.Size),
+	}, nil
+}
+
+// tag computes the truncated HMAC over body into the scratch buffer.
+func (s *Sealer) tag(body []byte) []byte {
+	s.mac.Reset()
+	s.mac.Write(body)
+	s.sum = s.mac.Sum(s.sum[:0])
+	return s.sum[:tagSize]
 }
 
 // Seal encrypts plaintext, returning nonce || ciphertext || tag.
@@ -56,9 +73,7 @@ func (s *Sealer) Seal(plaintext []byte) []byte {
 	var iv [aes.BlockSize]byte
 	copy(iv[:], out[:nonceSize])
 	cipher.NewCTR(s.block, iv[:]).XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(out[:nonceSize+len(plaintext)])
-	copy(out[nonceSize+len(plaintext):], mac.Sum(nil)[:tagSize])
+	copy(out[nonceSize+len(plaintext):], s.tag(out[:nonceSize+len(plaintext)]))
 	return out
 }
 
@@ -68,10 +83,7 @@ func (s *Sealer) Open(envelope []byte) ([]byte, error) {
 		return nil, fmt.Errorf("wsncrypto: envelope too short: %d", len(envelope))
 	}
 	body := envelope[:len(envelope)-tagSize]
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(body)
-	want := mac.Sum(nil)[:tagSize]
-	if !hmac.Equal(want, envelope[len(envelope)-tagSize:]) {
+	if !hmac.Equal(s.tag(body), envelope[len(envelope)-tagSize:]) {
 		return nil, ErrAuth
 	}
 	var iv [aes.BlockSize]byte

@@ -88,6 +88,20 @@ func NewDeployment(o Options) (*Deployment, error) {
 	return &Deployment{env: env}, nil
 }
 
+// Reset rewinds the deployment to its freshly-built state under the given
+// seed while keeping the placed topology and neighbour tables: clock, radio,
+// MAC, traffic counters, key material, and readings all return to what
+// NewDeployment would have produced. Resetting to the deployment's own seed
+// replays the original run bit-for-bit; a different seed re-draws every
+// non-topology source of randomness. This is how the round benchmarks and
+// multi-trial harnesses amortise deployment construction.
+func (d *Deployment) Reset(seed int64) error {
+	if err := d.env.Reset(seed); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
 // Size returns the node count including the base station.
 func (d *Deployment) Size() int { return d.env.Net.Size() }
 

@@ -1,0 +1,65 @@
+package repro
+
+import "testing"
+
+// TestResetReplaysRoundBitForBit is the contract the benchmark and
+// experiment fast paths rely on: Reset to the deployment's own seed must
+// reproduce the original round exactly — same clusters, same collisions,
+// same byte counts — without re-deploying the topology.
+func TestResetReplaysRoundBitForBit(t *testing.T) {
+	dep, err := NewDeployment(Options{Nodes: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := dep.RunCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := dep.RunCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay != first {
+		t.Errorf("replay diverged:\n first = %+v\nreplay = %+v", first, replay)
+	}
+	fresh, err := NewDeployment(Options{Nodes: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fresh.RunCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != first {
+		t.Errorf("reset env diverged from fresh deployment:\n fresh = %+v\nfirst = %+v", ref, first)
+	}
+}
+
+// TestResetNewSeedRunsFreshTrial covers the fixed-topology trial mode: a new
+// seed on the same deployment yields a valid, different round.
+func TestResetNewSeedRunsFreshTrial(t *testing.T) {
+	dep, err := NewDeployment(Options{Nodes: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := dep.RunCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Reset(1234); err != nil {
+		t.Fatal(err)
+	}
+	second, err := dep.RunCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.TrueSum == first.TrueSum && second.TxBytes == first.TxBytes {
+		t.Error("reseeded round identical to the first (wildly improbable)")
+	}
+	if second.TrueCount != 119 || second.ReportedSum <= 0 {
+		t.Errorf("reseeded round implausible: %+v", second)
+	}
+}
