@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check vet build test race bench-smoke bench f17-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
-## concurrency-sensitive packages), and a one-iteration benchmark smoke
-## through the trend harness.
-check: vet build test race bench-smoke
+## concurrency-sensitive packages), a quick resilience-experiment smoke,
+## and a one-iteration benchmark smoke through the trend harness.
+check: vet build test race f17-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/ ./internal/experiment/
+
+## f17-smoke: quick pass over the degraded-recovery ablation — fails if the
+## loss-injection path or subset recovery stops producing rows.
+f17-smoke:
+	$(GO) run ./cmd/experiments -quick -run F17-resilience
 
 bench-smoke:
 	$(GO) run ./cmd/benchtrend -quick

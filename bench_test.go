@@ -43,6 +43,7 @@ func BenchmarkFigAgreement(b *testing.B)      { benchExperiment(b, "F6-agreement
 func BenchmarkFigLocalization(b *testing.B)   { benchExperiment(b, "F7-localization") }
 func BenchmarkFigCollusion(b *testing.B)      { benchExperiment(b, "F8-collusion") }
 func BenchmarkAblationKeyScheme(b *testing.B) { benchExperiment(b, "F9-keyscheme") }
+func BenchmarkFigResilience(b *testing.B)     { benchExperiment(b, "F17-resilience") }
 
 // Protocol round benches: one full aggregation round per iteration at the
 // papers' N=400 reference density (lossy channel).

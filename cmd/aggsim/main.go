@@ -34,6 +34,9 @@ func run(args []string) error {
 		radio    = fs.Float64("range", 50, "radio range, meters")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		ideal    = fs.Bool("ideal", false, "error-free channel")
+		loss     = fs.Float64("loss", 0, "injected iid frame-loss rate in [0, 1)")
+		noarq    = fs.Bool("noarq", false, "disable MAC retransmissions")
+		nodeg    = fs.Bool("nodegrade", false, "disable degraded subset recovery (cluster protocol)")
 		count    = fs.Bool("count", false, "COUNT query (unit readings)")
 		grid     = fs.Bool("grid", false, "jittered-grid deployment")
 		pc       = fs.Float64("pc", 0, "cluster-head probability (cluster protocol)")
@@ -54,6 +57,8 @@ func run(args []string) error {
 		Ideal:      *ideal,
 		CountQuery: *count,
 		Grid:       *grid,
+		LossRate:   *loss,
+		NoARQ:      *noarq,
 	}
 
 	attacker := 0
@@ -87,7 +92,7 @@ func run(args []string) error {
 	var res repro.Result
 	switch *protocol {
 	case "cluster":
-		copts := repro.ClusterOptions{Pc: *pc, Polluter: attacker, PollutionDelta: *delta}
+		copts := repro.ClusterOptions{Pc: *pc, Polluter: attacker, PollutionDelta: *delta, NoDegrade: *nodeg}
 		if *localize {
 			loc, err := dep.LocalizePolluter(copts)
 			if err != nil {
@@ -123,5 +128,8 @@ func printResult(r repro.Result) {
 	fmt.Printf("reported cnt:  %d of %d (participation %.3f)\n", r.ReportedCnt, r.TrueCount, r.ParticipationRate())
 	fmt.Printf("covered:       %d\n", r.Covered)
 	fmt.Printf("accepted:      %v (alarms %d)\n", r.Accepted, r.Alarms)
+	if r.DegradedClusters > 0 || r.FailedClusters > 0 {
+		fmt.Printf("clusters:      %d degraded, %d failed\n", r.DegradedClusters, r.FailedClusters)
+	}
 	fmt.Printf("traffic:       %d bytes, %d frames (%d app frames)\n", r.TxBytes, r.TxMessages, r.AppMessages)
 }

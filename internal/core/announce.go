@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/field"
@@ -22,8 +23,7 @@ func (p *Protocol) scheduleAnnounces() {
 		if slot < 0 {
 			slot = 0
 		}
-		jitter := time.Duration(p.env.Rng.Int63n(int64(p.cfg.EpochSlot / 2)))
-		at := time.Duration(slot)*p.cfg.EpochSlot + jitter
+		at := time.Duration(slot)*p.cfg.EpochSlot + p.jitter(p.cfg.EpochSlot/2)
 		p.env.Eng.After(at, func() { p.announce(id) })
 	}
 }
@@ -56,18 +56,26 @@ func (p *Protocol) announceTarget(id topo.NodeID) (to topo.NodeID, directHead bo
 }
 
 // clusterContribution solves the head's own cluster, honouring the
-// undersized policy and the localization active-set. A nil sums vector
-// means the cluster contributes nothing this round.
-func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32) {
+// undersized policy and the localization active-set, and returns the
+// effective participant mask the sums cover (zero for plain or failed
+// clusters). A nil sums vector means the cluster contributes nothing this
+// round.
+func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32, uint64) {
 	st := &p.nodes[id]
 	if p.cfg.ActiveClusters != nil && !p.cfg.ActiveClusters[id] {
-		return nil, 0
+		return nil, 0, 0
 	}
 	if viableCluster(st) {
-		if sums, cnt, ok := p.solveCluster(st); ok {
-			return sums, cnt
+		sums, cnt, effMask, ok := p.solveCluster(st)
+		if !ok {
+			p.failedClusters++
+			return nil, 0, 0 // incomplete exchange: cluster fails the round
 		}
-		return nil, 0 // incomplete exchange: cluster fails the round
+		st.effMask = effMask
+		if effMask != message.FullMask(len(st.roster.Entries)) {
+			p.degradedClusters++
+		}
+		return sums, cnt, effMask
 	}
 	if p.cfg.Undersized == UndersizedPlain {
 		// Head's own reading plus whatever members reported plainly.
@@ -79,9 +87,9 @@ func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32)
 				sums[k] = sums[k].Add(st.plainSums[k])
 			}
 		}
-		return sums, st.plainCnt + 1
+		return sums, st.plainCnt + 1, 0
 	}
-	return nil, 0
+	return nil, 0, 0
 }
 
 // announce transmits the head's Announce toward the base station (ARQ
@@ -94,7 +102,7 @@ func (p *Protocol) announce(id topo.NodeID) {
 		return // never reached by the flood
 	}
 	c := p.nComponents()
-	sums, cnt := p.clusterContribution(id)
+	sums, cnt, effMask := p.clusterContribution(id)
 	a := message.Announce{
 		Origin:      id,
 		ClusterSums: sums,
@@ -102,15 +110,29 @@ func (p *Protocol) announce(id topo.NodeID) {
 		Components:  uint8(c),
 		Children:    append([]message.ChildEntry(nil), st.children...),
 	}
-	// Echo the solved F matrix so members can witness the cluster sums
-	// (skipped under the NoWitness ablation).
+	// The announce carries the effective participant set: the full roster
+	// mask after a complete exchange, the strict subset M after degraded
+	// recovery, zero for plain or failed clusters. Witnesses re-solve
+	// against exactly this set.
+	if cnt > 0 && viableCluster(st) {
+		a.Mask = effMask
+	}
+	// Echo the solved F matrix — rows in ascending mask-bit order — so
+	// members can witness the cluster sums (skipped under NoWitness).
 	if cnt > 0 && viableCluster(st) && !p.cfg.NoWitness {
 		m := len(st.roster.Entries)
-		a.FMatrix = make([]field.Element, m*c)
+		full := message.FullMask(m)
+		rows := bits.OnesCount64(effMask)
+		a.FMatrix = make([]field.Element, 0, rows*c)
 		for i := 0; i < m; i++ {
-			for k := 0; k < c; k++ {
-				a.FMatrix[i*c+k] = st.fSeen[i].Fs[k]
+			if effMask&(uint64(1)<<uint(i)) == 0 {
+				continue
 			}
+			src := st.fSeen[i]
+			if effMask != full {
+				src = st.fSub[i]
+			}
+			a.FMatrix = append(a.FMatrix, src.Fs[:c]...)
 		}
 	}
 	// Pollution attack: tamper with the outgoing aggregate (component 0).
@@ -205,33 +227,52 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 	st := &p.nodes[at]
 
 	// Witness check 1: members of the announcing head's cluster verify the
-	// announce against the echoed F vector. Three sub-checks:
-	//   (a) the claimed participant count matches the roster;
-	//   (b) my own F entry matches what I sent — a head forging the vector
-	//       is caught by the member whose entry it altered;
-	//   (c) solving the echoed vector yields the announced ClusterSum — a
-	//       head announcing a sum inconsistent with the committed inputs is
-	//       caught by every member.
+	// announce against the echoed F vector and the claimed participant set.
+	// Four sub-checks:
+	//   (a) the announce is structurally coherent: the mask fits the roster,
+	//       the claimed count is exactly its popcount, and the F matrix has
+	//       one row per claimed participant;
+	//   (b) a claimed subset must be one this witness can solve (viable, and
+	//       within the roster) — integrity holds through degradation;
+	//   (c) my own F entry matches what I committed for exactly that
+	//       participant set — a head forging a row, or claiming my
+	//       participation in a subset round I never joined, is caught by me;
+	//   (d) solving the echoed rows over the claimed set yields the
+	//       announced ClusterSum — caught by every member, in or out of M.
 	if st.role == roleMember && st.head == a.Origin && viableCluster(st) && a.ClusterCnt > 0 {
 		m := len(st.roster.Entries)
 		c := p.nComponents()
+		full := message.FullMask(m)
+		k := bits.OnesCount64(a.Mask)
 		switch {
-		case int(a.Components) != c || len(a.FMatrix) != m*c ||
-			int(a.ClusterCnt) != m || len(a.ClusterSums) != c:
+		case int(a.Components) != c || a.Mask&^full != 0 ||
+			int(a.ClusterCnt) != k || len(a.FMatrix) != k*c ||
+			len(a.ClusterSums) != c:
 			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
 		default:
-			if p.forgedOwnRow(st, a) {
-				p.raiseAlarm(at, a.Origin, a.FMatrix[st.myIdx*c], st.fSeen[st.myIdx].Fs[0])
+			solver := st.algebra
+			if a.Mask != full {
+				sub, err := st.algebra.Subset(a.Mask)
+				if err != nil {
+					// Unsolvable claimed subset (e.g. below the viability
+					// minimum): an honest head never announces one.
+					p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+					return
+				}
+				solver = sub
+			}
+			if observed, expected, forged := p.ownRowForged(st, a, full); forged {
+				p.raiseAlarm(at, a.Origin, observed, expected)
 				return
 			}
-			column := make([]field.Element, m)
-			for k := 0; k < c; k++ {
-				for i := 0; i < m; i++ {
-					column[i] = a.FMatrix[i*c+k]
+			column := make([]field.Element, k)
+			for comp := 0; comp < c; comp++ {
+				for i := 0; i < k; i++ {
+					column[i] = a.FMatrix[i*c+comp]
 				}
-				sum, err := st.algebra.RecoverSum(column)
-				if err == nil && sum != a.ClusterSums[k] {
-					p.raiseAlarm(at, a.Origin, a.ClusterSums[k], sum)
+				sum, err := solver.RecoverSum(column)
+				if err == nil && sum != a.ClusterSums[comp] {
+					p.raiseAlarm(at, a.Origin, a.ClusterSums[comp], sum)
 					return
 				}
 			}
@@ -260,20 +301,42 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 	}
 }
 
-// forgedOwnRow reports whether the echoed F matrix disagrees with the
-// witness's own committed vector.
-func (p *Protocol) forgedOwnRow(st *nodeState, a message.Announce) bool {
-	own, ok := st.fSeen[st.myIdx]
-	if !ok {
-		return false
+// ownRowForged checks the witness's own row of the echoed F matrix when the
+// announce claims this member participated. For a full-mask announce the
+// row must match the assembled report the member committed; for a degraded
+// announce the member must actually hold a committed sub-report for exactly
+// the claimed subset — a head that degrade-announces a set including a
+// member that never joined that subset exchange forged the round, and that
+// member is guaranteed to notice. An honest head only degrade-solves when
+// it holds every claimed member's genuinely-sent sub-report with mask == M,
+// so this check never fires on honest rounds.
+func (p *Protocol) ownRowForged(st *nodeState, a message.Announce, full uint64) (observed, expected field.Element, forged bool) {
+	myBit := uint64(1) << uint(st.myIdx)
+	if a.Mask&myBit == 0 {
+		return 0, 0, false // not claimed as a participant: nothing to compare
+	}
+	var own *message.Assembled
+	if a.Mask == full {
+		if o, ok := st.fSeen[st.myIdx]; ok {
+			own = &o
+		}
+	} else {
+		if st.subSent == nil || st.subSent.Mask != a.Mask {
+			return 0, 0, true // forged participation in a subset round
+		}
+		own = st.subSent
+	}
+	if own == nil {
+		return 0, 0, false
 	}
 	c := int(a.Components)
+	row := bits.OnesCount64(a.Mask & (myBit - 1))
 	for k := 0; k < c && k < len(own.Fs); k++ {
-		if a.FMatrix[st.myIdx*c+k] != own.Fs[k] {
-			return true
+		if a.FMatrix[row*c+k] != own.Fs[k] {
+			return a.FMatrix[row*c+k], own.Fs[k], true
 		}
 	}
-	return false
+	return 0, 0, false
 }
 
 // firstOrZero returns the first component or zero.

@@ -76,6 +76,11 @@ type Config struct {
 	// no F-vector echo and nobody verifies them), isolating what integrity
 	// enforcement costs on top of privacy-preserving aggregation.
 	NoWitness bool
+	// NoDegrade disables degraded subset recovery (ablation: a cluster
+	// whose share exchange is still incomplete after the repoll fails the
+	// whole round instead of re-aggregating over the maximal common
+	// participant subset).
+	NoDegrade bool
 
 	// Attack configuration: Polluter < 0 disables the attack.
 	Polluter       topo.NodeID
@@ -145,8 +150,18 @@ type nodeState struct {
 	algebra *shares.Algebra
 
 	recvShares [][]field.Element // by roster index: component vector
-	recvMask   uint16
+	recvMask   uint64
 	fSeen      map[int]message.Assembled // by roster index
+
+	// Degraded subset recovery (the resilience path). subMask is the head's
+	// announced common participant subset M (0 = no degradation this round);
+	// the sub* fields hold the fresh degree-|M|-1 exchange restricted to M.
+	subMask     uint64
+	subShares   [][]field.Element // by roster index: received sub-shares
+	subRecvMask uint64
+	subSent     *message.Assembled        // the sub-report this node committed
+	fSub        map[int]message.Assembled // head: sub-reports by roster index
+	effMask     uint64                    // head: participant set actually solved
 
 	plainSums []field.Element // heads under UndersizedPlain: component sums
 	plainCnt  uint32
@@ -170,6 +185,11 @@ type Protocol struct {
 	bsCount      uint32
 	bsAlarms     map[string]message.Alarm
 	alarmsRaised int
+
+	// Resilience accounting for the last round: clusters recovered over a
+	// strict participant subset vs clusters that contributed nothing.
+	degradedClusters int
+	failedClusters   int
 
 	startBytes int
 	startMsgs  int
@@ -205,6 +225,14 @@ func New(env *wsn.Env, cfg Config) (*Protocol, error) {
 		cfg.AssembleAt <= cfg.SharesAt || cfg.AggAt <= cfg.AssembleAt {
 		return nil, fmt.Errorf("core: phase times must increase: %+v", cfg)
 	}
+	// The in-phase schedule carves each window into up to 32 jitter slots,
+	// so degenerate sub-nanosecond windows must be rejected here rather than
+	// surface as a zero-range jitter draw mid-round.
+	if cfg.SharesAt-cfg.RosterAt < minPhaseWindow ||
+		cfg.AssembleAt-cfg.SharesAt < minPhaseWindow ||
+		cfg.AggAt-cfg.AssembleAt < minPhaseWindow {
+		return nil, fmt.Errorf("core: phase windows below %v: %+v", minPhaseWindow, cfg)
+	}
 	if cfg.EpochSlot <= 0 || cfg.MaxHops < 1 {
 		return nil, fmt.Errorf("core: invalid schedule %+v", cfg)
 	}
@@ -230,6 +258,20 @@ func New(env *wsn.Env, cfg Config) (*Protocol, error) {
 // for (N=400 on the papers' 400 m × 400 m, r=50 m field).
 const referenceDegree = 18.0
 
+// minPhaseWindow is the smallest usable phase window: wide enough that the
+// finest jitter slice (window/32) stays positive and the repoll/degrade
+// checkpoints remain distinct instants.
+const minPhaseWindow = time.Millisecond
+
+// jitter draws a uniform delay in [0, d), degenerating to 0 for empty
+// windows instead of panicking like rand.Int63n would.
+func (p *Protocol) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(p.env.Rng.Int63n(int64(d)))
+}
+
 // Run executes one query round and returns the base station's view.
 func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	p.round = round
@@ -248,6 +290,8 @@ func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	p.bsCount = 0
 	p.bsAlarms = make(map[string]message.Alarm)
 	p.alarmsRaised = 0
+	p.degradedClusters = 0
+	p.failedClusters = 0
 	p.startBytes = p.env.Rec.TotalTxBytes()
 	p.startMsgs = p.env.Rec.TotalTxMessages()
 	p.startApp = p.env.Rec.AppMessages()
@@ -290,18 +334,20 @@ func (p *Protocol) result() metrics.RoundResult {
 	cnt := int64(p.bsCount)
 	accepted := len(p.bsAlarms) == 0 && cnt <= p.env.TrueCount()
 	return metrics.RoundResult{
-		Protocol:     "icpda",
-		TrueSum:      p.env.TrueSum(),
-		TrueCount:    p.env.TrueCount(),
-		ReportedSum:  reported,
-		ReportedCnt:  cnt,
-		Participants: int(cnt),
-		Covered:      covered,
-		Accepted:     accepted,
-		Alarms:       len(p.bsAlarms),
-		TxBytes:      p.env.Rec.TotalTxBytes() - p.startBytes,
-		TxMessages:   p.env.Rec.TotalTxMessages() - p.startMsgs,
-		AppMessages:  p.env.Rec.AppMessages() - p.startApp,
+		Protocol:         "icpda",
+		TrueSum:          p.env.TrueSum(),
+		TrueCount:        p.env.TrueCount(),
+		ReportedSum:      reported,
+		ReportedCnt:      cnt,
+		Participants:     int(cnt),
+		Covered:          covered,
+		Accepted:         accepted,
+		Alarms:           len(p.bsAlarms),
+		DegradedClusters: p.degradedClusters,
+		FailedClusters:   p.failedClusters,
+		TxBytes:          p.env.Rec.TotalTxBytes() - p.startBytes,
+		TxMessages:       p.env.Rec.TotalTxMessages() - p.startMsgs,
+		AppMessages:      p.env.Rec.AppMessages() - p.startApp,
 	}
 }
 
@@ -317,7 +363,7 @@ func (p *Protocol) scheduleCrashes() {
 			continue
 		}
 		id := topo.NodeID(i)
-		at := time.Duration(p.env.Rng.Int63n(int64(horizon)))
+		at := p.jitter(horizon)
 		p.env.Eng.After(at, func() {
 			p.env.Tracef(id, "crash", "fail-stop")
 			p.env.MAC.Disable(id)

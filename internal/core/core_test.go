@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/message"
 	"repro/internal/shares"
 	"repro/internal/topo"
 	"repro/internal/wsn"
@@ -40,6 +41,10 @@ func TestNewValidation(t *testing.T) {
 		func(c *Config) { c.EpochSlot = 0 },
 		func(c *Config) { c.MaxHops = 0 },
 		func(c *Config) { c.Undersized = 0 },
+		// Phase windows too narrow for the in-phase jitter schedule.
+		func(c *Config) { c.AssembleAt = c.SharesAt + minPhaseWindow/2 },
+		func(c *Config) { c.AggAt = c.AssembleAt + minPhaseWindow/2 },
+		func(c *Config) { c.SharesAt = c.RosterAt + minPhaseWindow/2 },
 	}
 	for i, mut := range muts {
 		cfg := DefaultConfig()
@@ -255,8 +260,8 @@ func TestClusterSizesRespectCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, h := range p.Heads() {
-		if m := len(p.nodes[h].roster.Entries); m > shares.MinClusterSize && m > 16 {
-			t.Errorf("head %d has %d members, cap is 16", h, m)
+		if m := len(p.nodes[h].roster.Entries); m > shares.MinClusterSize && m > message.MaxClusterSize {
+			t.Errorf("head %d has %d members, cap is %d", h, m, message.MaxClusterSize)
 		}
 	}
 }
@@ -313,7 +318,8 @@ func TestPropertyNoDistortionOnIdealChannel(t *testing.T) {
 			if !viableCluster(st) || st.head < 0 {
 				continue
 			}
-			if _, _, ok := p.solveCluster(&p.nodes[st.head]); !ok {
+			_, _, effMask, ok := p.solveCluster(&p.nodes[st.head])
+			if !ok || effMask&(uint64(1)<<uint(st.myIdx)) == 0 {
 				continue
 			}
 			if !p.rootedAtBS(st.head) {
@@ -329,5 +335,90 @@ func TestPropertyNoDistortionOnIdealChannel(t *testing.T) {
 		if !res.Accepted || res.Alarms != 0 {
 			t.Fatalf("seed %d: clean round rejected", seed)
 		}
+	}
+}
+
+// TestBigClusterRoundRegression pins the uint64 mask widening: a cluster
+// with more than 16 members (beyond the old uint16 mask) must exchange,
+// assemble, solve, and witness exactly like a small one. Seed 2 at Pc=0.05
+// deterministically yields a 27-member cluster on a connected deployment.
+func TestBigClusterRoundRegression(t *testing.T) {
+	env, p := run(t, 600, 2, true, func(c *Config) { c.Pc = 0.05 })
+	if !env.Net.Connected() {
+		t.Fatal("expected connected deployment at this seed")
+	}
+	r, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigHead topo.NodeID = -1
+	maxM := 0
+	for _, h := range p.Heads() {
+		if m := len(p.nodes[h].roster.Entries); m > maxM {
+			maxM, bigHead = m, h
+		}
+	}
+	if maxM <= 16 {
+		t.Fatalf("largest cluster has %d members; the regression needs >16", maxM)
+	}
+	if !r.Accepted || r.Alarms != 0 {
+		t.Errorf("big-cluster round: accepted=%v alarms=%d", r.Accepted, r.Alarms)
+	}
+	if part := r.ParticipationRate(); part < 0.95 {
+		t.Errorf("participation %.3f; big clusters should not lose members", part)
+	}
+	if st := &p.nodes[bigHead]; st.effMask != message.FullMask(maxM) {
+		t.Errorf("big cluster solved mask %#x, want full %#x", st.effMask, message.FullMask(maxM))
+	}
+}
+
+// TestDegradedRecoveryEndToEnd drives the full degraded path through a real
+// lossy round: 30% loss on assembled broadcasts (ARQ does not protect
+// broadcasts) forces heads into repoll and subset recovery. Degraded clusters
+// must appear, the round must stay accepted with zero alarms, and the same
+// deployment with recovery disabled must lose more participants.
+func TestDegradedRecoveryEndToEnd(t *testing.T) {
+	const seed = 21
+	build := func(noDegrade bool) (*wsn.Env, *Protocol) {
+		t.Helper()
+		wcfg := wsn.DefaultConfig(400, seed)
+		wcfg.Radio.LossByKind = map[string]float64{"assembled": 0.3}
+		env, err := wsn.NewEnv(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.NoDegrade = noDegrade
+		p, err := New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env, p
+	}
+	env, p := build(false)
+	if !env.Net.Connected() {
+		t.Fatal("expected connected deployment at this seed")
+	}
+	r, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DegradedClusters == 0 {
+		t.Error("30% assembled loss produced no degraded clusters")
+	}
+	if !r.Accepted || r.Alarms != 0 {
+		t.Errorf("honest degraded round: accepted=%v alarms=%d", r.Accepted, r.Alarms)
+	}
+	_, p2 := build(true)
+	r2, err := p2.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Accepted {
+		t.Errorf("honest no-degrade round rejected with %d alarms", r2.Alarms)
+	}
+	if r.ParticipationRate() <= r2.ParticipationRate() {
+		t.Errorf("degraded recovery did not help: %.3f (on) <= %.3f (off)",
+			r.ParticipationRate(), r2.ParticipationRate())
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/message"
 )
 
 // TestDebugClusterDiagnostics prints the internal pipeline state; it never
@@ -23,11 +25,11 @@ func TestDebugClusterDiagnostics(t *testing.T) {
 		}
 		viable++
 		memberTotal += len(st.roster.Entries)
-		if _, _, ok := p.solveCluster(st); ok {
+		if _, _, _, ok := p.solveCluster(st); ok {
 			solved++
 		} else {
 			m := len(st.roster.Entries)
-			full := uint16(1)<<uint(m) - 1
+			full := message.FullMask(m)
 			missing, badMask := 0, 0
 			for i := 0; i < m; i++ {
 				a, ok := st.fSeen[i]

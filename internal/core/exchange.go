@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"math/bits"
 
 	"repro/internal/field"
 	"repro/internal/message"
@@ -23,13 +23,11 @@ func (p *Protocol) scheduleShareExchange() {
 			// Undersized cluster: the plain policy reports readings
 			// link-encrypted to the head; the drop policy sits out.
 			if p.cfg.Undersized == UndersizedPlain && st.role == roleMember {
-				jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
-				p.env.Eng.After(jitter, func() { p.sendPlainReading(id) })
+				p.env.Eng.After(p.jitter(window/2), func() { p.sendPlainReading(id) })
 			}
 			continue
 		}
-		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
-		p.env.Eng.After(jitter, func() { p.exchangeShares(id) })
+		p.env.Eng.After(p.jitter(window/2), func() { p.exchangeShares(id) })
 	}
 }
 
@@ -107,7 +105,9 @@ func (p *Protocol) onRelay(at topo.NodeID, msg *message.Message) {
 		return
 	}
 	if inner.To == at {
-		p.onShare(at, inner)
+		// Dispatch through receive so relayed sub-shares (and any future
+		// relayed kind) reach their handler, not just first-phase shares.
+		p.receive(at, inner)
 		return
 	}
 	// Forward hop: only a head relays, and only for its own cluster.
@@ -151,7 +151,7 @@ func (p *Protocol) onShare(at topo.NodeID, msg *message.Message) {
 // acceptShare stores one share vector from roster index senderIdx.
 func (p *Protocol) acceptShare(at topo.NodeID, senderIdx int, vec []field.Element) {
 	st := &p.nodes[at]
-	bit := uint16(1) << uint(senderIdx)
+	bit := uint64(1) << uint(senderIdx)
 	if st.recvMask&bit != 0 {
 		return // duplicate
 	}
@@ -159,7 +159,14 @@ func (p *Protocol) acceptShare(at topo.NodeID, senderIdx int, vec []field.Elemen
 	st.recvShares[senderIdx] = vec
 }
 
-// scheduleAssembledBroadcasts has every participant publish its column sum.
+// scheduleAssembledBroadcasts has every participant publish its column sum
+// in the first quarter of the window, leaving the rest of the window to the
+// head's resilience checkpoints: a repoll of missing reporters at 3/8, and
+// the degraded-recovery decision at the half mark. The checkpoints sit in
+// the window's first half deliberately — the sub-exchange they may trigger
+// finishes around 2/3, and the remaining third drains the MAC queues so
+// recovery traffic cannot collide with the announce phase (which costs far
+// more than it saves: one congested announce relay loses a whole subtree).
 func (p *Protocol) scheduleAssembledBroadcasts() {
 	window := p.cfg.AggAt - p.cfg.AssembleAt
 	for i := 1; i < p.env.Net.Size(); i++ {
@@ -168,8 +175,13 @@ func (p *Protocol) scheduleAssembledBroadcasts() {
 		if st.algebra == nil || st.myIdx < 0 {
 			continue
 		}
-		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 2)))
-		p.env.Eng.After(jitter, func() { p.broadcastAssembled(id) })
+		p.env.Eng.After(p.jitter(window/4), func() { p.broadcastAssembled(id) })
+		if st.role == roleHead {
+			p.env.Eng.After(window*3/8, func() { p.repollMissing(id) })
+			if !p.cfg.NoDegrade {
+				p.env.Eng.After(window/2, func() { p.maybeDegrade(id) })
+			}
+		}
 	}
 }
 
@@ -226,33 +238,348 @@ func (p *Protocol) onAssembled(at topo.NodeID, msg *message.Message) {
 	st.fSeen[senderIdx] = a
 }
 
-// solveCluster recovers the cluster's component sums from a complete,
-// consistent set of assembled vectors. Returns ok=false when any value or
-// mask is missing or inconsistent (the cluster fails the round — data loss,
-// not attack).
-func (p *Protocol) solveCluster(st *nodeState) ([]field.Element, uint32, bool) {
+// solveCluster recovers the cluster's component sums, preferring the full
+// exchange and falling back to the degraded subset when one ran. It returns
+// the effective participant mask the sums cover; ok=false means the cluster
+// contributes nothing this round (data loss, not attack).
+func (p *Protocol) solveCluster(st *nodeState) ([]field.Element, uint32, uint64, bool) {
 	m := len(st.roster.Entries)
 	if st.algebra == nil || m == 0 {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	c := p.nComponents()
-	full := uint16(1)<<uint(m) - 1
+	full := message.FullMask(m)
 	if cap(p.scratchRows) < m {
 		p.scratchRows = make([][]field.Element, m)
 	}
 	rows := p.scratchRows[:m]
+	complete := true
 	for i := 0; i < m; i++ {
 		a, ok := st.fSeen[i]
 		if !ok || a.Mask != full || len(a.Fs) != c {
-			return nil, 0, false
+			complete = false
+			break
 		}
 		rows[i] = a.Fs
 	}
-	sums := make([]field.Element, c)
-	if err := st.algebra.RecoverSumInto(sums, rows); err != nil {
-		return nil, 0, false
+	if complete {
+		sums := make([]field.Element, c)
+		if err := st.algebra.RecoverSumInto(sums, rows); err != nil {
+			return nil, 0, 0, false
+		}
+		return sums, uint32(m), full, true
 	}
-	return sums, uint32(m), true
+	// Degraded fallback: the subset exchange is sound only when every member
+	// of M committed a sub-report built on exactly M (the degree-|M|-1
+	// polynomials need all |M| column sums).
+	mask := st.subMask
+	if p.cfg.NoDegrade || mask == 0 {
+		return nil, 0, 0, false
+	}
+	sub, err := st.algebra.Subset(mask)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	subRows := p.scratchRows[:0]
+	for i := 0; i < m; i++ {
+		if mask&(uint64(1)<<uint(i)) == 0 {
+			continue
+		}
+		a, ok := st.fSub[i]
+		if !ok || a.Mask != mask || len(a.Fs) != c {
+			return nil, 0, 0, false
+		}
+		subRows = append(subRows, a.Fs)
+	}
+	sums := make([]field.Element, c)
+	if err := sub.RecoverSumInto(sums, subRows); err != nil {
+		return nil, 0, 0, false
+	}
+	return sums, uint32(sub.Size()), mask, true
+}
+
+// repollMissing is the bounded retry before degrading: at 3/8 of the
+// assembly window the head unicasts a repoll to every member whose report
+// is still missing or was assembled from an incomplete share set, so the
+// member re-commits with whatever shares arrived in the meantime.
+func (p *Protocol) repollMissing(id topo.NodeID) {
+	st := &p.nodes[id]
+	if st.role != roleHead || !viableCluster(st) {
+		return
+	}
+	full := message.FullMask(len(st.roster.Entries))
+	for i, e := range st.roster.Entries {
+		if i == st.myIdx {
+			continue
+		}
+		if a, ok := st.fSeen[i]; ok && a.Mask == full {
+			continue
+		}
+		p.env.MAC.Send(message.Build(message.KindRepoll, id, e.ID, p.round, nil))
+	}
+}
+
+// onRepoll re-broadcasts the member's assembled report, recomputed so that
+// shares which arrived after the first commitment are included.
+func (p *Protocol) onRepoll(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.role != roleMember || st.head != msg.From || st.algebra == nil || st.myIdx < 0 {
+		return
+	}
+	window := p.cfg.AggAt - p.cfg.AssembleAt
+	p.env.Eng.After(p.jitter(window/16), func() { p.broadcastAssembled(at) })
+}
+
+// maybeDegrade is the head's degraded-recovery decision half-way through
+// the assembly window. If the report set is still incomplete or inconsistent,
+// the head computes the maximal common participant subset M — members whose
+// shares every reporter received — and, when M keeps the cluster viable,
+// broadcasts a Reassemble so M re-runs the exchange over degree-|M|-1
+// polynomials. A smaller M means the round fails for this cluster.
+func (p *Protocol) maybeDegrade(id topo.NodeID) {
+	st := &p.nodes[id]
+	if st.role != roleHead || !viableCluster(st) {
+		return
+	}
+	m := len(st.roster.Entries)
+	full := message.FullMask(m)
+	complete := true
+	common := ^uint64(0)
+	var reporters uint64
+	for i := 0; i < m; i++ {
+		a, ok := st.fSeen[i]
+		if !ok || a.Mask != full {
+			complete = false
+		}
+		if !ok {
+			continue
+		}
+		reporters |= uint64(1) << uint(i)
+		common &= a.Mask
+	}
+	if complete {
+		return // the full solve will succeed; nothing to repair
+	}
+	mask := common & reporters & full
+	if bits.OnesCount64(mask) < shares.MinClusterSize {
+		return // beyond repair: the cluster fails the round
+	}
+	p.env.Tracef(id, "degrade", "reassemble mask=%#x (%d of %d members)",
+		mask, bits.OnesCount64(mask), m)
+	st.fSub = make(map[int]message.Assembled, bits.OnesCount64(mask))
+	payload := message.MarshalReassemble(message.Reassemble{Mask: mask})
+	window := p.cfg.AggAt - p.cfg.AssembleAt
+	send := func() {
+		p.env.MAC.Send(message.Build(message.KindReassemble, id, message.BroadcastID, p.round, payload))
+	}
+	// Broadcast twice, jittered, for loss resilience (a member of M that
+	// misses both copies sends no sub-report, failing the degraded solve).
+	p.env.Eng.After(p.jitter(window/32), send)
+	p.env.Eng.After(window/32+p.jitter(window/32), send)
+	p.startSubExchange(id, mask)
+}
+
+// onReassemble joins a member into its head's degraded subset exchange.
+func (p *Protocol) onReassemble(at topo.NodeID, msg *message.Message) {
+	st := &p.nodes[at]
+	if p.cfg.NoDegrade || st.role != roleMember || st.head != msg.From || !viableCluster(st) {
+		return
+	}
+	r, err := message.UnmarshalReassemble(msg.Payload)
+	if err != nil {
+		return
+	}
+	p.startSubExchange(at, r.Mask)
+}
+
+// startSubExchange installs the subset state and, when this node is a
+// member of M, schedules its sub-share distribution and sub-report.
+func (p *Protocol) startSubExchange(id topo.NodeID, mask uint64) {
+	st := &p.nodes[id]
+	m := len(st.roster.Entries)
+	mask &= message.FullMask(m)
+	if st.algebra == nil || st.myIdx < 0 || bits.OnesCount64(mask) < shares.MinClusterSize {
+		return
+	}
+	if st.subMask == mask {
+		return // duplicate Reassemble broadcast
+	}
+	st.subMask = mask
+	st.subRecvMask = 0
+	st.subShares = make([][]field.Element, m)
+	st.subSent = nil
+	if mask&(uint64(1)<<uint(st.myIdx)) == 0 {
+		return // not in M: the node only relays for the subset exchange
+	}
+	window := p.cfg.AggAt - p.cfg.AssembleAt
+	p.env.Eng.After(p.jitter(window/64), func() { p.exchangeSubShares(id) })
+	p.env.Eng.After(window/8+p.jitter(window/32), func() { p.sendSubAssembled(id) })
+}
+
+// exchangeSubShares distributes one fresh degree-|M|-1 share vector per
+// query component to every co-member of the subset (direct link-encrypted
+// unicast, or relayed through the head when out of mutual range). Each frame
+// is scheduled with its own jitter rather than queued in one burst: |M|
+// back-to-back unicasts per member would hold the neighbourhood's medium for
+// the rest of the window and starve the announce phase behind it.
+func (p *Protocol) exchangeSubShares(id topo.NodeID) {
+	st := &p.nodes[id]
+	mask := st.subMask
+	if mask == 0 || st.algebra == nil {
+		return
+	}
+	sub, err := st.algebra.Subset(mask)
+	if err != nil {
+		return
+	}
+	c := p.nComponents()
+	window := p.cfg.AggAt - p.cfg.AssembleAt
+	reading := p.readingVector(id)
+	outs := make([]shares.Shares, c)
+	for k := 0; k < c; k++ {
+		sub.GenerateInto(p.env.Rng, reading[k], &outs[k])
+	}
+	j := 0 // position within the subset's seed order
+	for i, entry := range st.roster.Entries {
+		if mask&(uint64(1)<<uint(i)) == 0 {
+			continue
+		}
+		vec := make([]field.Element, c)
+		for k := 0; k < c; k++ {
+			vec[k] = outs[k].ForMember[j]
+		}
+		j++
+		target := entry.ID
+		if target == id {
+			p.acceptSubShare(id, i, vec)
+			continue
+		}
+		if !p.env.HasLinkKey(id, target) {
+			continue
+		}
+		pt, err := message.MarshalValues(vec)
+		if err != nil {
+			continue
+		}
+		sealed, err := p.env.Seal(id, target, pt)
+		if err != nil {
+			continue
+		}
+		frame := message.Build(message.KindSubShare, id, target, p.round, sealed)
+		if !p.env.Net.InRange(id, target) {
+			innerBytes, err := frame.Marshal()
+			if err != nil {
+				continue
+			}
+			relayPayload, err := message.MarshalRelay(message.Relay{Inner: innerBytes})
+			if err != nil {
+				continue
+			}
+			frame = message.Build(message.KindRelay, id, st.head, p.round, relayPayload)
+		}
+		p.env.Eng.After(p.jitter(window/16), func() { p.env.MAC.Send(frame) })
+	}
+}
+
+// onSubShare decrypts and records a degraded-recovery share.
+func (p *Protocol) onSubShare(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.algebra == nil || st.myIdx < 0 || st.subMask == 0 {
+		return
+	}
+	senderIdx := -1
+	for i, e := range st.roster.Entries {
+		if e.ID == msg.From {
+			senderIdx = i
+			break
+		}
+	}
+	if senderIdx < 0 || st.subMask&(uint64(1)<<uint(senderIdx)) == 0 {
+		return
+	}
+	pt, err := p.env.Open(msg.From, at, msg.Payload)
+	if err != nil {
+		return
+	}
+	vec, err := message.UnmarshalValues(pt)
+	if err != nil || len(vec) != p.nComponents() {
+		return
+	}
+	p.acceptSubShare(at, senderIdx, vec)
+}
+
+// acceptSubShare stores one sub-share vector from roster index senderIdx.
+func (p *Protocol) acceptSubShare(at topo.NodeID, senderIdx int, vec []field.Element) {
+	st := &p.nodes[at]
+	bit := uint64(1) << uint(senderIdx)
+	if st.subRecvMask&bit != 0 {
+		return
+	}
+	st.subRecvMask |= bit
+	st.subShares[senderIdx] = vec
+}
+
+// sendSubAssembled commits the member's degraded column sum to its head.
+// The carried mask is what the member actually received, so a head can only
+// solve — and a witness only accept — subsets every member fully covers.
+func (p *Protocol) sendSubAssembled(id topo.NodeID) {
+	st := &p.nodes[id]
+	if st.subMask == 0 {
+		return
+	}
+	c := p.nComponents()
+	fs := make([]field.Element, c)
+	for i := range st.subShares {
+		if st.subShares[i] != nil {
+			field.AddInto(fs, st.subShares[i])
+		}
+	}
+	a := message.Assembled{Fs: fs, Mask: st.subRecvMask}
+	st.subSent = &a
+	if st.role == roleHead {
+		if st.fSub == nil {
+			st.fSub = make(map[int]message.Assembled)
+		}
+		st.fSub[st.myIdx] = a
+		return
+	}
+	payload, err := message.MarshalAssembled(a)
+	if err != nil {
+		return
+	}
+	p.env.MAC.Send(message.Build(message.KindSubAssembled, id, st.head, p.round, payload))
+}
+
+// onSubAssembled records a member's degraded column sum at its head.
+func (p *Protocol) onSubAssembled(at topo.NodeID, msg *message.Message) {
+	if msg.To != at {
+		return
+	}
+	st := &p.nodes[at]
+	if st.role != roleHead || st.subMask == 0 || st.fSub == nil {
+		return
+	}
+	senderIdx := -1
+	for i, e := range st.roster.Entries {
+		if e.ID == msg.From {
+			senderIdx = i
+			break
+		}
+	}
+	if senderIdx < 0 || st.subMask&(uint64(1)<<uint(senderIdx)) == 0 {
+		return
+	}
+	a, err := message.UnmarshalAssembled(msg.Payload)
+	if err != nil || len(a.Fs) != p.nComponents() {
+		return
+	}
+	st.fSub[senderIdx] = a
 }
 
 // sendPlainReading implements the UndersizedPlain fallback: the member

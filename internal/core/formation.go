@@ -42,6 +42,14 @@ func (p *Protocol) receive(at topo.NodeID, msg *message.Message) {
 		p.onRelay(at, msg)
 	case message.KindAssembled:
 		p.onAssembled(at, msg)
+	case message.KindRepoll:
+		p.onRepoll(at, msg)
+	case message.KindReassemble:
+		p.onReassemble(at, msg)
+	case message.KindSubShare:
+		p.onSubShare(at, msg)
+	case message.KindSubAssembled:
+		p.onSubAssembled(at, msg)
 	case message.KindAnnounce:
 		p.onAnnounce(at, msg)
 	case message.KindReading:
@@ -80,13 +88,11 @@ func (p *Protocol) onHello(at topo.NodeID, msg *message.Message) {
 		st.role = roleHead
 		st.head = at
 		p.env.Tracef(at, "election", "became head at hops=%d", hops)
-		jitter := time.Duration(p.env.Rng.Int63n(int64(80 * time.Millisecond)))
-		p.env.Eng.After(jitter, func() { p.sendHello(at, helloHead, hops) })
+		p.env.Eng.After(p.jitter(80*time.Millisecond), func() { p.sendHello(at, helloHead, hops) })
 		return
 	}
 	st.role = roleMember
-	jitter := time.Duration(p.env.Rng.Int63n(int64(80 * time.Millisecond)))
-	p.env.Eng.After(jitter, func() { p.sendHello(at, helloMember, hops) })
+	p.env.Eng.After(p.jitter(80*time.Millisecond), func() { p.sendHello(at, helloMember, hops) })
 	if !st.joinOn {
 		st.joinOn = true
 		p.env.Eng.After(p.cfg.JoinWait, func() { p.join(at) })
@@ -179,8 +185,7 @@ func (p *Protocol) dissolve(id topo.NodeID) {
 	if err != nil {
 		return
 	}
-	jitter := time.Duration(p.env.Rng.Int63n(int64(50 * time.Millisecond)))
-	p.env.Eng.After(jitter, func() {
+	p.env.Eng.After(p.jitter(50*time.Millisecond), func() {
 		p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
 	})
 	st.role = roleMember
@@ -228,7 +233,7 @@ func (p *Protocol) finalRosters() {
 			continue
 		}
 		p.installRoster(id, roster)
-		jitter := time.Duration(p.env.Rng.Int63n(int64(window / 4)))
+		jitter := p.jitter(window / 4)
 		p.env.Eng.After(jitter, func() {
 			p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
 		})

@@ -26,6 +26,11 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 			st.recvShares[j] = nil
 		}
 		st.fSeen = make(map[int]message.Assembled)
+		st.subMask, st.subRecvMask = 0, 0
+		st.subShares = nil
+		st.subSent = nil
+		st.fSub = nil
+		st.effMask = 0
 		st.plainSums, st.plainCnt = nil, 0
 		st.children = nil
 		st.myAnnounce = nil
@@ -36,6 +41,8 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 	p.bsCount = 0
 	p.bsAlarms = make(map[string]message.Alarm)
 	p.alarmsRaised = 0
+	p.degradedClusters = 0
+	p.failedClusters = 0
 	p.startBytes = p.env.Rec.TotalTxBytes()
 	p.startMsgs = p.env.Rec.TotalTxMessages()
 	p.startApp = p.env.Rec.AppMessages()

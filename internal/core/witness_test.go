@@ -184,6 +184,83 @@ func TestChildWitnessCatchesEchoTamper(t *testing.T) {
 	}
 }
 
+// TestWitnessCatchesForgedEffectiveMask pins the degraded-recovery attack
+// surface: a head that claims a subset round which never happened. The forged
+// announce is made fully self-consistent — subset mask, matching count, the
+// restricted F matrix, and sums that re-solve correctly over the claimed
+// subset — so every structural and algebraic check passes. Only the witness's
+// own knowledge (it never committed a sub-report for this mask) exposes it.
+func TestWitnessCatchesForgedEffectiveMask(t *testing.T) {
+	env, p := run(t, 400, 61, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// A subset needs >= 3 participants after dropping one, so find a viable
+	// member of a cluster with at least 4 whose head announced the full mask.
+	var head, member topo.NodeID = -1, -1
+	for i := 1; i < env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		ms := &p.nodes[id]
+		if ms.role != roleMember || ms.myIdx < 0 || !viableCluster(ms) ||
+			len(ms.roster.Entries) < 4 {
+			continue
+		}
+		h := ms.head
+		hs := &p.nodes[h]
+		if hs.myAnnounce != nil && hs.myAnnounce.Mask == message.FullMask(len(ms.roster.Entries)) &&
+			len(hs.myAnnounce.FMatrix) > 0 {
+			head, member = h, id
+			break
+		}
+	}
+	if member < 0 {
+		t.Skip("no viable member of a >=4 cluster")
+	}
+	a := honestAnnounce(t, p, head)
+	st := &p.nodes[member]
+	m := len(st.roster.Entries)
+	full := message.FullMask(m)
+	drop := 0
+	if drop == st.myIdx {
+		drop = 1
+	}
+	mask := full &^ (uint64(1) << uint(drop))
+	c := int(a.Components)
+	k := m - 1
+	rows := make([]field.Element, 0, k*c)
+	for i := 0; i < m; i++ {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			rows = append(rows, a.FMatrix[i*c:(i+1)*c]...)
+		}
+	}
+	sub, err := st.algebra.Subset(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Mask = mask
+	a.ClusterCnt = uint32(k)
+	a.FMatrix = rows
+	col := make([]field.Element, k)
+	for comp := 0; comp < c; comp++ {
+		for i := 0; i < k; i++ {
+			col[i] = rows[i*c+comp]
+		}
+		sum, err := sub.RecoverSum(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ClusterSums[comp] = sum
+	}
+	before := p.alarmsRaised
+	p.witnessAnnounce(member, a)
+	if p.alarmsRaised != before+1 {
+		t.Error("forged effective mask not witnessed")
+	}
+}
+
 // columnOf extracts component k's assembled column from an announce.
 func columnOf(a message.Announce, k, m int) []field.Element {
 	c := int(a.Components)

@@ -63,16 +63,39 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// CSV renders the result as comma-separated values.
+// CSV renders the result as RFC 4180 comma-separated values: cells
+// containing commas, quotes, or line breaks are quoted with doubled inner
+// quotes. Notes, which are not tabular data, follow the rows as a trailing
+// `#`-prefixed comment line.
 func (r *Result) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(r.Columns, ","))
-	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
 	for _, row := range r.Rows {
-		b.WriteString(strings.Join(row, ","))
+		writeRow(row)
+	}
+	if r.Notes != "" {
+		b.WriteString("# ")
+		b.WriteString(strings.ReplaceAll(r.Notes, "\n", " "))
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// csvCell quotes a cell per RFC 4180 when its content requires it.
+func csvCell(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n\r") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
 }
 
 // Experiment regenerates one table or figure.

@@ -8,7 +8,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"F1-coverage", "F10-collusive", "F11-energy", "F12-crash",
-		"F13-breakdown", "F14-statistical", "F15-fading", "F16-integritycost", "F2-overhead", "F3-accuracy", "F4-privacy",
+		"F13-breakdown", "F14-statistical", "F15-fading", "F16-integritycost",
+		"F17-resilience", "F2-overhead", "F3-accuracy", "F4-privacy",
 		"F5-integrity", "F6-agreement", "F7-localization", "F8-collusion",
 		"F9-keyscheme", "T1-density", "T2-clusters",
 	}
@@ -52,6 +53,28 @@ func TestRenderAndCSV(t *testing.T) {
 	csv := r.CSV()
 	if !strings.HasPrefix(csv, "a,bee\n1,2\n333,4\n") {
 		t.Errorf("csv = %q", csv)
+	}
+	if !strings.HasSuffix(csv, "# note\n") {
+		t.Errorf("csv notes should trail as a comment line: %q", csv)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	r := &Result{
+		Columns: []string{"name", "value"},
+		Rows: [][]string{
+			{`plain`, `with,comma`},
+			{`has "quotes"`, "line\nbreak"},
+		},
+		Notes: "multi\nline note",
+	}
+	csv := r.CSV()
+	want := "name,value\n" +
+		"plain,\"with,comma\"\n" +
+		"\"has \"\"quotes\"\"\",\"line\nbreak\"\n" +
+		"# multi line note\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
 	}
 }
 

@@ -9,8 +9,22 @@ import (
 )
 
 // MaxClusterSize caps roster length so the member bitmask in Assembled and
-// Announce frames fits in a uint16.
-const MaxClusterSize = 16
+// Announce frames fits in a uint64. Rosters beyond the mask width are
+// rejected explicitly by the codecs — a bit shift must never silently wrap.
+const MaxClusterSize = 64
+
+// FullMask returns the bitmask with the low m bits set — the mask of a
+// complete roster of m members. It is shift-safe at the mask width boundary
+// (m == 64 returns all ones instead of wrapping to zero).
+func FullMask(m int) uint64 {
+	if m <= 0 {
+		return 0
+	}
+	if m >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(m) - 1
+}
 
 // MaxComponents caps the additive component vector a single round carries
 // (the largest query, the MIN/MAX histogram, uses 16).
@@ -81,18 +95,19 @@ func UnmarshalRoster(buf []byte) (Roster, error) {
 // inputs a cluster solve used.
 type Assembled struct {
 	Fs   []field.Element // one column sum per component
-	Mask uint16          // bit i set = member with roster index i contributed
+	Mask uint64          // bit i set = member with roster index i contributed
 }
 
-// MarshalAssembled encodes an Assembled payload.
+// MarshalAssembled encodes an Assembled payload: 1-byte component count,
+// 8-byte contribution mask, then 4 bytes per column sum.
 func MarshalAssembled(a Assembled) ([]byte, error) {
 	if len(a.Fs) == 0 || len(a.Fs) > MaxComponents {
 		return nil, fmt.Errorf("message: %d components out of [1, %d]", len(a.Fs), MaxComponents)
 	}
-	buf := make([]byte, 1+2+len(a.Fs)*4)
+	buf := make([]byte, 1+8+len(a.Fs)*4)
 	buf[0] = byte(len(a.Fs))
-	binary.BigEndian.PutUint16(buf[1:], a.Mask)
-	off := 3
+	binary.BigEndian.PutUint64(buf[1:], a.Mask)
+	off := 9
 	for _, f := range a.Fs {
 		binary.BigEndian.PutUint32(buf[off:], uint32(f))
 		off += 4
@@ -102,23 +117,47 @@ func MarshalAssembled(a Assembled) ([]byte, error) {
 
 // UnmarshalAssembled decodes an Assembled payload.
 func UnmarshalAssembled(buf []byte) (Assembled, error) {
-	if len(buf) < 3 {
+	if len(buf) < 9 {
 		return Assembled{}, ErrTruncated
 	}
 	c := int(buf[0])
 	if c == 0 || c > MaxComponents {
 		return Assembled{}, fmt.Errorf("message: bad component count %d", c)
 	}
-	if len(buf) < 3+c*4 {
+	if len(buf) < 9+c*4 {
 		return Assembled{}, ErrTruncated
 	}
-	a := Assembled{Mask: binary.BigEndian.Uint16(buf[1:]), Fs: make([]field.Element, c)}
-	off := 3
+	a := Assembled{Mask: binary.BigEndian.Uint64(buf[1:]), Fs: make([]field.Element, c)}
+	off := 9
 	for i := range a.Fs {
 		a.Fs[i] = field.Element(binary.BigEndian.Uint32(buf[off:]))
 		off += 4
 	}
 	return a, nil
+}
+
+// Reassemble is a cluster head's degraded-recovery announcement: the round's
+// full share exchange could not be completed consistently, so the head asks
+// the members named by Mask (roster-index bits) to run a fresh sub-share
+// exchange among themselves and re-report column sums restricted to that
+// subset.
+type Reassemble struct {
+	Mask uint64 // roster-index bits of the recovery subset M
+}
+
+// MarshalReassemble encodes a Reassemble payload.
+func MarshalReassemble(r Reassemble) []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, r.Mask)
+	return buf
+}
+
+// UnmarshalReassemble decodes a Reassemble payload.
+func UnmarshalReassemble(buf []byte) (Reassemble, error) {
+	if len(buf) < 8 {
+		return Reassemble{}, ErrTruncated
+	}
+	return Reassemble{Mask: binary.BigEndian.Uint64(buf)}, nil
 }
 
 // ChildEntry is one child cluster head's contribution as echoed in a
@@ -162,8 +201,15 @@ type Announce struct {
 	Origin      topo.NodeID     // the head that produced this announce
 	ClusterSums []field.Element // one per component; nil when the cluster failed
 	ClusterCnt  uint32          // members contributing (0 = cluster failed)
+	// Mask is the effective participant set the head solved over
+	// (roster-index bits): the full roster mask after a complete exchange, a
+	// strict subset after degraded recovery, zero when the cluster failed or
+	// reported plainly. Witnesses re-solve against exactly this subset, so a
+	// head cannot silently shrink or substitute the participant set.
+	Mask uint64
 	// FMatrix echoes the assembled values the head solved: row-major by
-	// roster index, Components values per member. Empty when the cluster
+	// ascending Mask bit (roster index for a full solve, subset order after
+	// degraded recovery), Components values per row. Empty when the cluster
 	// failed.
 	Components uint8
 	FMatrix    []field.Element
@@ -232,7 +278,7 @@ func MarshalAnnounce(a Announce) ([]byte, error) {
 		}
 	}
 	members := len(a.FMatrix) / c
-	size := 4 + 4 + 1 + 1 + 1 + 1 + len(a.ClusterSums)*4 + len(a.FMatrix)*4 +
+	size := 4 + 4 + 1 + 1 + 1 + 1 + 8 + len(a.ClusterSums)*4 + len(a.FMatrix)*4 +
 		len(a.Children)*(4+4+c*4)
 	buf := make([]byte, size)
 	binary.BigEndian.PutUint32(buf, uint32(int32(a.Origin)))
@@ -243,7 +289,8 @@ func MarshalAnnounce(a Announce) ([]byte, error) {
 	}
 	buf[10] = byte(members)
 	buf[11] = byte(len(a.Children))
-	off := 12
+	binary.BigEndian.PutUint64(buf[12:], a.Mask)
+	off := 20
 	for _, s := range a.ClusterSums {
 		binary.BigEndian.PutUint32(buf[off:], uint32(s))
 		off += 4
@@ -266,7 +313,7 @@ func MarshalAnnounce(a Announce) ([]byte, error) {
 
 // UnmarshalAnnounce decodes an Announce payload.
 func UnmarshalAnnounce(buf []byte) (Announce, error) {
-	if len(buf) < 12 {
+	if len(buf) < 20 {
 		return Announce{}, ErrTruncated
 	}
 	c := int(buf[8])
@@ -280,7 +327,7 @@ func UnmarshalAnnounce(buf []byte) (Announce, error) {
 	if hasSums {
 		sumLen = c
 	}
-	need := 12 + sumLen*4 + members*c*4 + nc*(8+c*4)
+	need := 20 + sumLen*4 + members*c*4 + nc*(8+c*4)
 	if len(buf) < need {
 		return Announce{}, ErrTruncated
 	}
@@ -288,8 +335,9 @@ func UnmarshalAnnounce(buf []byte) (Announce, error) {
 		Origin:     topo.NodeID(int32(binary.BigEndian.Uint32(buf))),
 		ClusterCnt: binary.BigEndian.Uint32(buf[4:]),
 		Components: uint8(c),
+		Mask:       binary.BigEndian.Uint64(buf[12:]),
 	}
-	off := 12
+	off := 20
 	if hasSums {
 		a.ClusterSums = make([]field.Element, c)
 		for i := range a.ClusterSums {

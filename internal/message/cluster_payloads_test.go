@@ -75,8 +75,23 @@ func TestRosterTruncated(t *testing.T) {
 	}
 }
 
+func TestFullMask(t *testing.T) {
+	cases := []struct {
+		m    int
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {3, 0b111}, {16, 0xFFFF}, {17, 0x1FFFF},
+		{63, ^uint64(0) >> 1}, {64, ^uint64(0)}, {65, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := FullMask(c.m); got != c.want {
+			t.Errorf("FullMask(%d) = %#x, want %#x", c.m, got, c.want)
+		}
+	}
+}
+
 func TestAssembledRoundTrip(t *testing.T) {
-	f := func(v1, v2 uint32, mask uint16) bool {
+	f := func(v1, v2 uint32, mask uint64) bool {
 		a := Assembled{Fs: []field.Element{field.New(uint64(v1)), field.New(uint64(v2))}, Mask: mask}
 		buf, err := MarshalAssembled(a)
 		if err != nil {
@@ -118,6 +133,7 @@ func TestAnnounceRoundTrip(t *testing.T) {
 		Origin:      3,
 		ClusterSums: []field.Element{1000, 2000},
 		ClusterCnt:  5,
+		Mask:        0b10111,
 		Components:  2,
 		FMatrix:     []field.Element{1, 2, 3, 4, 5, 6}, // 3 members x 2 components
 		Children: []ChildEntry{
@@ -135,6 +151,9 @@ func TestAnnounceRoundTrip(t *testing.T) {
 	}
 	if got.Origin != a.Origin || got.ClusterCnt != a.ClusterCnt || got.Components != 2 {
 		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Mask != a.Mask {
+		t.Fatalf("mask = %#x, want %#x", got.Mask, a.Mask)
 	}
 	if len(got.ClusterSums) != 2 || got.ClusterSums[1] != 2000 {
 		t.Fatalf("sums mismatch: %+v", got.ClusterSums)
@@ -235,6 +254,20 @@ func TestAnnounceTruncated(t *testing.T) {
 	a := Announce{Components: 1, Children: []ChildEntry{{Child: 1, Totals: []field.Element{2}, Count: 3}}}
 	buf, _ := MarshalAnnounce(a)
 	if _, err := UnmarshalAnnounce(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	r := Reassemble{Mask: 0xDEAD_BEEF_0000_0007}
+	got, err := UnmarshalReassemble(MarshalReassemble(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != r.Mask {
+		t.Errorf("mask = %#x, want %#x", got.Mask, r.Mask)
+	}
+	if _, err := UnmarshalReassemble([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -32,38 +32,46 @@ type Kind uint8
 
 // Message kinds. Numbering starts at 1 so a zero Kind is detectably invalid.
 const (
-	KindHello      Kind = iota + 1 // tree/cluster formation flood
-	KindJoin                       // cluster membership announcement
-	KindShare                      // encrypted CPDA polynomial share
-	KindAssembled                  // cleartext in-cluster assembled value F_j
-	KindAggregate                  // CH -> parent intermediate aggregate
-	KindAlarm                      // witness integrity alarm
-	KindReading                    // plain leaf reading (TAG)
-	KindSlice                      // encrypted iPDA data slice
-	KindRoster                     // CH -> cluster: member list with seeds
-	KindAnnounce                   // CH outgoing aggregate with witness detail
-	KindRelay                      // CH-relayed inner frame between members
-	KindAck                        // MAC-level acknowledgement
-	KindAttest                     // SDAP-lite: BS attestation challenge (sampled IDs)
-	KindAttestResp                 // SDAP-lite: sampled aggregator's attestation
+	KindHello        Kind = iota + 1 // tree/cluster formation flood
+	KindJoin                         // cluster membership announcement
+	KindShare                        // encrypted CPDA polynomial share
+	KindAssembled                    // cleartext in-cluster assembled value F_j
+	KindAggregate                    // CH -> parent intermediate aggregate
+	KindAlarm                        // witness integrity alarm
+	KindReading                      // plain leaf reading (TAG)
+	KindSlice                        // encrypted iPDA data slice
+	KindRoster                       // CH -> cluster: member list with seeds
+	KindAnnounce                     // CH outgoing aggregate with witness detail
+	KindRelay                        // CH-relayed inner frame between members
+	KindAck                          // MAC-level acknowledgement
+	KindAttest                       // SDAP-lite: BS attestation challenge (sampled IDs)
+	KindAttestResp                   // SDAP-lite: sampled aggregator's attestation
+	KindRepoll                       // CH -> member: retransmit your Assembled report
+	KindReassemble                   // CH -> cluster: degraded-recovery subset announcement
+	KindSubShare                     // encrypted degraded-recovery polynomial share
+	KindSubAssembled                 // member's degraded-recovery column sum
 	kindEnd
 )
 
 var kindNames = map[Kind]string{
-	KindHello:      "hello",
-	KindJoin:       "join",
-	KindShare:      "share",
-	KindAssembled:  "assembled",
-	KindAggregate:  "aggregate",
-	KindAlarm:      "alarm",
-	KindReading:    "reading",
-	KindSlice:      "slice",
-	KindRoster:     "roster",
-	KindAnnounce:   "announce",
-	KindRelay:      "relay",
-	KindAck:        "ack",
-	KindAttest:     "attest",
-	KindAttestResp: "attest-resp",
+	KindHello:        "hello",
+	KindJoin:         "join",
+	KindShare:        "share",
+	KindAssembled:    "assembled",
+	KindAggregate:    "aggregate",
+	KindAlarm:        "alarm",
+	KindReading:      "reading",
+	KindSlice:        "slice",
+	KindRoster:       "roster",
+	KindAnnounce:     "announce",
+	KindRelay:        "relay",
+	KindAck:          "ack",
+	KindAttest:       "attest",
+	KindAttestResp:   "attest-resp",
+	KindRepoll:       "repoll",
+	KindReassemble:   "reassemble",
+	KindSubShare:     "sub-share",
+	KindSubAssembled: "sub-assembled",
 }
 
 // String names the kind.

@@ -152,15 +152,24 @@ type RoundResult struct {
 	Covered      int  // nodes structurally able to participate
 	Accepted     bool // base-station integrity verdict
 	Alarms       int  // witness alarms received
-	TxBytes      int
-	TxMessages   int // all frames including MAC ACKs
-	AppMessages  int // frames excluding MAC ACKs
+
+	// Resilience accounting (degraded subset recovery).
+	DegradedClusters int // clusters recovered over a strict participant subset
+	FailedClusters   int // viable clusters that contributed nothing
+
+	TxBytes     int
+	TxMessages  int // all frames including MAC ACKs
+	AppMessages int // frames excluding MAC ACKs
 }
 
 // Accuracy is reported-sum / true-sum, the paper's accuracy metric
-// (1.0 = no data loss). Zero when the true sum is zero.
+// (1.0 = no data loss). A zero true sum reported exactly is perfect
+// accuracy, not zero; only a non-zero report against a zero truth is wrong.
 func (r RoundResult) Accuracy() float64 {
 	if r.TrueSum == 0 {
+		if r.ReportedSum == 0 {
+			return 1
+		}
 		return 0
 	}
 	return float64(r.ReportedSum) / float64(r.TrueSum)
@@ -169,6 +178,9 @@ func (r RoundResult) Accuracy() float64 {
 // CountAccuracy is the COUNT-aggregation analogue.
 func (r RoundResult) CountAccuracy() float64 {
 	if r.TrueCount == 0 {
+		if r.ReportedCnt == 0 {
+			return 1
+		}
 		return 0
 	}
 	return float64(r.ReportedCnt) / float64(r.TrueCount)

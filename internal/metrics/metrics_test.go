@@ -88,8 +88,18 @@ func TestRoundResultMetrics(t *testing.T) {
 }
 
 func TestRoundResultZeroDivision(t *testing.T) {
+	// A zero truth reported exactly is perfect accuracy — not a division by
+	// zero, and not the 0.0 the naive guard used to return.
 	var r RoundResult
-	if r.Accuracy() != 0 || r.CountAccuracy() != 0 || r.ParticipationRate() != 0 || r.CoverageRate() != 0 {
+	if r.Accuracy() != 1 || r.CountAccuracy() != 1 {
+		t.Errorf("exact zero report should be perfectly accurate: %g, %g",
+			r.Accuracy(), r.CountAccuracy())
+	}
+	if r.ParticipationRate() != 0 || r.CoverageRate() != 0 {
 		t.Error("zero RoundResult must not divide by zero")
+	}
+	r.ReportedSum, r.ReportedCnt = 5, 5
+	if r.Accuracy() != 0 || r.CountAccuracy() != 0 {
+		t.Error("non-zero report against zero truth is maximally wrong")
 	}
 }

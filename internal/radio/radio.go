@@ -38,6 +38,15 @@ type Config struct {
 	Fading     bool
 	EdgeLoss   float64 // loss probability at exactly the range edge
 	FadingBeta float64 // shape exponent (higher = sharper edge)
+
+	// LossRate injects iid per-reception frame loss (each receiver draws
+	// independently), on top of collisions and fading — the controlled
+	// impairment the resilience experiment sweeps. LossByKind overrides the
+	// uniform rate for specific message kinds (keys are Kind.String()
+	// labels), letting tests starve one phase deterministically. Loss draws
+	// come from the fading/loss RNG (SetFadingSource).
+	LossRate   float64
+	LossByKind map[string]float64
 }
 
 // DefaultConfig matches the papers' setup: 1 Mbps, lossy disc model.
@@ -81,6 +90,14 @@ func NewMedium(eng *sim.Engine, net *topo.Network, rec *metrics.Recorder, cfg Co
 			return nil, fmt.Errorf("radio: invalid fading edgeLoss=%g beta=%g", cfg.EdgeLoss, cfg.FadingBeta)
 		}
 	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("radio: loss rate %g out of [0, 1)", cfg.LossRate)
+	}
+	for kind, rate := range cfg.LossByKind {
+		if rate < 0 || rate >= 1 {
+			return nil, fmt.Errorf("radio: loss rate %g for kind %q out of [0, 1)", rate, kind)
+		}
+	}
 	return &Medium{
 		eng:      eng,
 		net:      net,
@@ -102,9 +119,9 @@ func (m *Medium) Reset() {
 	m.maxDur = 0
 }
 
-// SetFadingSource injects the RNG used for gray-zone loss draws. Required
-// when cfg.Fading is set; typically the deployment's seeded RNG so runs
-// stay reproducible.
+// SetFadingSource injects the RNG used for gray-zone fading and injected
+// loss draws. Required when cfg.Fading, cfg.LossRate, or cfg.LossByKind is
+// set; typically the deployment's seeded RNG so runs stay reproducible.
 func (m *Medium) SetFadingSource(rng *rand.Rand) { m.rng = rng }
 
 // SetHandler installs the receive callback for a node.
@@ -199,6 +216,12 @@ func (m *Medium) deliver(t *transmission) {
 			}
 			continue
 		}
+		if !m.cfg.Ideal && m.lost(t.msg) {
+			if m.rec != nil {
+				m.rec.OnDrop()
+			}
+			continue
+		}
 		if m.rec != nil {
 			m.rec.OnReceive(rcv, t.wireSize)
 		}
@@ -214,6 +237,18 @@ func (m *Medium) faded(from, rcv topo.NodeID) bool {
 	d := m.net.Position(from).Dist(m.net.Position(rcv))
 	loss := m.cfg.EdgeLoss * math.Pow(d/m.net.Range(), m.cfg.FadingBeta)
 	return m.rng.Float64() < loss
+}
+
+// lost draws the injected iid loss for one reception.
+func (m *Medium) lost(msg *message.Message) bool {
+	rate := m.cfg.LossRate
+	if r, ok := m.cfg.LossByKind[msg.Kind.String()]; ok {
+		rate = r
+	}
+	if rate <= 0 || m.rng == nil {
+		return false
+	}
+	return m.rng.Float64() < rate
 }
 
 // corrupted reports whether reception of t at rcv failed: the receiver was

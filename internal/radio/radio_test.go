@@ -367,3 +367,76 @@ func TestFadingLosesEdgeFramesMore(t *testing.T) {
 	}
 	t.Logf("near=%d far=%d of %d", counts[near], counts[far], frames)
 }
+
+func TestLossInjectionValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	net := lineNetwork(t, 3)
+	if _, err := NewMedium(eng, net, nil, Config{BitrateBps: 1e6, LossRate: 1}); err == nil {
+		t.Error("loss rate 1 should be rejected")
+	}
+	if _, err := NewMedium(eng, net, nil, Config{BitrateBps: 1e6, LossRate: -0.1}); err == nil {
+		t.Error("negative loss rate should be rejected")
+	}
+	bad := Config{BitrateBps: 1e6, LossByKind: map[string]float64{"assembled": 1.5}}
+	if _, err := NewMedium(eng, net, nil, bad); err == nil {
+		t.Error("per-kind loss rate above 1 should be rejected")
+	}
+}
+
+func TestLossInjectionDropsExpectedFraction(t *testing.T) {
+	eng, _, rec, med := testSetup(t, 2, 1, Config{BitrateBps: 1e6, LossRate: 0.5})
+	med.SetFadingSource(rand.New(rand.NewSource(7)))
+	got := 0
+	med.SetHandler(1, func(at topo.NodeID, m *message.Message) { got++ })
+	const frames = 600
+	for i := 0; i < frames; i++ {
+		at := time.Duration(i) * time.Millisecond
+		eng.After(at, func() { med.Transmit(0, frame(0, 1)) })
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got < frames/2-80 || got > frames/2+80 {
+		t.Errorf("delivered %d of %d at 50%% injected loss", got, frames)
+	}
+	if rec.Dropped() != frames-got {
+		t.Errorf("Dropped = %d, want %d", rec.Dropped(), frames-got)
+	}
+}
+
+func TestLossByKindOverridesUniformRate(t *testing.T) {
+	// The per-kind entry wins over the uniform rate, in both directions: an
+	// exempted kind always lands, and a targeted kind is starved even when
+	// the uniform rate is zero.
+	cfg := Config{BitrateBps: 1e6, LossRate: 0.9, LossByKind: map[string]float64{"reading": 0}}
+	eng, _, _, med := testSetup(t, 2, 1, cfg)
+	med.SetFadingSource(rand.New(rand.NewSource(7)))
+	got := 0
+	med.SetHandler(1, func(at topo.NodeID, m *message.Message) { got++ })
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		at := time.Duration(i) * time.Millisecond
+		eng.After(at, func() { med.Transmit(0, frame(0, 1)) })
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != frames {
+		t.Errorf("exempted kind delivered %d of %d", got, frames)
+	}
+	cfg = Config{BitrateBps: 1e6, LossByKind: map[string]float64{"reading": 0.99}}
+	eng2, _, _, med2 := testSetup(t, 2, 1, cfg)
+	med2.SetFadingSource(rand.New(rand.NewSource(7)))
+	got2 := 0
+	med2.SetHandler(1, func(at topo.NodeID, m *message.Message) { got2++ })
+	for i := 0; i < frames; i++ {
+		at := time.Duration(i) * time.Millisecond
+		eng2.After(at, func() { med2.Transmit(0, frame(0, 1)) })
+	}
+	if err := eng2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got2 > frames/4 {
+		t.Errorf("targeted kind delivered %d of %d at 99%% loss", got2, frames)
+	}
+}

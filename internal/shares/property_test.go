@@ -115,6 +115,85 @@ func TestPropertyCollusionThresholdHolds(t *testing.T) {
 	}
 }
 
+// Property (the degraded-recovery pin): for every cluster size m∈[3,6] and
+// EVERY subset mask with |M|∈[3,m], a fresh sub-share exchange among exactly
+// the members of M recovers Σ_{i∈M} v_i through the subset's precomputed
+// Lagrange-at-zero weights, bit-identical to the reference Vandermonde solve
+// over the subset's seeds.
+func TestPropertySubsetRecoveryMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for m := 3; m <= 6; m++ {
+		seeds := make([]field.Element, m)
+		for i := range seeds {
+			seeds[i] = SeedFor(3 * i) // non-contiguous seeds
+		}
+		algebra, err := NewAlgebra(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		privates := make([]field.Element, m)
+		for i := range privates {
+			privates[i] = field.New(rng.Uint64())
+		}
+		for mask := uint64(0); mask < uint64(1)<<uint(m); mask++ {
+			members := make([]int, 0, m)
+			var want field.Element
+			for i := 0; i < m; i++ {
+				if mask&(uint64(1)<<uint(i)) != 0 {
+					members = append(members, i)
+					want = want.Add(privates[i])
+				}
+			}
+			sub, err := algebra.Subset(mask)
+			if len(members) < MinClusterSize {
+				if err == nil && len(members) < m {
+					t.Fatalf("m=%d mask=%#x: undersized subset accepted", m, mask)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("m=%d mask=%#x: %v", m, mask, err)
+			}
+			if len(members) == m && sub != algebra {
+				t.Fatalf("m=%d: full mask must return the parent algebra", m)
+			}
+			again, err := algebra.Subset(mask)
+			if err != nil || again != sub {
+				t.Fatalf("m=%d mask=%#x: subset not cached", m, mask)
+			}
+			k := len(members)
+			all := make([]Shares, k)
+			for j, i := range members {
+				all[j] = sub.Generate(rng, privates[i])
+			}
+			assembled := make([]field.Element, k)
+			for j := 0; j < k; j++ {
+				var col field.Element
+				for i := 0; i < k; i++ {
+					col = col.Add(all[i].ForMember[j])
+				}
+				assembled[j] = col
+			}
+			got, err := sub.RecoverSum(assembled)
+			if err != nil || got != want {
+				t.Fatalf("m=%d mask=%#x: recovered %v want %v (err=%v)", m, mask, got, want, err)
+			}
+			ref, err := sub.RecoverSumReference(assembled)
+			if err != nil || ref != got {
+				t.Fatalf("m=%d mask=%#x: fast %v != reference %v (err=%v)", m, mask, got, ref, err)
+			}
+		}
+	}
+	// Masks with bits beyond the cluster are structurally invalid.
+	algebra, err := NewAlgebra([]field.Element{SeedFor(0), SeedFor(1), SeedFor(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algebra.Subset(0b1011); err == nil {
+		t.Error("out-of-range subset mask accepted")
+	}
+}
+
 // Property (the fast-recovery cross-check): for random cluster sizes
 // m∈[3,32], random distinct seeds, and arbitrary assembled vectors — valid
 // exchanges or garbage alike — the precomputed weight-vector RecoverSum

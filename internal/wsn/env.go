@@ -127,7 +127,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wsn: %w", err)
 	}
-	if cfg.Radio.Fading {
+	if cfg.Radio.Fading || cfg.Radio.LossRate > 0 || len(cfg.Radio.LossByKind) > 0 {
 		medium.SetFadingSource(rng)
 	}
 	layer, err := mac.NewLayer(eng, medium, cfg.Nodes, rng, cfg.MAC)

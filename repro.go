@@ -47,6 +47,8 @@ type Options struct {
 	Ideal      bool    // error-free channel (no collisions)
 	CountQuery bool    // unit readings (COUNT aggregation)
 	Grid       bool    // jittered-grid deployment (smart metering)
+	LossRate   float64 // injected iid per-reception frame loss in [0, 1)
+	NoARQ      bool    // disable MAC retransmissions (exposes raw loss)
 }
 
 // Deployment is one placed network; protocols run on top of it. A
@@ -77,6 +79,10 @@ func NewDeployment(o Options) (*Deployment, error) {
 		cfg.Range = o.Range
 	}
 	cfg.Radio.Ideal = o.Ideal
+	cfg.Radio.LossRate = o.LossRate
+	if o.NoARQ {
+		cfg.MAC.MaxTxRetries = 0
+	}
 	cfg.Grid = o.Grid
 	if o.CountQuery {
 		cfg.ReadingMin, cfg.ReadingMax = 1, 1
@@ -125,14 +131,23 @@ type Result struct {
 	Covered      int
 	Accepted     bool // integrity verdict (always true for TAG)
 	Alarms       int  // witness alarms that reached the base station
-	TxBytes      int  // bytes on the air, MAC ACKs included
-	TxMessages   int
-	AppMessages  int // frames excluding MAC ACKs
+
+	// Resilience accounting (cluster protocol only).
+	DegradedClusters int // clusters recovered over a strict participant subset
+	FailedClusters   int // viable clusters that contributed nothing
+
+	TxBytes     int // bytes on the air, MAC ACKs included
+	TxMessages  int
+	AppMessages int // frames excluding MAC ACKs
 }
 
-// Accuracy is ReportedSum / TrueSum (1.0 = lossless).
+// Accuracy is ReportedSum / TrueSum (1.0 = lossless). An exactly-reported
+// zero truth is perfect accuracy, not zero.
 func (r Result) Accuracy() float64 {
 	if r.TrueSum == 0 {
+		if r.ReportedSum == 0 {
+			return 1
+		}
 		return 0
 	}
 	return float64(r.ReportedSum) / float64(r.TrueSum)
@@ -158,9 +173,13 @@ func fromRound(m metrics.RoundResult) Result {
 		Covered:      m.Covered,
 		Accepted:     m.Accepted,
 		Alarms:       m.Alarms,
-		TxBytes:      m.TxBytes,
-		TxMessages:   m.TxMessages,
-		AppMessages:  m.AppMessages,
+
+		DegradedClusters: m.DegradedClusters,
+		FailedClusters:   m.FailedClusters,
+
+		TxBytes:     m.TxBytes,
+		TxMessages:  m.TxMessages,
+		AppMessages: m.AppMessages,
 	}
 }
 
@@ -176,6 +195,7 @@ type ClusterOptions struct {
 	PolluteFrom    int     // first round the attacker acts in (0 = always)
 	Colluders      []int   // nodes that suppress witness alarms (collusive attack)
 	CrashRate      float64 // fraction of nodes fail-stopping mid-round
+	NoDegrade      bool    // disable degraded subset recovery (ablation)
 }
 
 func (o ClusterOptions) config() core.Config {
@@ -204,6 +224,7 @@ func (o ClusterOptions) config() core.Config {
 		}
 	}
 	cfg.CrashRate = o.CrashRate
+	cfg.NoDegrade = o.NoDegrade
 	return cfg
 }
 

@@ -114,9 +114,16 @@ func TestResultDerivedMetrics(t *testing.T) {
 	if r.ParticipationRate() != 0.9 {
 		t.Errorf("participation = %g", r.ParticipationRate())
 	}
+	// An exactly-reported zero truth is perfect accuracy, not a division by
+	// zero and not the 0.0 the naive guard used to return.
 	var zero Result
-	if zero.Accuracy() != 0 || zero.ParticipationRate() != 0 {
-		t.Error("zero result should not divide by zero")
+	if zero.Accuracy() != 1 || zero.ParticipationRate() != 0 {
+		t.Errorf("zero result: accuracy = %g, participation = %g",
+			zero.Accuracy(), zero.ParticipationRate())
+	}
+	zero.ReportedSum = 5
+	if zero.Accuracy() != 0 {
+		t.Error("non-zero report against zero truth is maximally wrong")
 	}
 }
 
