@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench f17-smoke
+.PHONY: check vet build test race bench-smoke bench f17-smoke f18-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
-## concurrency-sensitive packages), a quick resilience-experiment smoke,
-## and a one-iteration benchmark smoke through the trend harness.
-check: vet build test race f17-smoke bench-smoke
+## concurrency-sensitive packages), quick resilience- and failover-
+## experiment smokes, and a one-iteration benchmark smoke through the
+## trend harness.
+check: vet build test race f17-smoke f18-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,11 +19,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/ ./internal/experiment/
+	$(GO) test -race -run 'Deputy|Takeover|HeadCrash|Churn|CrashRecover|Failover' ./internal/core/
 
 ## f17-smoke: quick pass over the degraded-recovery ablation — fails if the
 ## loss-injection path or subset recovery stops producing rows.
 f17-smoke:
 	$(GO) run ./cmd/experiments -quick -run F17-resilience
+
+## f18-smoke: quick pass over the head-failover ablation — fails if the
+## takeover/churn-repair path stops producing rows.
+f18-smoke:
+	$(GO) run ./cmd/experiments -quick -run F18-failover
 
 bench-smoke:
 	$(GO) run ./cmd/benchtrend -quick

@@ -37,6 +37,11 @@ func run(args []string) error {
 		loss     = fs.Float64("loss", 0, "injected iid frame-loss rate in [0, 1)")
 		noarq    = fs.Bool("noarq", false, "disable MAC retransmissions")
 		nodeg    = fs.Bool("nodegrade", false, "disable degraded subset recovery (cluster protocol)")
+		crash    = fs.Float64("crash", 0, "fraction of nodes fail-stopping mid-round (cluster protocol)")
+		hcrash   = fs.Float64("headcrash", 0, "per-round head fail-stop probability (cluster protocol)")
+		rounds   = fs.Int("rounds", 1, "measurement rounds on one cluster formation (cluster protocol)")
+		nofail   = fs.Bool("nofailover", false, "disable deputy head-failover (cluster protocol)")
+		recov    = fs.Bool("recover", false, "crashed nodes reboot at the next repair window (cluster protocol)")
 		count    = fs.Bool("count", false, "COUNT query (unit readings)")
 		grid     = fs.Bool("grid", false, "jittered-grid deployment")
 		pc       = fs.Float64("pc", 0, "cluster-head probability (cluster protocol)")
@@ -89,10 +94,18 @@ func run(args []string) error {
 	fmt.Printf("deployment: %d nodes, avg degree %.1f, connected=%v, true sum %d\n",
 		dep.Size(), dep.AverageDegree(), dep.Connected(), dep.TrueSum())
 
+	if *rounds != 1 && *protocol != "cluster" {
+		return fmt.Errorf("-rounds applies to the cluster protocol only")
+	}
+
 	var res repro.Result
 	switch *protocol {
 	case "cluster":
-		copts := repro.ClusterOptions{Pc: *pc, Polluter: attacker, PollutionDelta: *delta, NoDegrade: *nodeg}
+		copts := repro.ClusterOptions{
+			Pc: *pc, Polluter: attacker, PollutionDelta: *delta,
+			NoDegrade: *nodeg, CrashRate: *crash, HeadCrashRate: *hcrash,
+			CrashRecover: *recov, NoFailover: *nofail,
+		}
 		if *localize {
 			loc, err := dep.LocalizePolluter(copts)
 			if err != nil {
@@ -100,6 +113,17 @@ func run(args []string) error {
 			}
 			fmt.Printf("localization: suspect=%d rounds=%d\n", loc.Suspect, loc.Rounds)
 			return nil
+		}
+		if *rounds != 1 {
+			results, err := dep.RunClusterRounds(*rounds, copts)
+			if err != nil {
+				return err
+			}
+			for i, r := range results {
+				fmt.Printf("--- round %d ---\n", i+1)
+				printResult(r)
+			}
+			return dumpIfEnabled(dumpTrace)
 		}
 		res, err = dep.RunCluster(copts)
 	case "tag":
@@ -113,13 +137,15 @@ func run(args []string) error {
 		return err
 	}
 	printResult(res)
-	if dumpTrace != nil {
-		fmt.Println("\n--- protocol trace ---")
-		if err := dumpTrace(os.Stdout); err != nil {
-			return err
-		}
+	return dumpIfEnabled(dumpTrace)
+}
+
+func dumpIfEnabled(dumpTrace func(io.Writer) error) error {
+	if dumpTrace == nil {
+		return nil
 	}
-	return nil
+	fmt.Println("\n--- protocol trace ---")
+	return dumpTrace(os.Stdout)
 }
 
 func printResult(r repro.Result) {
@@ -130,6 +156,10 @@ func printResult(r repro.Result) {
 	fmt.Printf("accepted:      %v (alarms %d)\n", r.Accepted, r.Alarms)
 	if r.DegradedClusters > 0 || r.FailedClusters > 0 {
 		fmt.Printf("clusters:      %d degraded, %d failed\n", r.DegradedClusters, r.FailedClusters)
+	}
+	if r.Takeovers > 0 || r.Promotions > 0 || r.OrphansRejoined > 0 {
+		fmt.Printf("failover:      %d takeovers, %d promotions, %d orphans rejoined\n",
+			r.Takeovers, r.Promotions, r.OrphansRejoined)
 	}
 	fmt.Printf("traffic:       %d bytes, %d frames (%d app frames)\n", r.TxBytes, r.TxMessages, r.AppMessages)
 }

@@ -9,6 +9,11 @@ func TestRunProtocols(t *testing.T) {
 		{"-protocol", "ipda", "-nodes", "120", "-seed", "3", "-ideal"},
 		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal", "-trace", "10"},
 		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-count", "-grid"},
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal",
+			"-rounds", "3", "-headcrash", "0.2", "-recover"},
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal",
+			"-rounds", "2", "-headcrash", "0.2", "-nofailover"},
+		{"-protocol", "cluster", "-nodes", "120", "-seed", "3", "-ideal", "-crash", "0.05"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -22,6 +27,10 @@ func TestRunErrors(t *testing.T) {
 		{"-protocol", "bogus"},
 		{"-nodes", "1"},
 		{"-polluter", "notanumber"},
+		{"-protocol", "tag", "-rounds", "3"},
+		{"-protocol", "cluster", "-rounds", "0"},
+		{"-protocol", "cluster", "-rounds", "70000"},
+		{"-protocol", "cluster", "-headcrash", "1.5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -11,12 +11,13 @@ import (
 )
 
 // scheduleAnnounces arranges every head's single up-tree transmission,
-// deepest flood levels first so children report before their parents.
+// deepest flood levels first so children report before their parents, and
+// arms the members' head-silence watchdogs one slot behind each head's own.
 func (p *Protocol) scheduleAnnounces() {
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
 		st := &p.nodes[i]
-		if st.role != roleHead {
+		if st.role != roleHead || p.env.MAC.Disabled(id) {
 			continue
 		}
 		slot := p.cfg.MaxHops - st.hops
@@ -26,6 +27,7 @@ func (p *Protocol) scheduleAnnounces() {
 		at := time.Duration(slot)*p.cfg.EpochSlot + p.jitter(p.cfg.EpochSlot/2)
 		p.env.Eng.After(at, func() { p.announce(id) })
 	}
+	p.scheduleWatchdogs()
 }
 
 // announceTarget picks where a head sends its announce: the shallowest head
@@ -97,6 +99,9 @@ func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32,
 // overhear it promiscuously).
 func (p *Protocol) announce(id topo.NodeID) {
 	st := &p.nodes[id]
+	if p.env.MAC.Disabled(id) {
+		return // crashed after scheduling: a silent head, not a failed solve
+	}
 	target, direct := p.announceTarget(id)
 	if target < 0 {
 		return // never reached by the flood
@@ -120,20 +125,7 @@ func (p *Protocol) announce(id topo.NodeID) {
 	// Echo the solved F matrix — rows in ascending mask-bit order — so
 	// members can witness the cluster sums (skipped under NoWitness).
 	if cnt > 0 && viableCluster(st) && !p.cfg.NoWitness {
-		m := len(st.roster.Entries)
-		full := message.FullMask(m)
-		rows := bits.OnesCount64(effMask)
-		a.FMatrix = make([]field.Element, 0, rows*c)
-		for i := 0; i < m; i++ {
-			if effMask&(uint64(1)<<uint(i)) == 0 {
-				continue
-			}
-			src := st.fSeen[i]
-			if effMask != full {
-				src = st.fSub[i]
-			}
-			a.FMatrix = append(a.FMatrix, src.Fs[:c]...)
-		}
+		a.FMatrix = p.announceFMatrix(st, effMask)
 	}
 	// Pollution attack: tamper with the outgoing aggregate (component 0).
 	if id == p.cfg.Polluter && p.round >= p.cfg.PolluteFromRound &&
@@ -169,6 +161,29 @@ func (p *Protocol) announce(id topo.NodeID) {
 	p.env.MAC.Send(message.Build(message.KindAnnounce, id, target, p.round, payload))
 }
 
+// announceFMatrix builds the echoed F matrix for an announce — one row per
+// effective participant, ascending mask-bit order — from the full-exchange
+// reports or, for a strict subset, the sub-exchange reports. Shared by the
+// head's announce and the deputy's takeover announce.
+func (p *Protocol) announceFMatrix(st *nodeState, effMask uint64) []field.Element {
+	m := len(st.roster.Entries)
+	full := message.FullMask(m)
+	c := p.nComponents()
+	rows := bits.OnesCount64(effMask)
+	fm := make([]field.Element, 0, rows*c)
+	for i := 0; i < m; i++ {
+		if effMask&(uint64(1)<<uint(i)) == 0 {
+			continue
+		}
+		src := st.fSeen[i]
+		if effMask != full {
+			src = st.fSub[i]
+		}
+		fm = append(fm, src.Fs[:c]...)
+	}
+	return fm
+}
+
 // onAnnounce handles every announce reception: witnessing (overheard first
 // transmissions), absorption (heads and the base station), and reverse-path
 // relaying (members).
@@ -178,6 +193,18 @@ func (p *Protocol) onAnnounce(at topo.NodeID, msg *message.Message) {
 		return
 	}
 	st := &p.nodes[at]
+
+	// Any copy of our head's announce — first transmission or relayed —
+	// proves the head lived through this round (watchdog evidence), and
+	// retracts an already-expired watchdog so cross-round repair does not
+	// dismember a live cluster whose first transmission was merely lost.
+	if st.role == roleMember && a.Origin == st.head {
+		st.headAnnounced = true
+		st.headSilent = false
+		if a.ClusterCnt > 0 {
+			st.headContributed = true
+		}
+	}
 
 	// Witnessing applies to the origin's own transmission only (relays are
 	// not re-witnessed; the relay path cannot aggregate or modify without
@@ -209,6 +236,18 @@ func (p *Protocol) onAnnounce(at topo.NodeID, msg *message.Message) {
 	}
 	switch st.role {
 	case roleHead:
+		if st.myAnnounce != nil {
+			// Already announced: absorbing now would silently drop the
+			// contribution. Forward it along our own announce route instead
+			// (hops decrease monotonically toward the base station, so
+			// forwarding cannot loop). This is what delivers deputy takeover
+			// announces, which by construction arrive after every head's
+			// own slot.
+			if target, _ := p.announceTarget(at); target >= 0 && target != msg.From {
+				p.env.MAC.Send(message.Build(message.KindAnnounce, at, target, msg.Round, msg.Payload))
+			}
+			return
+		}
 		st.children = append(st.children, message.ChildEntry{
 			Child:  a.Origin,
 			Totals: a.Total(),
@@ -226,6 +265,29 @@ func (p *Protocol) onAnnounce(at topo.NodeID, msg *message.Message) {
 func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 	st := &p.nodes[at]
 
+	// Dual-announce check: an announce originated by this cluster's deputy
+	// while the head also announced a CONTRIBUTION means the takeover claim
+	// was forged — the head is demonstrably alive and its aggregate is
+	// already in flight, so the deputy's stand-in can only double-count or
+	// substitute a fabrication. Every member that observed both
+	// transmissions indicts the deputy, as does the live head itself, so a
+	// compromised deputy gains no forgery power from the failover path.
+	// Two deliberate scopes keep honest rounds alarm-free:
+	//   - deputyClaimed restricts the check to claims against THIS
+	//     cluster's head: after churn repair the same node can be listed in
+	//     one roster while legitimately standing in for another cluster's
+	//     dead head;
+	//   - a head whose announce carried count 0 (failed solve) does not
+	//     indict, and neither do members who saw it — the takeover solve is
+	//     the cluster's recovery path then, not a forgery.
+	if a.Origin != at && st.deputy == a.Origin && st.deputyClaimed {
+		if (st.role == roleMember && st.headContributed) ||
+			(st.role == roleHead && st.myAnnounce != nil && st.myAnnounce.ClusterCnt > 0) {
+			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+			return
+		}
+	}
+
 	// Witness check 1: members of the announcing head's cluster verify the
 	// announce against the echoed F vector and the claimed participant set.
 	// Four sub-checks:
@@ -239,7 +301,10 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 	//       participation in a subset round I never joined, is caught by me;
 	//   (d) solving the echoed rows over the claimed set yields the
 	//       announced ClusterSum — caught by every member, in or out of M.
-	if st.role == roleMember && st.head == a.Origin && viableCluster(st) && a.ClusterCnt > 0 {
+	// A deputy's takeover announce is witnessed exactly like the head's own:
+	// same roster, same algebra, same echoed F rows.
+	ownCluster := st.head == a.Origin || (st.takeoverBy >= 0 && st.takeoverBy == a.Origin)
+	if st.role == roleMember && ownCluster && viableCluster(st) && a.ClusterCnt > 0 {
 		m := len(st.roster.Entries)
 		c := p.nComponents()
 		full := message.FullMask(m)
@@ -315,28 +380,46 @@ func (p *Protocol) ownRowForged(st *nodeState, a message.Announce, full uint64) 
 	if a.Mask&myBit == 0 {
 		return 0, 0, false // not claimed as a participant: nothing to compare
 	}
-	var own *message.Assembled
+	// Candidate commitments this member made for exactly the claimed
+	// participant set: the full-exchange report when the mask covers the
+	// whole roster, and the sub-exchange report when its mask matches.
+	// Roster views can diverge across churn repair — a head that adopted
+	// orphans appends them, so a mask that reads as full in a member's
+	// stale pre-adoption roster is the head's degraded subset over the
+	// extended one, covering the same nodes at the same indices. Either
+	// commitment is a row this member genuinely sent for this set, so
+	// either vouches for the echo.
+	var candidates []message.Assembled
 	if a.Mask == full {
 		if o, ok := st.fSeen[st.myIdx]; ok {
-			own = &o
+			candidates = append(candidates, o)
 		}
-	} else {
-		if st.subSent == nil || st.subSent.Mask != a.Mask {
+	}
+	if st.subSent != nil && st.subSent.Mask == a.Mask {
+		candidates = append(candidates, *st.subSent)
+	}
+	if len(candidates) == 0 {
+		if a.Mask != full {
 			return 0, 0, true // forged participation in a subset round
 		}
-		own = st.subSent
-	}
-	if own == nil {
 		return 0, 0, false
 	}
 	c := int(a.Components)
 	row := bits.OnesCount64(a.Mask & (myBit - 1))
-	for k := 0; k < c && k < len(own.Fs); k++ {
-		if a.FMatrix[row*c+k] != own.Fs[k] {
-			return a.FMatrix[row*c+k], own.Fs[k], true
+	for _, own := range candidates {
+		match := true
+		for k := 0; k < c && k < len(own.Fs); k++ {
+			if a.FMatrix[row*c+k] != own.Fs[k] {
+				observed, expected = a.FMatrix[row*c+k], own.Fs[k]
+				match = false
+				break
+			}
+		}
+		if match {
+			return 0, 0, false
 		}
 	}
-	return 0, 0, false
+	return observed, expected, true
 }
 
 // firstOrZero returns the first component or zero.

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/field"
@@ -98,6 +99,27 @@ type Config struct {
 	// CrashRate is the fraction of sensor nodes that fail-stop at a random
 	// instant during the round (failure injection; experiment F12).
 	CrashRate float64
+	// HeadCrashRate is the fraction of elected cluster heads that fail-stop
+	// at a random instant between the shares phase and the announce phase —
+	// the targeted injection behind the head-failover experiment (F18). It
+	// is applied per round, including retained rounds.
+	HeadCrashRate float64
+	// CrashAt fail-stops specific nodes at given instants (deterministic
+	// crash schedule for tests; applied on top of the random injections).
+	CrashAt map[topo.NodeID]time.Duration
+	// CrashRecover reboots every crashed node at the next round boundary
+	// (RunRetaining), exercising the crash-and-recover repair path instead
+	// of pure fail-stop.
+	CrashRecover bool
+
+	// NoFailover disables deputy head-failover entirely (ablation): no
+	// watchdogs, no takeovers, no cross-round promotion or orphan re-join.
+	NoFailover bool
+	// TakeoverForger, when >= 0 and the deputy of a viable cluster, fires a
+	// takeover at the watchdog deadline even though its head announced — the
+	// dual-announce attack a compromised deputy could mount. Witnesses that
+	// observed both announcements must reject the round.
+	TakeoverForger topo.NodeID
 
 	// ActiveClusters, when non-nil, restricts which cluster heads
 	// contribute their cluster sums (the O(log N) localization bisects
@@ -108,17 +130,18 @@ type Config struct {
 // DefaultConfig returns the reconstruction's reference parameters.
 func DefaultConfig() Config {
 	return Config{
-		Pc:         0.25,
-		JoinWait:   500 * time.Millisecond,
-		RosterAt:   2500 * time.Millisecond,
-		SharesAt:   3500 * time.Millisecond,
-		AssembleAt: 5 * time.Second,
-		AggAt:      6 * time.Second,
-		EpochSlot:  150 * time.Millisecond,
-		MaxHops:    16,
-		Undersized: UndersizedDrop,
-		Polluter:   -1,
-		Target:     PolluteOwnSum,
+		Pc:             0.25,
+		JoinWait:       500 * time.Millisecond,
+		RosterAt:       2500 * time.Millisecond,
+		SharesAt:       3500 * time.Millisecond,
+		AssembleAt:     5 * time.Second,
+		AggAt:          6 * time.Second,
+		EpochSlot:      150 * time.Millisecond,
+		MaxHops:        16,
+		Undersized:     UndersizedDrop,
+		Polluter:       -1,
+		Target:         PolluteOwnSum,
+		TakeoverForger: -1,
 	}
 }
 
@@ -171,6 +194,19 @@ type nodeState struct {
 	sentTo     topo.NodeID          // heads: direct head we announced to (-1 = relayed/BS)
 
 	alarmed map[string]bool // forwarded-alarm dedup (heads)
+
+	// Head-failover state (failover.go). deputy is the roster-designated
+	// fallback head every member computes locally; headSilent survives the
+	// round boundary so the next round's repair phase can promote the deputy
+	// or re-home orphans.
+	deputy          topo.NodeID           // roster's deputy head (-1 = none designated)
+	headAnnounced   bool                  // overheard our head's own announce this round
+	headContributed bool                  // that announce carried a nonzero count
+	headSilent      bool                  // watchdog expired with no announce from the head
+	takeoverBy      topo.NodeID           // deputy whose takeover this member accepted (-1 = none)
+	deputyClaimed   bool                  // the deputy claimed a takeover of OUR head this round
+	tookOver        bool                  // deputies: stood in for the silent head this round
+	repairJoiners   []message.RosterEntry // heads: orphans adopted during repair
 }
 
 // Protocol is one instance of the cluster-based protocol over an Env.
@@ -190,6 +226,12 @@ type Protocol struct {
 	// strict participant subset vs clusters that contributed nothing.
 	degradedClusters int
 	failedClusters   int
+
+	// Head-failover accounting for the last round.
+	takeovers       int  // deputy takeover announces transmitted
+	promotions      int  // deputies promoted to permanent head at round start
+	orphansRejoined int  // members re-adopted into neighbouring clusters
+	inRepair        bool // the cross-round repair window is open (Join semantics)
 
 	startBytes int
 	startMsgs  int
@@ -242,6 +284,9 @@ func New(env *wsn.Env, cfg Config) (*Protocol, error) {
 	if cfg.CrashRate < 0 || cfg.CrashRate >= 1 {
 		return nil, fmt.Errorf("core: crash rate %g out of [0, 1)", cfg.CrashRate)
 	}
+	if cfg.HeadCrashRate < 0 || cfg.HeadCrashRate >= 1 {
+		return nil, fmt.Errorf("core: head crash rate %g out of [0, 1)", cfg.HeadCrashRate)
+	}
 	// Contention-adaptive schedule: the share and assemble phases carry
 	// O(degree) unicasts per collision domain, so their windows stretch
 	// with density beyond the reference degree the defaults were sized for.
@@ -283,6 +328,8 @@ func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 		st.head = -1
 		st.myIdx = -1
 		st.sentTo = -1
+		st.deputy = -1
+		st.takeoverBy = -1
 		st.fSeen = make(map[int]message.Assembled)
 		st.alarmed = make(map[string]bool)
 	}
@@ -292,6 +339,9 @@ func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	p.alarmsRaised = 0
 	p.degradedClusters = 0
 	p.failedClusters = 0
+	p.takeovers = 0
+	p.promotions = 0
+	p.orphansRejoined = 0
 	p.startBytes = p.env.Rec.TotalTxBytes()
 	p.startMsgs = p.env.Rec.TotalTxMessages()
 	p.startApp = p.env.Rec.AppMessages()
@@ -308,6 +358,13 @@ func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	bs.hops = 0
 	p.env.Eng.After(0, func() { p.sendHello(topo.BaseStationID, helloBase, 0) })
 	p.scheduleCrashes()
+	// Targeted head crashes wait until heads exist: roles are only known
+	// once formation has run, so the draw happens at the shares phase and
+	// the fail-stops land before the announce phase — a crashed head is a
+	// silent head, which is exactly what the failover watchdog detects.
+	if p.cfg.HeadCrashRate > 0 {
+		p.env.Eng.After(p.cfg.SharesAt, func() { p.crashHeads(p.cfg.AggAt - p.cfg.SharesAt) })
+	}
 	p.env.Eng.After(p.cfg.RosterAt, func() { p.broadcastRosters() })
 	p.env.Eng.After(p.cfg.SharesAt, func() { p.scheduleShareExchange() })
 	p.env.Eng.After(p.cfg.AssembleAt, func() { p.scheduleAssembledBroadcasts() })
@@ -345,6 +402,9 @@ func (p *Protocol) result() metrics.RoundResult {
 		Alarms:           len(p.bsAlarms),
 		DegradedClusters: p.degradedClusters,
 		FailedClusters:   p.failedClusters,
+		Takeovers:        p.takeovers,
+		Promotions:       p.promotions,
+		OrphansRejoined:  p.orphansRejoined,
 		TxBytes:          p.env.Rec.TotalTxBytes() - p.startBytes,
 		TxMessages:       p.env.Rec.TotalTxMessages() - p.startMsgs,
 		AppMessages:      p.env.Rec.AppMessages() - p.startApp,
@@ -352,8 +412,19 @@ func (p *Protocol) result() metrics.RoundResult {
 }
 
 // scheduleCrashes fail-stops a CrashRate fraction of sensor nodes at
-// uniformly random instants across the round's protocol phases.
+// uniformly random instants across the round's protocol phases, plus any
+// deterministically scheduled CrashAt entries.
 func (p *Protocol) scheduleCrashes() {
+	if len(p.cfg.CrashAt) > 0 {
+		ids := make([]topo.NodeID, 0, len(p.cfg.CrashAt))
+		for id := range p.cfg.CrashAt {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			p.crashAt(id, p.cfg.CrashAt[id])
+		}
+	}
 	if p.cfg.CrashRate <= 0 {
 		return
 	}
@@ -362,12 +433,32 @@ func (p *Protocol) scheduleCrashes() {
 		if p.env.Rng.Float64() >= p.cfg.CrashRate {
 			continue
 		}
+		p.crashAt(topo.NodeID(i), p.jitter(horizon))
+	}
+}
+
+// crashAt schedules one fail-stop relative to the current engine time.
+func (p *Protocol) crashAt(id topo.NodeID, at time.Duration) {
+	p.env.Eng.After(at, func() {
+		p.env.Tracef(id, "crash", "fail-stop")
+		p.env.MAC.Disable(id)
+	})
+}
+
+// crashHeads fail-stops each live cluster head with probability
+// HeadCrashRate at a uniform instant within the next window (called at the
+// moment the window opens, so a crashed head goes silent before it would
+// have announced).
+func (p *Protocol) crashHeads(window time.Duration) {
+	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
-		at := p.jitter(horizon)
-		p.env.Eng.After(at, func() {
-			p.env.Tracef(id, "crash", "fail-stop")
-			p.env.MAC.Disable(id)
-		})
+		if p.nodes[i].role != roleHead || p.env.MAC.Disabled(id) {
+			continue
+		}
+		if p.env.Rng.Float64() >= p.cfg.HeadCrashRate {
+			continue
+		}
+		p.crashAt(id, p.jitter(window))
 	}
 }
 

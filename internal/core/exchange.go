@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"time"
 
 	"repro/internal/field"
 	"repro/internal/message"
@@ -110,9 +111,10 @@ func (p *Protocol) onRelay(at topo.NodeID, msg *message.Message) {
 		p.receive(at, inner)
 		return
 	}
-	// Forward hop: only a head relays, and only for its own cluster.
+	// Forward hop: only a head — or a deputy standing in for a dead one —
+	// relays, and only for its own cluster.
 	st := &p.nodes[at]
-	if st.role != roleHead {
+	if st.role != roleHead && !st.tookOver {
 		return
 	}
 	p.env.MAC.Send(message.Build(message.KindRelay, at, inner.To, msg.Round, msg.Payload))
@@ -212,13 +214,14 @@ func (p *Protocol) broadcastAssembled(id topo.NodeID) {
 	p.env.MAC.Send(message.Build(message.KindAssembled, id, st.head, p.round, payload))
 }
 
-// onAssembled records a member's column sum at its head.
+// onAssembled records a member's column sum at its head — or, during a
+// takeover, a member's re-reported column sum at the deputy.
 func (p *Protocol) onAssembled(at topo.NodeID, msg *message.Message) {
 	if msg.To != at {
 		return
 	}
 	st := &p.nodes[at]
-	if st.role != roleHead || st.algebra == nil || st.myIdx < 0 {
+	if (st.role != roleHead && !st.tookOver) || st.algebra == nil || st.myIdx < 0 {
 		return
 	}
 	senderIdx := -1
@@ -382,15 +385,39 @@ func (p *Protocol) maybeDegrade(id topo.NodeID) {
 	p.startSubExchange(id, mask)
 }
 
-// onReassemble joins a member into its head's degraded subset exchange.
+// onReassemble joins a member into its head's — or, during a takeover, its
+// deputy's — degraded subset exchange.
 func (p *Protocol) onReassemble(at topo.NodeID, msg *message.Message) {
 	st := &p.nodes[at]
-	if p.cfg.NoDegrade || st.role != roleMember || st.head != msg.From || !viableCluster(st) {
+	if p.cfg.NoDegrade || st.role != roleMember || !viableCluster(st) {
+		return
+	}
+	fromDeputy := st.takeoverBy >= 0 && msg.From == st.takeoverBy && at != st.takeoverBy
+	if msg.From != st.head && !fromDeputy {
 		return
 	}
 	r, err := message.UnmarshalReassemble(msg.Payload)
 	if err != nil {
 		return
+	}
+	if fromDeputy && st.subMask == r.Mask {
+		// The dead head already drove a sub-exchange over exactly this
+		// subset before going silent. The committed sub-report is built on
+		// the same polynomials, so re-commit it to the deputy instead of
+		// re-running the exchange. (If it is still in flight, the pending
+		// sendSubAssembled targets the deputy already.)
+		if st.subSent != nil {
+			payload, err := message.MarshalAssembled(*st.subSent)
+			if err != nil {
+				return
+			}
+			frame := message.Build(message.KindSubAssembled, at, msg.From, p.round, payload)
+			p.env.Eng.After(p.jitter(p.cfg.EpochSlot/8), func() { p.env.MAC.Send(frame) })
+		}
+		return
+	}
+	if fromDeputy {
+		st.subMask = 0 // supersede the dead head's half-finished exchange
 	}
 	p.startSubExchange(at, r.Mask)
 }
@@ -398,6 +425,16 @@ func (p *Protocol) onReassemble(at topo.NodeID, msg *message.Message) {
 // startSubExchange installs the subset state and, when this node is a
 // member of M, schedules its sub-share distribution and sub-report.
 func (p *Protocol) startSubExchange(id topo.NodeID, mask uint64) {
+	p.startSubExchangeAfter(id, mask, 0)
+}
+
+// startSubExchangeAfter is startSubExchange with the outgoing traffic held
+// back by delay. The subset state installs synchronously either way — a
+// collector must accept sub-shares and sub-reports the moment co-members can
+// send them — but a takeover deputy defers its own sends until its Reassemble
+// broadcast has had time to install the subset at the members, or they would
+// drop their would-be collector's sub-shares as unsolicited.
+func (p *Protocol) startSubExchangeAfter(id topo.NodeID, mask uint64, delay time.Duration) {
 	st := &p.nodes[id]
 	m := len(st.roster.Entries)
 	mask &= message.FullMask(m)
@@ -415,8 +452,8 @@ func (p *Protocol) startSubExchange(id topo.NodeID, mask uint64) {
 		return // not in M: the node only relays for the subset exchange
 	}
 	window := p.cfg.AggAt - p.cfg.AssembleAt
-	p.env.Eng.After(p.jitter(window/64), func() { p.exchangeSubShares(id) })
-	p.env.Eng.After(window/8+p.jitter(window/32), func() { p.sendSubAssembled(id) })
+	p.env.Eng.After(delay+p.jitter(window/64), func() { p.exchangeSubShares(id) })
+	p.env.Eng.After(delay+window/8+p.jitter(window/32), func() { p.sendSubAssembled(id) })
 }
 
 // exchangeSubShares distributes one fresh degree-|M|-1 share vector per
@@ -478,7 +515,14 @@ func (p *Protocol) exchangeSubShares(id topo.NodeID) {
 			if err != nil {
 				continue
 			}
-			frame = message.Build(message.KindRelay, id, st.head, p.round, relayPayload)
+			// During a takeover the relay hub is the deputy (the dead head
+			// forwards nothing); its collected subset only contains members
+			// in its own radio range, so the hub reaches every target.
+			hub := st.head
+			if st.takeoverBy >= 0 && st.takeoverBy != id {
+				hub = st.takeoverBy
+			}
+			frame = message.Build(message.KindRelay, id, hub, p.round, relayPayload)
 		}
 		p.env.Eng.After(p.jitter(window/16), func() { p.env.MAC.Send(frame) })
 	}
@@ -542,7 +586,7 @@ func (p *Protocol) sendSubAssembled(id topo.NodeID) {
 	}
 	a := message.Assembled{Fs: fs, Mask: st.subRecvMask}
 	st.subSent = &a
-	if st.role == roleHead {
+	if st.role == roleHead || st.tookOver {
 		if st.fSub == nil {
 			st.fSub = make(map[int]message.Assembled)
 		}
@@ -553,16 +597,21 @@ func (p *Protocol) sendSubAssembled(id topo.NodeID) {
 	if err != nil {
 		return
 	}
-	p.env.MAC.Send(message.Build(message.KindSubAssembled, id, st.head, p.round, payload))
+	target := st.head
+	if st.takeoverBy >= 0 && st.takeoverBy != id {
+		target = st.takeoverBy // the collector is the stand-in deputy
+	}
+	p.env.MAC.Send(message.Build(message.KindSubAssembled, id, target, p.round, payload))
 }
 
-// onSubAssembled records a member's degraded column sum at its head.
+// onSubAssembled records a member's degraded column sum at its head (or at
+// the stand-in deputy during a takeover).
 func (p *Protocol) onSubAssembled(at topo.NodeID, msg *message.Message) {
 	if msg.To != at {
 		return
 	}
 	st := &p.nodes[at]
-	if st.role != roleHead || st.subMask == 0 || st.fSub == nil {
+	if (st.role != roleHead && !st.tookOver) || st.subMask == 0 || st.fSub == nil {
 		return
 	}
 	senderIdx := -1

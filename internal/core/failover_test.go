@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// pickViableHead returns a viable, BS-rooted head from a finished run, with
+// its deputy, or (-1, -1).
+func pickViableHead(p *Protocol) (topo.NodeID, topo.NodeID) {
+	h := p.PickAttacker(false)
+	if h < 0 {
+		return -1, -1
+	}
+	return h, p.DeputyOf(h)
+}
+
+func TestDeputyDeterministic(t *testing.T) {
+	env, p := run(t, 400, 21, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, h := range p.Heads() {
+		st := &p.nodes[h]
+		if !viableCluster(st) {
+			continue
+		}
+		d := p.DeputyOf(h)
+		if d < 0 {
+			t.Errorf("viable head %d has no deputy", h)
+			continue
+		}
+		if d == h {
+			t.Errorf("head %d is its own deputy", h)
+		}
+		// The deputy is the highest-seed roster entry other than the head,
+		// and every member agrees on it.
+		var bestSeed uint64
+		inRoster := false
+		for _, e := range st.roster.Entries {
+			if e.ID == h {
+				continue
+			}
+			if uint64(e.Seed) > bestSeed {
+				bestSeed = uint64(e.Seed)
+			}
+			if e.ID == d {
+				inRoster = true
+				if p.nodes[d].deputy != d {
+					t.Errorf("deputy %d of head %d does not know itself", d, h)
+				}
+			}
+		}
+		if !inRoster {
+			t.Errorf("deputy %d of head %d not in roster", d, h)
+		}
+		if uint64(p.seedOf(st, d)) != bestSeed {
+			t.Errorf("deputy %d of head %d has seed %d, want max %d",
+				d, h, p.seedOf(st, d), bestSeed)
+		}
+		for _, e := range st.roster.Entries {
+			if e.ID != h && p.nodes[e.ID].deputy != d {
+				t.Errorf("member %d of head %d computed deputy %d, want %d",
+					e.ID, h, p.nodes[e.ID].deputy, d)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no viable clusters")
+	}
+}
+
+func (p *Protocol) seedOf(st *nodeState, id topo.NodeID) uint64 {
+	for _, e := range st.roster.Entries {
+		if e.ID == id {
+			return uint64(e.Seed)
+		}
+	}
+	return 0
+}
+
+func TestNoFailoverLeavesNoDeputies(t *testing.T) {
+	_, p := run(t, 300, 21, true, func(c *Config) { c.NoFailover = true })
+	if _, err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Heads() {
+		if d := p.DeputyOf(h); d >= 0 {
+			t.Errorf("NoFailover head %d still has deputy %d", h, d)
+		}
+	}
+}
+
+// TestHeadCrashTakeover is the tentpole's in-round path: a head that
+// fail-stops after the assembled phase is covered by its deputy's stand-in
+// announce, the round stays accepted with zero alarms, and participation
+// strictly beats the failover-off ablation.
+func TestHeadCrashTakeover(t *testing.T) {
+	env, scout := run(t, 400, 23, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := scout.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	victim, deputy := pickViableHead(scout)
+	if victim < 0 || deputy < 0 {
+		t.Skip("no viable head")
+	}
+	cfg := DefaultConfig()
+	crashAt := cfg.AssembleAt + (cfg.AggAt-cfg.AssembleAt)*3/4
+	crash := func(c *Config) {
+		c.CrashAt = map[topo.NodeID]time.Duration{victim: crashAt}
+	}
+	_, p := run(t, 400, 23, true, crash)
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Errorf("head-crash round rejected with %d alarms", res.Alarms)
+	}
+	if res.Alarms != 0 {
+		t.Errorf("crash-only round raised %d alarms", res.Alarms)
+	}
+	if res.Takeovers != 1 {
+		t.Errorf("takeovers = %d, want 1", res.Takeovers)
+	}
+	_, pOff := run(t, 400, 23, true, func(c *Config) {
+		crash(c)
+		c.NoFailover = true
+	})
+	resOff, err := pOff.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants <= resOff.Participants {
+		t.Errorf("failover-on participation %d should beat failover-off %d",
+			res.Participants, resOff.Participants)
+	}
+	t.Logf("head %d crashed at %v: deputy %d took over, participation %d vs %d off",
+		victim, crashAt, deputy, res.Participants, resOff.Participants)
+}
+
+// TestForgedTakeoverRejected is the ISSUE's acceptance attack: the deputy of
+// a live, announcing head forges a takeover announce. Dual-announce
+// witnessing must end the round rejected.
+func TestForgedTakeoverRejected(t *testing.T) {
+	env, scout := run(t, 400, 23, true, nil)
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	if _, err := scout.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	victim, deputy := pickViableHead(scout)
+	if victim < 0 || deputy < 0 {
+		t.Skip("no viable head")
+	}
+	_, p := run(t, 400, 23, true, func(c *Config) { c.TakeoverForger = deputy })
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Error("forged dual-announce takeover was accepted")
+	}
+	if res.Alarms == 0 {
+		t.Error("no witness alarmed on the dual announce")
+	}
+	t.Logf("forged takeover by deputy %d of live head %d: alarms=%d accepted=%v",
+		deputy, victim, res.Alarms, res.Accepted)
+}
+
+// TestTakeoverOnLossyChannel guards the false-positive side: a realistic
+// fading channel must not let missed overhears escalate into takeovers that
+// reject the round (majority corroboration keeps mistaken deputies down).
+func TestTakeoverOnLossyChannel(t *testing.T) {
+	_, p := run(t, 500, 7, false, nil)
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Errorf("lossy no-crash round rejected with %d alarms", res.Alarms)
+	}
+	if res.Alarms != 0 {
+		t.Errorf("lossy no-crash round raised %d alarms", res.Alarms)
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/topo"
+	"repro/internal/wsn"
 )
 
 func TestCrashRateValidation(t *testing.T) {
@@ -55,6 +57,110 @@ func TestCrashesScaleWithRate(t *testing.T) {
 	p0, p20 := part(0), part(0.2)
 	if p20 >= p0 {
 		t.Errorf("participation %0.3f at 20%% crashes should be below %0.3f at 0%%", p20, p0)
+	}
+}
+
+// runRounds drives one formation round plus retained rounds with fresh
+// readings, returning every round's result.
+func runRounds(t *testing.T, p *Protocol, env *wsn.Env, rounds int) []metrics.RoundResult {
+	t.Helper()
+	out := make([]metrics.RoundResult, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		var res metrics.RoundResult
+		var err error
+		if r == 1 {
+			res, err = p.Run(uint16(r))
+		} else {
+			env.ResampleReadings()
+			res, err = p.RunRetaining(uint16(r))
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TestMultiRoundChurnRepair crashes heads between rounds and checks the
+// cross-round repair: with failover on, later rounds recover participation
+// (deputies promote, orphans re-join) and strictly dominate the failover-off
+// ablation, and crash-only rounds never raise an alarm.
+func TestMultiRoundChurnRepair(t *testing.T) {
+	const rounds = 4
+	env, p := run(t, 400, 61, true, func(c *Config) { c.HeadCrashRate = 0.2 })
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	on := runRounds(t, p, env, rounds)
+	envOff, pOff := run(t, 400, 61, true, func(c *Config) {
+		c.HeadCrashRate = 0.2
+		c.NoFailover = true
+	})
+	off := runRounds(t, pOff, envOff, rounds)
+
+	promotions, takeovers := 0, 0
+	for i, res := range on {
+		if !res.Accepted || res.Alarms != 0 {
+			t.Errorf("failover-on round %d: accepted=%v alarms=%d (crash-only rounds must stay clean)",
+				i+1, res.Accepted, res.Alarms)
+		}
+		promotions += res.Promotions
+		takeovers += res.Takeovers
+		t.Logf("round %d: on part=%d takeovers=%d promotions=%d orphans=%d | off part=%d",
+			i+1, res.Participants, res.Takeovers, res.Promotions, res.OrphansRejoined,
+			off[i].Participants)
+	}
+	for i, res := range off {
+		if !res.Accepted || res.Alarms != 0 {
+			t.Errorf("failover-off round %d: accepted=%v alarms=%d", i+1, res.Accepted, res.Alarms)
+		}
+		if res.Takeovers != 0 || res.Promotions != 0 || res.OrphansRejoined != 0 {
+			t.Errorf("failover-off round %d reported failover activity", i+1)
+		}
+	}
+	if takeovers == 0 {
+		t.Error("20% head crashes over 4 rounds produced no takeover")
+	}
+	if promotions == 0 {
+		t.Error("cross-round repair promoted no deputy")
+	}
+	// Dead heads accumulate without repair, so by the last round the repaired
+	// network must strictly dominate the ablation.
+	last := rounds - 1
+	if on[last].Participants <= off[last].Participants {
+		t.Errorf("final-round participation %d (failover on) should beat %d (off)",
+			on[last].Participants, off[last].Participants)
+	}
+}
+
+// TestCrashRecoverRejoins reboots crashed heads at the next round boundary:
+// the recovered ex-head must stand down for its promoted deputy (or re-join
+// after a dissolution) instead of splitting the cluster, and participation
+// must climb back.
+func TestCrashRecoverRejoins(t *testing.T) {
+	const rounds = 4
+	env, p := run(t, 400, 67, true, func(c *Config) {
+		c.HeadCrashRate = 0.25
+		c.CrashRecover = true
+	})
+	if !env.Net.Connected() {
+		t.Skip("disconnected deployment")
+	}
+	results := runRounds(t, p, env, rounds)
+	for i, res := range results {
+		if !res.Accepted || res.Alarms != 0 {
+			t.Errorf("round %d: accepted=%v alarms=%d", i+1, res.Accepted, res.Alarms)
+		}
+		t.Logf("round %d: part=%d takeovers=%d promotions=%d orphans=%d",
+			i+1, res.Participants, res.Takeovers, res.Promotions, res.OrphansRejoined)
+	}
+	// With reboots every node is alive at each round start, so participation
+	// never degenerates the way pure fail-stop does.
+	first, last := results[0], results[rounds-1]
+	if last.Participants < first.Participants*8/10 {
+		t.Errorf("participation collapsed despite recovery: %d -> %d",
+			first.Participants, last.Participants)
 	}
 }
 

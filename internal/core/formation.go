@@ -50,6 +50,8 @@ func (p *Protocol) receive(at topo.NodeID, msg *message.Message) {
 		p.onSubShare(at, msg)
 	case message.KindSubAssembled:
 		p.onSubAssembled(at, msg)
+	case message.KindTakeover:
+		p.onTakeover(at, msg)
 	case message.KindAnnounce:
 		p.onAnnounce(at, msg)
 	case message.KindReading:
@@ -135,6 +137,26 @@ func (p *Protocol) onJoin(at topo.NodeID, msg *message.Message) {
 	}
 	j, err := message.UnmarshalJoin(msg.Payload)
 	if err != nil || j.Head != at {
+		return
+	}
+	if p.inRepair {
+		// Cross-round churn repair: the joiner is an orphan of a dead head.
+		// Queue it for the extended roster repairFinalize publishes, dedup'd
+		// against current members and earlier adoptees.
+		for _, e := range st.roster.Entries {
+			if e.ID == msg.From {
+				return
+			}
+		}
+		for _, e := range st.repairJoiners {
+			if e.ID == msg.From {
+				return
+			}
+		}
+		if len(st.roster.Entries)+len(st.repairJoiners) >= message.MaxClusterSize {
+			return
+		}
+		st.repairJoiners = append(st.repairJoiners, message.RosterEntry{ID: msg.From, Seed: j.Seed})
 		return
 	}
 	if len(st.joiners) >= message.MaxClusterSize-1 {
@@ -246,36 +268,85 @@ func (p *Protocol) finalRosters() {
 // onRoster installs the cluster parameters at a member, or processes a
 // dissolution (empty roster): every overhearing node forgets the dissolved
 // head (so announce routing never targets it), and its members re-join.
+// Two failover variants ride on the same wire format: a deputy dissolving
+// its dead head's unviable remnant (empty roster naming the dead head), and
+// a deputy's promotion roster (it announces itself head of the surviving
+// remnant).
 func (p *Protocol) onRoster(at topo.NodeID, msg *message.Message) {
 	st := &p.nodes[at]
 	r, err := message.UnmarshalRoster(msg.Payload)
-	if err != nil || r.Head != msg.From {
+	if err != nil {
+		return
+	}
+	if len(r.Entries) == 0 && r.Head != msg.From {
+		// Deputy-announced dissolution of a dead head's remnant: only that
+		// cluster's members act, and only on their designated deputy's word.
+		if st.head != r.Head || st.deputy != msg.From || at == msg.From {
+			return
+		}
+		if st.role == roleHead {
+			if at != r.Head {
+				return
+			}
+			// We are the crashed-and-recovered head itself: the cluster is
+			// gone; stand down and re-join like any orphan.
+			st.role = roleMember
+			st.joiners = nil
+		}
+		st.headSilent = false
+		p.forgetHead(st, r.Head)
+		p.clearClusterState(st)
+		p.rejoin(at, r.Head)
+		return
+	}
+	if r.Head != msg.From {
 		return
 	}
 	if len(r.Entries) == 0 {
-		kept := st.heardCH[:0]
-		for _, c := range st.heardCH {
-			if c.id != msg.From {
-				kept = append(kept, c)
-			}
-		}
-		st.heardCH = kept
+		p.forgetHead(st, msg.From)
 		if st.role == roleMember && st.head == msg.From {
 			p.rejoin(at, msg.From)
 		}
 		return
 	}
-	if st.role != roleMember || st.head != msg.From {
+	if st.role == roleHead && at != msg.From && st.head == at && st.deputy == msg.From {
+		// We crashed as head, recovered, and our old deputy has permanently
+		// taken the cluster over: stand down and join it directly.
+		st.role = roleMember
+		st.joiners = nil
+		p.clearClusterState(st)
+		st.head = msg.From
+		p.env.Tracef(at, "recover", "standing down; deputy %d now heads the cluster", msg.From)
+		p.env.MAC.Send(message.Build(
+			message.KindJoin, at, msg.From, p.round,
+			message.MarshalJoin(message.Join{Head: msg.From, Seed: shares.SeedFor(int(at))}),
+		))
 		return
+	}
+	if st.role != roleMember {
+		return
+	}
+	if st.head != msg.From {
+		if st.deputy != msg.From {
+			return
+		}
+		// Promotion roster: our deputy stood in for (or succeeded) the dead
+		// head. Adopt it — integrity does not rest on head identity but on
+		// the F-row witnessing, which survives the promotion unchanged.
+		st.head = msg.From
+		st.headSilent = false
 	}
 	p.installRoster(at, r)
 }
 
-// installRoster prepares the share algebra for a node's cluster view.
+// installRoster prepares the share algebra for a node's cluster view and
+// designates the failover deputy (highest-seed entry other than the head),
+// which every roster holder computes locally — zero extra wire bytes.
 func (p *Protocol) installRoster(at topo.NodeID, r message.Roster) {
 	st := &p.nodes[at]
 	st.roster = r
 	st.myIdx = -1
+	st.deputy = -1
 	for i, e := range r.Entries {
 		if e.ID == at {
 			st.myIdx = i
@@ -298,4 +369,7 @@ func (p *Protocol) installRoster(at topo.NodeID, r message.Roster) {
 	}
 	st.algebra = algebra
 	st.recvShares = make([][]field.Element, len(r.Entries))
+	if !p.cfg.NoFailover {
+		st.deputy = deputyOf(r)
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/field"
 	"repro/internal/message"
@@ -14,11 +15,20 @@ import (
 // broadcasts, announces) on the cluster structure formed by a previous Run,
 // without re-running formation. This models repeated queries on a stable
 // deployment and is what the O(log N) localization bisects over.
+//
+// When the previous round left churn behind — head silence observed by
+// members, or crashed nodes due a reboot under CrashRecover — a repair
+// window the size of the formation roster phase is inserted before the
+// shares phase: deputies of dead heads promote to permanent heads (or
+// dissolve unviable remnants), orphans re-join neighbouring clusters, and
+// rebooted nodes resynchronise. Clean rounds skip the window entirely, so
+// the steady-state timeline (and the benchmarks riding on it) is untouched.
 func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 	if p.nodes == nil {
 		return metrics.RoundResult{}, fmt.Errorf("core: RunRetaining before Run")
 	}
 	p.round = round
+	repair := p.pendingRepair()
 	for i := range p.nodes {
 		st := &p.nodes[i]
 		st.recvMask = 0
@@ -36,6 +46,15 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 		st.myAnnounce = nil
 		st.sentTo = -1
 		st.alarmed = make(map[string]bool)
+		st.headAnnounced = false
+		st.headContributed = false
+		st.takeoverBy = -1
+		st.deputyClaimed = false
+		st.tookOver = false
+		st.repairJoiners = nil
+		if !repair {
+			st.headSilent = false // nothing will consume the flag; drop it
+		}
 	}
 	p.bsSums = make([]field.Element, p.nComponents())
 	p.bsCount = 0
@@ -43,15 +62,31 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 	p.alarmsRaised = 0
 	p.degradedClusters = 0
 	p.failedClusters = 0
+	p.takeovers = 0
+	p.promotions = 0
+	p.orphansRejoined = 0
 	p.startBytes = p.env.Rec.TotalTxBytes()
 	p.startMsgs = p.env.Rec.TotalTxMessages()
 	p.startApp = p.env.Rec.AppMessages()
 
 	base := p.cfg.SharesAt
+	var offset time.Duration
+	if repair {
+		offset = p.cfg.SharesAt - p.cfg.RosterAt
+	}
 	p.env.Eng.After(0, func() {}) // anchor the schedule at current time
-	p.env.Eng.After(p.cfg.SharesAt-base, func() { p.scheduleShareExchange() })
-	p.env.Eng.After(p.cfg.AssembleAt-base, func() { p.scheduleAssembledBroadcasts() })
-	p.env.Eng.After(p.cfg.AggAt-base, func() { p.scheduleAnnounces() })
+	if repair {
+		p.scheduleRepair(offset)
+	}
+	// Retained rounds draw fresh targeted head crashes too: steady-state
+	// operation is exactly where cross-round failover repair matters.
+	if p.cfg.HeadCrashRate > 0 {
+		at := offset
+		p.env.Eng.After(at, func() { p.crashHeads(p.cfg.AggAt - p.cfg.SharesAt) })
+	}
+	p.env.Eng.After(offset+p.cfg.SharesAt-base, func() { p.scheduleShareExchange() })
+	p.env.Eng.After(offset+p.cfg.AssembleAt-base, func() { p.scheduleAssembledBroadcasts() })
+	p.env.Eng.After(offset+p.cfg.AggAt-base, func() { p.scheduleAnnounces() })
 
 	if err := p.env.Eng.Run(0); err != nil {
 		return metrics.RoundResult{}, fmt.Errorf("core: %w", err)

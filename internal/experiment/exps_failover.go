@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wsn"
+)
+
+// F18: head-failover under targeted head crashes — the deputy ablation.
+// Heads fail-stop mid-round with probability crash_rate; with failover on,
+// the deputy's watchdog takes over the announce in-round and the next
+// round's repair window promotes deputies and re-adopts orphans, so
+// participation recovers. With failover off, every crashed head silently
+// removes its whole cluster, and the damage compounds across rounds.
+var _ = register(Experiment{
+	ID:          "F18-failover",
+	Title:       "Participation vs head-crash rate over 4 rounds (N=400)",
+	Description: "Deputy failover + churn repair vs no-failover under targeted head fail-stops.",
+	Run: func(cfg RunConfig) (*Result, error) {
+		trials := trialsOr(cfg, 10, 2)
+		const rounds = 4
+		res := &Result{
+			ID:    "F18-failover",
+			Title: "Head failover",
+			Columns: []string{
+				"crash_rate", "variant", "participation", "final_participation",
+				"takeovers", "promotions", "orphans_rejoined",
+				"accept_rate", "false_alarm_rate",
+			},
+			Notes: "Means over 4 rounds x trials; final_participation is the last round only. Crash-only rounds must accept with zero alarms.",
+		}
+		rates := []float64{0, 0.05, 0.1, 0.2}
+		if cfg.Quick {
+			rates = []float64{0, 0.1}
+		}
+		const n = 400
+		for _, rate := range rates {
+			for _, noFailover := range []bool{false, true} {
+				var part, finalPart, takeovers, promotions, orphans float64
+				accepted, alarmed := 0, 0
+				for t := 0; t < trials; t++ {
+					seed := trialSeed(cfg.Seed, n, t)
+					env, err := wsn.NewEnv(envConfig(n, seed, false))
+					if err != nil {
+						return nil, err
+					}
+					p, err := core.New(env, coreFailoverConfig(rate, noFailover))
+					if err != nil {
+						return nil, err
+					}
+					results, err := runCoreRounds(env, p, rounds)
+					if err != nil {
+						return nil, err
+					}
+					for _, r := range results {
+						part += r.ParticipationRate()
+						takeovers += float64(r.Takeovers)
+						promotions += float64(r.Promotions)
+						orphans += float64(r.OrphansRejoined)
+						if r.Accepted {
+							accepted++
+						}
+						if r.Alarms > 0 {
+							alarmed++
+						}
+					}
+					finalPart += results[rounds-1].ParticipationRate()
+				}
+				name := "failover-on"
+				if noFailover {
+					name = "failover-off"
+				}
+				ft := float64(trials)
+				frt := float64(trials * rounds)
+				res.Rows = append(res.Rows, []string{
+					f3(rate), name, f3(part / frt), f3(finalPart / ft),
+					f1(takeovers / ft), f1(promotions / ft), f1(orphans / ft),
+					f3(float64(accepted) / frt), f3(float64(alarmed) / frt),
+				})
+			}
+		}
+		return res, nil
+	},
+})
+
+// coreFailoverConfig is the cluster config for an F18 variant: targeted
+// head crashes at the given rate, failover optionally ablated. Crashed
+// heads stay down (no CrashRecover), so cross-round repair — not reboots —
+// is what restores participation.
+func coreFailoverConfig(rate float64, noFailover bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.HeadCrashRate = rate
+	cfg.NoFailover = noFailover
+	return cfg
+}
+
+// runCoreRounds drives a multi-round aggregation: one full Run, then
+// retained rounds on the surviving structure with fresh readings.
+func runCoreRounds(env *wsn.Env, p *core.Protocol, rounds int) ([]metrics.RoundResult, error) {
+	out := make([]metrics.RoundResult, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		var res metrics.RoundResult
+		var err error
+		if r == 1 {
+			res, err = p.Run(uint16(r))
+		} else {
+			env.ResampleReadings()
+			res, err = p.RunRetaining(uint16(r))
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -148,7 +148,7 @@ func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
 
 // Disable crashes a node: it stops transmitting and receiving immediately
 // (fail-stop). Queued frames are dropped. Used by the failure-injection
-// experiments; there is no recovery within a run.
+// experiments; Enable models a reboot at a later instant.
 func (l *Layer) Disable(id topo.NodeID) {
 	p := l.ports[id]
 	p.dead = true
@@ -160,6 +160,13 @@ func (l *Layer) Disable(id topo.NodeID) {
 	}
 	p.ackTimer.Cancel()
 	p.ackTimer = sim.Timer{}
+}
+
+// Enable reboots a crashed node (crash-and-recover injection). The port
+// state Disable cleared — queue, pending ARQ, ack timer — stays empty, so
+// the node resumes with a cold transceiver, exactly like a reboot.
+func (l *Layer) Enable(id topo.NodeID) {
+	l.ports[id].dead = false
 }
 
 // Disabled reports whether a node has been crashed.

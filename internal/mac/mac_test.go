@@ -429,3 +429,42 @@ func TestDisableMidARQ(t *testing.T) {
 		t.Error("sender stuck after peer death")
 	}
 }
+
+func TestEnableRevivesNode(t *testing.T) {
+	eng, _, _, _, layer := setup(t, 4, 14)
+	received := 0
+	layer.SetReceiver(1, func(at topo.NodeID, m *message.Message) {
+		if m.From == 3 {
+			received++
+		}
+	})
+
+	layer.Disable(3)
+	layer.Send(broadcast(3)) // dropped: dead nodes cannot send
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 {
+		t.Fatal("dead node's frame was delivered")
+	}
+
+	layer.Enable(3)
+	if layer.Disabled(3) {
+		t.Fatal("Enable left the node reported dead")
+	}
+	// A rebooted node both sends...
+	layer.Send(broadcast(3))
+	// ...and receives again.
+	revivedGot := 0
+	layer.SetReceiver(3, func(at topo.NodeID, m *message.Message) { revivedGot++ })
+	layer.Send(broadcast(0))
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Errorf("live node received %d frames from the rebooted sender, want 1", received)
+	}
+	if revivedGot == 0 {
+		t.Error("rebooted node received nothing")
+	}
+}

@@ -371,6 +371,33 @@ func UnmarshalAnnounce(buf []byte) (Announce, error) {
 	return a, nil
 }
 
+// Takeover is a deputy's head-failover claim, broadcast to the cluster when
+// the head-silence watchdog expires: neither a Reassemble nor the head's
+// Announce arrived by the cluster's announce deadline. Head names the silent
+// head, so members can check the claim against their own roster (the deputy
+// identity itself is the frame's From). Members that accept the claim
+// re-report their assembled columns to the deputy; members that already
+// overheard the named head announce treat the claim as a dual-announce
+// attack and raise an alarm.
+type Takeover struct {
+	Head topo.NodeID // the silent cluster head being stood in for
+}
+
+// MarshalTakeover encodes a Takeover payload.
+func MarshalTakeover(t Takeover) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(int32(t.Head)))
+	return buf
+}
+
+// UnmarshalTakeover decodes a Takeover payload.
+func UnmarshalTakeover(buf []byte) (Takeover, error) {
+	if len(buf) < 4 {
+		return Takeover{}, ErrTruncated
+	}
+	return Takeover{Head: topo.NodeID(int32(binary.BigEndian.Uint32(buf)))}, nil
+}
+
 // Relay wraps an inner frame a cluster head forwards verbatim between two
 // members that are out of mutual radio range. The inner payload stays
 // encrypted end-to-end; the head cannot read it.

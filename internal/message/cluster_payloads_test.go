@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/field"
+	"repro/internal/topo"
 )
 
 func TestRosterRoundTrip(t *testing.T) {
@@ -329,5 +330,24 @@ func TestSeqSurvivesRoundTrip(t *testing.T) {
 	}
 	if got.Seq != 777 {
 		t.Errorf("Seq = %d", got.Seq)
+	}
+}
+
+func TestTakeoverRoundTrip(t *testing.T) {
+	for _, head := range []int32{0, 1, 255, 1 << 20} {
+		buf := MarshalTakeover(Takeover{Head: topo.NodeID(head)})
+		got, err := UnmarshalTakeover(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(got.Head) != head {
+			t.Errorf("Head = %d, want %d", got.Head, head)
+		}
+	}
+}
+
+func TestTakeoverTruncated(t *testing.T) {
+	if _, err := UnmarshalTakeover([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
 	}
 }

@@ -50,6 +50,7 @@ const (
 	KindReassemble                   // CH -> cluster: degraded-recovery subset announcement
 	KindSubShare                     // encrypted degraded-recovery polynomial share
 	KindSubAssembled                 // member's degraded-recovery column sum
+	KindTakeover                     // deputy -> cluster: head-silence takeover claim
 	kindEnd
 )
 
@@ -72,6 +73,7 @@ var kindNames = map[Kind]string{
 	KindReassemble:   "reassemble",
 	KindSubShare:     "sub-share",
 	KindSubAssembled: "sub-assembled",
+	KindTakeover:     "takeover",
 }
 
 // String names the kind.

@@ -157,6 +157,11 @@ type RoundResult struct {
 	DegradedClusters int // clusters recovered over a strict participant subset
 	FailedClusters   int // viable clusters that contributed nothing
 
+	// Head-failover accounting.
+	Takeovers       int // deputy stand-in announces after in-round head silence
+	Promotions      int // deputies promoted to permanent head at round start
+	OrphansRejoined int // members of dead clusters re-adopted elsewhere
+
 	TxBytes     int
 	TxMessages  int // all frames including MAC ACKs
 	AppMessages int // frames excluding MAC ACKs

@@ -24,6 +24,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -59,7 +60,8 @@ type Deployment struct {
 
 // EnableTrace turns on protocol event tracing with the given ring-buffer
 // capacity and returns a dump function that writes the recorded events
-// (election, join, merge, announce, witness, crash) to w.
+// (election, join, merge, announce, witness, crash, takeover, promote,
+// recover, rejoin) to w.
 func (d *Deployment) EnableTrace(capacity int) func(w io.Writer) error {
 	tr := trace.New(capacity)
 	d.env.Trace = tr
@@ -136,6 +138,11 @@ type Result struct {
 	DegradedClusters int // clusters recovered over a strict participant subset
 	FailedClusters   int // viable clusters that contributed nothing
 
+	// Head-failover accounting (cluster protocol only).
+	Takeovers       int // deputy stand-in announces after in-round head silence
+	Promotions      int // deputies promoted to permanent head at round start
+	OrphansRejoined int // members of dead clusters re-adopted elsewhere
+
 	TxBytes     int // bytes on the air, MAC ACKs included
 	TxMessages  int
 	AppMessages int // frames excluding MAC ACKs
@@ -177,6 +184,10 @@ func fromRound(m metrics.RoundResult) Result {
 		DegradedClusters: m.DegradedClusters,
 		FailedClusters:   m.FailedClusters,
 
+		Takeovers:       m.Takeovers,
+		Promotions:      m.Promotions,
+		OrphansRejoined: m.OrphansRejoined,
+
 		TxBytes:     m.TxBytes,
 		TxMessages:  m.TxMessages,
 		AppMessages: m.AppMessages,
@@ -196,6 +207,9 @@ type ClusterOptions struct {
 	Colluders      []int   // nodes that suppress witness alarms (collusive attack)
 	CrashRate      float64 // fraction of nodes fail-stopping mid-round
 	NoDegrade      bool    // disable degraded subset recovery (ablation)
+	HeadCrashRate  float64 // per-round probability each cluster head fail-stops
+	CrashRecover   bool    // crashed nodes reboot at the next round's repair window
+	NoFailover     bool    // disable deputy head-failover (ablation)
 }
 
 func (o ClusterOptions) config() core.Config {
@@ -225,6 +239,9 @@ func (o ClusterOptions) config() core.Config {
 	}
 	cfg.CrashRate = o.CrashRate
 	cfg.NoDegrade = o.NoDegrade
+	cfg.HeadCrashRate = o.HeadCrashRate
+	cfg.CrashRecover = o.CrashRecover
+	cfg.NoFailover = o.NoFailover
 	return cfg
 }
 
@@ -249,6 +266,10 @@ func (d *Deployment) RunCluster(o ClusterOptions) (Result, error) {
 func (d *Deployment) RunClusterRounds(rounds int, o ClusterOptions) ([]Result, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("repro: rounds must be positive, got %d", rounds)
+	}
+	if rounds > math.MaxUint16 {
+		return nil, fmt.Errorf("repro: rounds must fit a 16-bit round counter, got %d (max %d)",
+			rounds, math.MaxUint16)
 	}
 	p, err := core.New(d.env, o.config())
 	if err != nil {

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -194,6 +195,52 @@ func TestRunClusterRoundsValidation(t *testing.T) {
 	}
 	if _, err := dep.RunClusterRounds(0, ClusterOptions{}); err == nil {
 		t.Error("zero rounds accepted")
+	}
+	// The wire round counter is 16-bit; a larger request must be rejected up
+	// front instead of silently truncating round numbers.
+	if _, err := dep.RunClusterRounds(math.MaxUint16+1, ClusterOptions{}); err == nil {
+		t.Error("rounds beyond the 16-bit wire counter accepted")
+	}
+	if _, err := dep.RunCluster(ClusterOptions{HeadCrashRate: 1.5}); err == nil {
+		t.Error("head crash rate out of range accepted")
+	}
+}
+
+// TestHeadCrashFailoverRounds drives the public multi-round API through the
+// head-failover path: crashed heads are covered in-round by deputies and
+// repaired across rounds, with no integrity alarms, and participation
+// dominates the failover-off ablation.
+func TestHeadCrashFailoverRounds(t *testing.T) {
+	const rounds = 3
+	runIt := func(nofail bool) []Result {
+		dep, err := NewDeployment(Options{Nodes: 300, Seed: 8, Ideal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dep.RunClusterRounds(rounds, ClusterOptions{
+			HeadCrashRate: 0.15,
+			CrashRecover:  true,
+			NoFailover:    nofail,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on, off := runIt(false), runIt(true)
+	failoverEvents := 0
+	for i, r := range on {
+		if !r.Accepted || r.Alarms != 0 {
+			t.Errorf("failover round %d: accepted=%v alarms=%d", i+1, r.Accepted, r.Alarms)
+		}
+		failoverEvents += r.Takeovers + r.Promotions + r.OrphansRejoined
+	}
+	if failoverEvents == 0 {
+		t.Error("15% head crashes over 3 rounds exercised no failover machinery")
+	}
+	if on[rounds-1].Participants <= off[rounds-1].Participants {
+		t.Errorf("final round: failover participation %d should beat %d without",
+			on[rounds-1].Participants, off[rounds-1].Participants)
 	}
 }
 
