@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench f17-smoke f18-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
-## experiment smokes, and a one-iteration benchmark smoke through the
-## trend harness.
-check: vet build test race f17-smoke f18-smoke bench-smoke
+## experiment smokes, a traced-failover forensics smoke, a one-iteration
+## benchmark smoke through the trend harness, and the deterministic
+## allocation gate on the tracing-disabled hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -31,8 +32,26 @@ f17-smoke:
 f18-smoke:
 	$(GO) run ./cmd/experiments -quick -run F18-failover
 
+## trace-smoke: record a full head-crash failover round through the flight
+## recorder and assert that aggtrace can reconstruct it — the takeover claim
+## must be present and its causal chain must reach majority corroboration.
+trace-smoke:
+	$(GO) run ./cmd/aggsim -nodes 120 -seed 11 -headcrash 0.9 -traceout trace-smoke.jsonl > /dev/null
+	$(GO) run ./cmd/aggtrace -expect watchdog trace-smoke.jsonl
+	$(GO) run ./cmd/aggtrace -why takeover trace-smoke.jsonl | grep corroborated > /dev/null
+	@rm -f trace-smoke.jsonl
+	@echo "trace-smoke OK: takeover reconstructed with corroboration"
+
 bench-smoke:
 	$(GO) run ./cmd/benchtrend -quick
+
+## bench-gate: deterministic regression gate for the flight recorder's
+## disabled path — allocs/op of the round benchmark must stay within 2% of
+## the newest snapshot. Wall-clock is deliberately not judged here (it
+## flakes on shared machines); `make bench` still gates both at 20%.
+bench-gate:
+	$(GO) run ./cmd/benchtrend -dry -metric allocs -threshold 0.02 \
+		-bench '^BenchmarkRoundCluster$$' -benchtime 5x
 
 ## bench: full benchmark run — writes a BENCH_<date>.json snapshot and
 ## gates against the previous one (see README "Performance").

@@ -10,10 +10,15 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -observe endpoint
 	"os"
+	"sort"
 
 	"repro"
 )
@@ -50,6 +55,8 @@ func run(args []string) error {
 		delta    = fs.Int64("delta", 1000, "pollution delta")
 		localize = fs.Bool("localize", false, "run O(log N) attacker localization")
 		traceCap = fs.Int("trace", 0, "record and dump up to N protocol trace events")
+		traceOut = fs.String("traceout", "", "stream the flight recording as JSONL to this file (read it with aggtrace)")
+		observe  = fs.String("observe", "", "serve live run metrics (expvar) and pprof on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +98,26 @@ func run(args []string) error {
 	if *traceCap > 0 {
 		dumpTrace = dep.EnableTrace(*traceCap)
 	}
+	var closeTrace func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		closeTrace = dep.TraceTo(f)
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "aggsim: trace stream:", err)
+			}
+		}()
+	}
+	var snapshot func() map[string]int64
+	if *observe != "" {
+		snapshot = dep.TraceStats()
+		if err := serveObserve(*observe, snapshot); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("deployment: %d nodes, avg degree %.1f, connected=%v, true sum %d\n",
 		dep.Size(), dep.AverageDegree(), dep.Connected(), dep.TrueSum())
 
@@ -123,6 +150,7 @@ func run(args []string) error {
 				fmt.Printf("--- round %d ---\n", i+1)
 				printResult(r)
 			}
+			printStats(snapshot)
 			return dumpIfEnabled(dumpTrace)
 		}
 		res, err = dep.RunCluster(copts)
@@ -137,7 +165,42 @@ func run(args []string) error {
 		return err
 	}
 	printResult(res)
+	printStats(snapshot)
 	return dumpIfEnabled(dumpTrace)
+}
+
+// serveObserve publishes the flight recorder's live counters over expvar
+// ("aggsim_trace" on /debug/vars) next to the stock pprof handlers, on a
+// background listener that lives for the rest of the run.
+func serveObserve(addr string, snapshot func() map[string]int64) error {
+	expvar.Publish("aggsim_trace", expvar.Func(func() any { return snapshot() }))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-observe %s: %w", addr, err)
+	}
+	fmt.Printf("observe: expvar on http://%s/debug/vars, pprof on /debug/pprof\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "aggsim: observe:", err)
+		}
+	}()
+	return nil
+}
+
+func printStats(snapshot func() map[string]int64) {
+	if snapshot == nil {
+		return
+	}
+	snap := snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("\n--- trace counters ---")
+	for _, k := range keys {
+		fmt.Printf("%-28s %d\n", k, snap[k])
+	}
 }
 
 func dumpIfEnabled(dumpTrace func(io.Writer) error) error {

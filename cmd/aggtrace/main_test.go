@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// traceHeadCrashRound runs one cluster round with every head fail-stopping
+// mid-round, streaming the flight recording to a JSONL file, and returns
+// the file path. The deployment is small enough to keep the test quick but
+// large enough that at least one deputy completes a takeover.
+func traceHeadCrashRound(t *testing.T) string {
+	t.Helper()
+	dep, err := repro.NewDeployment(repro.Options{Nodes: 120, Seed: 11})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	closeTrace := dep.TraceTo(f)
+	res, err := dep.RunCluster(repro.ClusterOptions{HeadCrashRate: 0.9})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := closeTrace(); err != nil {
+		t.Fatalf("close trace: %v", err)
+	}
+	if res.Takeovers == 0 {
+		t.Fatalf("fixture round produced no takeovers (res=%+v); pick another seed", res)
+	}
+	return path
+}
+
+func TestAggtraceReconstructsTakeover(t *testing.T) {
+	path := traceHeadCrashRound(t)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-why", "takeover", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	// The reconstructed chain must show the full failover arc: the cluster
+	// formed and exchanged, the head crashed and went silent, the deputy
+	// claimed, the members corroborated, and the stand-in announce went out.
+	for _, want := range []string{
+		"formed", "exchanging", "fail-stop", "head-silent",
+		"silent", "takeover", "corroborated", "announced",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("takeover reconstruction missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("output:\n%s", got)
+	}
+}
+
+func TestAggtraceLifecycleAndTimeline(t *testing.T) {
+	path := traceHeadCrashRound(t)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-lifecycle", "-round", "1", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "formed → exchanging") {
+		t.Errorf("lifecycle output lacks a formation chain:\n%.2000s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-timeline", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, phase := range []string{"formation", "roster", "exchange", "assembly", "announce"} {
+		if !strings.Contains(out.String(), phase) {
+			t.Errorf("timeline missing phase %q:\n%s", phase, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-summary", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "by type:") {
+		t.Errorf("summary output:\n%s", out.String())
+	}
+}
+
+func TestAggtraceExpect(t *testing.T) {
+	path := traceHeadCrashRound(t)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-expect", "lifecycle", path}, &out, &errOut); code != 0 {
+		t.Fatalf("expect lifecycle: exit %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-expect", "no-such-type", path}, &out, &errOut); code == 0 {
+		t.Fatalf("expect of absent type should fail")
+	}
+	if !strings.Contains(errOut.String(), "no-such-type") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+func TestAggtraceBadInputs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"/nonexistent/trace.jsonl"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	errOut.Reset()
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Fatalf("garbage input: exit %d", code)
+	}
+	if code := run([]string{"-why", "weather", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -why: exit %d", code)
+	}
+}

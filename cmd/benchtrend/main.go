@@ -34,15 +34,27 @@ func main() {
 		date      = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date label")
 		quick     = flag.Bool("quick", false, "smoke mode: one iteration per benchmark, no snapshot written, no gate")
 		dry       = flag.Bool("dry", false, "run and compare but do not write a snapshot")
+		metric    = flag.String("metric", "both", "which metrics the gate judges: time | allocs | both (allocs is deterministic; time flakes on shared machines)")
+		baseline  = flag.String("baseline", "", "compare against this snapshot file instead of the newest BENCH_*.json")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *dir, *input, *date, *threshold, *quick, *dry); err != nil {
+	if err := run(*bench, *benchtime, *dir, *input, *date, *metric, *baseline, *threshold, *quick, *dry); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, dir, input, date string, threshold float64, quick, dry bool) error {
+func run(bench, benchtime, dir, input, date, metric, baseline string, threshold float64, quick, dry bool) error {
+	gateTime, gateAllocs := true, true
+	switch metric {
+	case "both":
+	case "time":
+		gateAllocs = false
+	case "allocs":
+		gateTime = false
+	default:
+		return fmt.Errorf("-metric wants time, allocs, or both (got %q)", metric)
+	}
 	var raw []byte
 	var err error
 	if input != "" {
@@ -80,9 +92,15 @@ func run(bench, benchtime, dir, input, date string, threshold float64, quick, dr
 		return nil
 	}
 
-	prior, err := benchio.ListSnapshots(dir)
-	if err != nil {
-		return err
+	basePath := baseline
+	if basePath == "" {
+		prior, err := benchio.ListSnapshots(dir)
+		if err != nil {
+			return err
+		}
+		if len(prior) > 0 {
+			basePath = prior[len(prior)-1]
+		}
 	}
 	if !dry {
 		path := benchio.NextPath(dir, date)
@@ -91,18 +109,17 @@ func run(bench, benchtime, dir, input, date string, threshold float64, quick, dr
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
-	if len(prior) == 0 {
+	if basePath == "" {
 		fmt.Println("no previous snapshot: baseline recorded, nothing to compare")
 		return nil
 	}
-	basePath := prior[len(prior)-1]
 	base, err := benchio.ReadFile(basePath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("comparing against %s (threshold %.0f%%)\n", basePath, threshold*100)
+	fmt.Printf("comparing against %s (threshold %.0f%%, metric %s)\n", basePath, threshold*100, metric)
 	printDeltas(base, cur)
-	if regs := benchio.Compare(base, cur, threshold); len(regs) > 0 {
+	if regs := benchio.CompareBy(base, cur, threshold, gateTime, gateAllocs); len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Printf("REGRESSION %-40s %-10s %.1f -> %.1f (%.2fx)\n",
 				r.Name, r.Metric, r.Prev, r.Cur, r.Ratio)

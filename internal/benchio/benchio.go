@@ -166,6 +166,14 @@ type Delta struct {
 // they are judged with the same threshold but only when the previous count
 // was non-zero.
 func Compare(prev, cur Snapshot, threshold float64) []Delta {
+	return CompareBy(prev, cur, threshold, true, true)
+}
+
+// CompareBy is Compare with per-metric gates: setting time or allocs false
+// exempts that metric. Gating on allocs alone gives a deterministic
+// regression check usable on noisy shared machines, where wall-clock
+// thresholds tight enough to be useful would flake.
+func CompareBy(prev, cur Snapshot, threshold float64, time, allocs bool) []Delta {
 	var regressions []Delta
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -178,13 +186,13 @@ func Compare(prev, cur Snapshot, threshold float64) []Delta {
 			continue
 		}
 		c := cur.Benchmarks[name]
-		if p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*(1+threshold) {
+		if time && p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*(1+threshold) {
 			regressions = append(regressions, Delta{
 				Name: name, Metric: "ns/op",
 				Prev: p.NsPerOp, Cur: c.NsPerOp, Ratio: c.NsPerOp / p.NsPerOp,
 			})
 		}
-		if p.AllocsPerOp > 0 && c.AllocsPerOp > p.AllocsPerOp*(1+threshold) {
+		if allocs && p.AllocsPerOp > 0 && c.AllocsPerOp > p.AllocsPerOp*(1+threshold) {
 			regressions = append(regressions, Delta{
 				Name: name, Metric: "allocs/op",
 				Prev: p.AllocsPerOp, Cur: c.AllocsPerOp, Ratio: c.AllocsPerOp / p.AllocsPerOp,

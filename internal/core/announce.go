@@ -8,12 +8,14 @@ import (
 	"repro/internal/field"
 	"repro/internal/message"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // scheduleAnnounces arranges every head's single up-tree transmission,
 // deepest flood levels first so children report before their parents, and
 // arms the members' head-silence watchdogs one slot behind each head's own.
 func (p *Protocol) scheduleAnnounces() {
+	p.phaseMark(trace.PhaseAnnounce, "CH-tree aggregation, witnessing, failover watchdogs")
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
 		st := &p.nodes[i]
@@ -152,7 +154,8 @@ func (p *Protocol) announce(id topo.NodeID) {
 	if direct {
 		st.sentTo = target
 	}
-	p.env.Tracef(id, "announce", "sum0=%v cnt=%d children=%d to=%d direct=%v",
+	p.lifecycle(id, id, trace.PhaseAnnounce, trace.StateAnnounced,
+		"sum0=%v cnt=%d children=%d to=%d direct=%v",
 		a.ClusterSumOrZero(), a.ClusterCnt, len(a.Children), target, direct)
 	payload, err := message.MarshalAnnounce(a)
 	if err != nil {
@@ -221,7 +224,7 @@ func (p *Protocol) onAnnounce(at topo.NodeID, msg *message.Message) {
 	if a.ClusterCnt == 0 && !p.cfg.NoWitness {
 		for _, s := range a.ClusterSums {
 			if s != 0 {
-				p.raiseAlarm(at, a.Origin, s, 0)
+				p.raiseAlarm(at, a.Origin, s, 0, "nonzero-sums-from-failed-cluster")
 				return
 			}
 		}
@@ -283,7 +286,7 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 	if a.Origin != at && st.deputy == a.Origin && st.deputyClaimed {
 		if (st.role == roleMember && st.headContributed) ||
 			(st.role == roleHead && st.myAnnounce != nil && st.myAnnounce.ClusterCnt > 0) {
-			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0, "dual-announce")
 			return
 		}
 	}
@@ -313,7 +316,7 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 		case int(a.Components) != c || a.Mask&^full != 0 ||
 			int(a.ClusterCnt) != k || len(a.FMatrix) != k*c ||
 			len(a.ClusterSums) != c:
-			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+			p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0, "malformed-announce")
 		default:
 			solver := st.algebra
 			if a.Mask != full {
@@ -321,13 +324,13 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 				if err != nil {
 					// Unsolvable claimed subset (e.g. below the viability
 					// minimum): an honest head never announces one.
-					p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0)
+					p.raiseAlarm(at, a.Origin, a.ClusterSumOrZero(), 0, "unsolvable-claimed-subset")
 					return
 				}
 				solver = sub
 			}
 			if observed, expected, forged := p.ownRowForged(st, a, full); forged {
-				p.raiseAlarm(at, a.Origin, observed, expected)
+				p.raiseAlarm(at, a.Origin, observed, expected, "own-row-forged")
 				return
 			}
 			column := make([]field.Element, k)
@@ -337,7 +340,7 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 				}
 				sum, err := solver.RecoverSum(column)
 				if err == nil && sum != a.ClusterSums[comp] {
-					p.raiseAlarm(at, a.Origin, a.ClusterSums[comp], sum)
+					p.raiseAlarm(at, a.Origin, a.ClusterSums[comp], sum, "resolve-mismatch")
 					return
 				}
 			}
@@ -359,7 +362,7 @@ func (p *Protocol) witnessAnnounce(at topo.NodeID, a message.Announce) {
 				continue
 			}
 			if !ch.Equal(want) {
-				p.raiseAlarm(at, a.Origin, firstOrZero(ch.Totals), firstOrZero(want.Totals))
+				p.raiseAlarm(at, a.Origin, firstOrZero(ch.Totals), firstOrZero(want.Totals), "child-echo-tampered")
 			}
 			break
 		}
@@ -430,14 +433,21 @@ func firstOrZero(vs []field.Element) field.Element {
 	return 0
 }
 
-// raiseAlarm broadcasts a witness's integrity alarm.
-func (p *Protocol) raiseAlarm(witness, suspect topo.NodeID, observed, expected field.Element) {
+// raiseAlarm broadcasts a witness's integrity alarm. cause names which
+// check fired — the forensic causal chain cmd/aggtrace renders.
+func (p *Protocol) raiseAlarm(witness, suspect topo.NodeID, observed, expected field.Element, cause string) {
 	if witness == p.cfg.Polluter || p.cfg.Colluders[witness] {
 		return // the attacker and its colluders do not indict anyone
 	}
 	p.alarmsRaised++
-	p.env.Tracef(witness, "witness", "alarm: suspect=%d observed=%v expected=%v",
-		suspect, observed, expected)
+	if p.env.Sink != nil {
+		cluster := trace.NoCluster
+		if h := p.nodes[witness].head; h >= 0 {
+			cluster = h
+		}
+		p.emit(witness, cluster, trace.PhaseAnnounce, trace.TypeAlarm, cause,
+			"suspect=%d observed=%v expected=%v", suspect, observed, expected)
+	}
 	p.env.MAC.Send(message.Build(
 		message.KindAlarm, witness, message.BroadcastID, p.round,
 		message.MarshalAlarm(message.Alarm{Suspect: suspect, Observed: observed, Expected: expected})))

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/shares"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/wsn"
 )
 
@@ -356,6 +357,7 @@ func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	bs := &p.nodes[topo.BaseStationID]
 	bs.role = roleHead
 	bs.hops = 0
+	p.phaseMark(trace.PhaseFormation, "round %d: hello flood + Pc election", round)
 	p.env.Eng.After(0, func() { p.sendHello(topo.BaseStationID, helloBase, 0) })
 	p.scheduleCrashes()
 	// Targeted head crashes wait until heads exist: roles are only known
@@ -440,7 +442,13 @@ func (p *Protocol) scheduleCrashes() {
 // crashAt schedules one fail-stop relative to the current engine time.
 func (p *Protocol) crashAt(id topo.NodeID, at time.Duration) {
 	p.env.Eng.After(at, func() {
-		p.env.Tracef(id, "crash", "fail-stop")
+		if p.env.Sink != nil {
+			cluster := trace.NoCluster
+			if h := p.nodes[id].head; h >= 0 {
+				cluster = h
+			}
+			p.emit(id, cluster, "", trace.TypeCrash, "fail-stop", "node fail-stopped")
+		}
 		p.env.MAC.Disable(id)
 	})
 }

@@ -8,17 +8,23 @@ import (
 	"repro/internal/message"
 	"repro/internal/shares"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // scheduleShareExchange starts every viable cluster participant's share
 // generation with jitter spreading contention across the phase window.
 func (p *Protocol) scheduleShareExchange() {
+	p.phaseMark(trace.PhaseExchange, "polynomial share distribution")
 	window := p.cfg.AssembleAt - p.cfg.SharesAt
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
 		st := &p.nodes[i]
 		if st.myIdx < 0 {
 			continue
+		}
+		if p.env.Sink != nil && st.role == roleHead && st.algebra != nil {
+			p.lifecycle(id, id, trace.PhaseExchange, trace.StateExchanging,
+				"m=%d", len(st.roster.Entries))
 		}
 		if st.algebra == nil {
 			// Undersized cluster: the plain policy reports readings
@@ -170,6 +176,7 @@ func (p *Protocol) acceptShare(at topo.NodeID, senderIdx int, vec []field.Elemen
 // recovery traffic cannot collide with the announce phase (which costs far
 // more than it saves: one congested announce relay loses a whole subtree).
 func (p *Protocol) scheduleAssembledBroadcasts() {
+	p.phaseMark(trace.PhaseAssembly, "column-sum reports + recovery checkpoints")
 	window := p.cfg.AggAt - p.cfg.AssembleAt
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
@@ -179,6 +186,9 @@ func (p *Protocol) scheduleAssembledBroadcasts() {
 		}
 		p.env.Eng.After(p.jitter(window/4), func() { p.broadcastAssembled(id) })
 		if st.role == roleHead {
+			if p.env.Sink != nil {
+				p.lifecycle(id, id, trace.PhaseAssembly, trace.StateAssembling, "")
+			}
 			p.env.Eng.After(window*3/8, func() { p.repollMissing(id) })
 			if !p.cfg.NoDegrade {
 				p.env.Eng.After(window/2, func() { p.maybeDegrade(id) })
@@ -311,6 +321,7 @@ func (p *Protocol) repollMissing(id topo.NodeID) {
 		return
 	}
 	full := message.FullMask(len(st.roster.Entries))
+	repolled := 0
 	for i, e := range st.roster.Entries {
 		if i == st.myIdx {
 			continue
@@ -318,7 +329,12 @@ func (p *Protocol) repollMissing(id topo.NodeID) {
 		if a, ok := st.fSeen[i]; ok && a.Mask == full {
 			continue
 		}
+		repolled++
 		p.env.MAC.Send(message.Build(message.KindRepoll, id, e.ID, p.round, nil))
+	}
+	if repolled > 0 && p.env.Sink != nil {
+		p.lifecycle(id, id, trace.PhaseAssembly, trace.StateRepolled,
+			"%d of %d reports missing or incomplete", repolled, len(st.roster.Entries))
 	}
 }
 
@@ -370,8 +386,8 @@ func (p *Protocol) maybeDegrade(id topo.NodeID) {
 	if bits.OnesCount64(mask) < shares.MinClusterSize {
 		return // beyond repair: the cluster fails the round
 	}
-	p.env.Tracef(id, "degrade", "reassemble mask=%#x (%d of %d members)",
-		mask, bits.OnesCount64(mask), m)
+	p.lifecycle(id, id, trace.PhaseAssembly, trace.StateDegraded,
+		"reassemble mask=%#x (%d of %d members)", mask, bits.OnesCount64(mask), m)
 	st.fSub = make(map[int]message.Assembled, bits.OnesCount64(mask))
 	payload := message.MarshalReassemble(message.Reassemble{Mask: mask})
 	window := p.cfg.AggAt - p.cfg.AssembleAt

@@ -8,6 +8,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/shares"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Head failover (DESIGN.md §failover).
@@ -111,6 +112,10 @@ func (p *Protocol) watchdogExpire(id topo.NodeID) {
 	}
 	if !forging {
 		st.headSilent = true
+		if p.env.Sink != nil {
+			p.emit(id, st.head, trace.PhaseFailover, trace.TypeWatchdog, "head-silent",
+				"no announce overheard from head %d", st.head)
+		}
 	}
 	if st.deputy != id {
 		return
@@ -125,7 +130,10 @@ func (p *Protocol) startTakeover(id topo.NodeID) {
 	st := &p.nodes[id]
 	st.tookOver = true
 	st.takeoverBy = id
-	p.env.Tracef(id, "takeover", "head %d silent; claiming takeover", st.head)
+	p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateSilent,
+		"deputy's watchdog expired with no announce from head %d", st.head)
+	p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateTakeover,
+		"deputy claiming takeover of head %d", st.head)
 	payload := message.MarshalTakeover(message.Takeover{Head: st.head})
 	send := func() {
 		p.env.MAC.Send(message.Build(message.KindTakeover, id, message.BroadcastID, p.round, payload))
@@ -201,7 +209,8 @@ func (p *Protocol) rebutTakeover(id topo.NodeID) {
 	if err != nil {
 		return
 	}
-	p.env.Tracef(id, "takeover", "rebutting takeover claim: re-broadcasting announce")
+	p.lifecycle(id, id, trace.PhaseFailover, trace.StateRebutted,
+		"live head re-broadcasting its announce against a takeover claim")
 	p.env.Eng.After(p.jitter(p.cfg.EpochSlot/16), func() {
 		p.env.MAC.Send(message.Build(message.KindAnnounce, id, message.BroadcastID, p.round, payload))
 	})
@@ -228,7 +237,8 @@ func (p *Protocol) takeoverDecide(id topo.NodeID) {
 	}
 	if st.headAnnounced {
 		st.headSilent = false
-		p.env.Tracef(id, "takeover", "head announced after all; standing down")
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateStoodDown,
+			"head announced after all")
 		return
 	}
 	m := len(st.roster.Entries)
@@ -254,17 +264,21 @@ func (p *Protocol) takeoverDecide(id topo.NodeID) {
 		// not a death. Retract the silence verdict or the next round's
 		// repair would promote this deputy over a live head.
 		st.headSilent = false
-		p.env.Tracef(id, "takeover", "standing down: only %d of %d members corroborate", votes, m-2)
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateStoodDown,
+			"only %d of %d members corroborate the silence; treating the missed announce as channel loss", votes, m-2)
 		return
 	}
+	p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateCorroborated,
+		"%d of %d members corroborate the head's silence", votes, m-2)
 	mask := common & reporters & full
 	if p.cfg.NoDegrade || bits.OnesCount64(mask) < shares.MinClusterSize {
 		p.failedClusters++
-		p.env.Tracef(id, "takeover", "unrecoverable: mask=%#x", mask)
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateFailed,
+			"unrecoverable after takeover: mask=%#x", mask)
 		return
 	}
-	p.env.Tracef(id, "takeover", "reassemble mask=%#x (%d of %d members)",
-		mask, bits.OnesCount64(mask), m)
+	p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateDegraded,
+		"takeover reassemble mask=%#x (%d of %d members)", mask, bits.OnesCount64(mask), m)
 	st.fSub = make(map[int]message.Assembled, bits.OnesCount64(mask))
 	payload := message.MarshalReassemble(message.Reassemble{Mask: mask})
 	send := func() {
@@ -297,13 +311,15 @@ func (p *Protocol) takeoverAnnounce(id topo.NodeID) {
 		// The head's rebuttal (or a relayed copy of its announce) arrived
 		// between the claim and now: the head is alive and its aggregate is
 		// in flight. Announcing on top of it would double-count — abort.
-		p.env.Tracef(id, "takeover", "head announced after all; aborting stand-in announce")
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateStoodDown,
+			"head announced after all; aborting stand-in announce")
 		return
 	}
 	sums, cnt, effMask, ok := p.solveCluster(st)
 	if !ok {
 		p.failedClusters++
-		p.env.Tracef(id, "takeover", "solve failed; cluster lost this round")
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateFailed,
+			"stand-in solve failed; cluster lost this round")
 		return
 	}
 	st.effMask = effMask
@@ -327,8 +343,10 @@ func (p *Protocol) takeoverAnnounce(id topo.NodeID) {
 		return
 	}
 	p.takeovers++
-	p.env.Tracef(id, "takeover", "announcing sum0=%v cnt=%d to=%d",
-		a.ClusterSumOrZero(), cnt, target)
+	if p.env.Sink != nil {
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateAnnounced,
+			"stand-in announce sum0=%v cnt=%d to=%d", a.ClusterSumOrZero(), cnt, target)
+	}
 	payload, err := message.MarshalAnnounce(a)
 	if err != nil {
 		return
@@ -375,7 +393,10 @@ func (p *Protocol) forgedTakeoverAnnounce(id topo.NodeID) {
 		return
 	}
 	p.takeovers++
-	p.env.Tracef(id, "takeover", "forged announce sum0=%v to=%d", sums[0], target)
+	if p.env.Sink != nil {
+		p.lifecycle(id, st.head, trace.PhaseFailover, trace.StateAnnounced,
+			"FORGED stand-in announce sum0=%v to=%d", sums[0], target)
+	}
 	payload, err := message.MarshalAnnounce(a)
 	if err != nil {
 		return
@@ -437,12 +458,16 @@ func (p *Protocol) pendingRepair() bool {
 //	t=3w/4     heads that adopted orphans publish their extended rosters
 func (p *Protocol) scheduleRepair(window time.Duration) {
 	p.inRepair = true
+	p.phaseMark(trace.PhaseRepair, "cross-round churn repair window (%v)", window)
 	if p.cfg.CrashRecover {
 		for i := 1; i < p.env.Net.Size(); i++ {
 			id := topo.NodeID(i)
 			if p.env.MAC.Disabled(id) {
 				p.env.MAC.Enable(id)
-				p.env.Tracef(id, "recover", "rebooted")
+				if p.env.Sink != nil {
+					p.emit(id, trace.NoCluster, trace.PhaseRepair, trace.TypeRecover,
+						"reboot", "crashed node rebooted at repair-window open")
+				}
 			}
 		}
 	}
@@ -483,8 +508,8 @@ func (p *Protocol) promoteDeputy(id topo.NodeID, window time.Duration) {
 	}
 	entries = append([]message.RosterEntry{self}, entries...)
 	if !shares.Viable(len(entries)) {
-		p.env.Tracef(id, "promote", "remnant of head %d too small (m=%d); dissolving",
-			dead, len(entries))
+		p.lifecycle(id, dead, trace.PhaseRepair, trace.StateDissolved,
+			"remnant of dead head %d too small (m=%d); dissolving", dead, len(entries))
 		payload, err := message.MarshalRoster(message.Roster{Head: dead})
 		if err == nil {
 			p.env.Eng.After(p.jitter(window/8), func() {
@@ -502,8 +527,8 @@ func (p *Protocol) promoteDeputy(id topo.NodeID, window time.Duration) {
 	promoted := message.Roster{Head: id, Entries: entries}
 	p.installRoster(id, promoted)
 	p.promotions++
-	p.env.Tracef(id, "promote", "deputy of dead head %d is now head (m=%d)",
-		dead, len(entries))
+	p.lifecycle(id, id, trace.PhaseRepair, trace.StatePromoted,
+		"deputy of dead head %d is now head (m=%d)", dead, len(entries))
 	payload, err := message.MarshalRoster(promoted)
 	if err != nil {
 		return
@@ -535,8 +560,9 @@ func (p *Protocol) repairOrphans() {
 		p.forgetHead(st, dead)
 		p.clearClusterState(st)
 		p.rejoin(id, dead)
-		if st.head >= 0 {
-			p.env.Tracef(id, "rejoin", "orphaned by dead head %d; joining %d", dead, st.head)
+		if st.head >= 0 && p.env.Sink != nil {
+			p.lifecycle(id, st.head, trace.PhaseRepair, trace.StateOrphaned,
+				"orphaned by dead head %d; joining %d", dead, st.head)
 		}
 	}
 }
@@ -569,7 +595,10 @@ func (p *Protocol) repairFinalize(window time.Duration) {
 			continue
 		}
 		p.installRoster(id, roster)
-		p.env.Tracef(id, "rejoin", "adopted %d orphans (m=%d)", len(adopted), len(roster.Entries))
+		if p.env.Sink != nil {
+			p.lifecycle(id, id, trace.PhaseRepair, trace.StateAdopted,
+				"adopted %d orphans (m=%d)", len(adopted), len(roster.Entries))
+		}
 		jit := p.jitter(window / 16)
 		send := func() {
 			p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))

@@ -7,6 +7,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/shares"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Hello roles carried in the formation flood.
@@ -89,7 +90,7 @@ func (p *Protocol) onHello(at topo.NodeID, msg *message.Message) {
 	if p.env.Rng.Float64() < p.cfg.Pc {
 		st.role = roleHead
 		st.head = at
-		p.env.Tracef(at, "election", "became head at hops=%d", hops)
+		p.emit(at, at, trace.PhaseFormation, trace.TypeElection, "pc-draw", "became head at hops=%d", hops)
 		p.env.Eng.After(p.jitter(80*time.Millisecond), func() { p.sendHello(at, helloHead, hops) })
 		return
 	}
@@ -113,13 +114,15 @@ func (p *Protocol) join(at topo.NodeID) {
 	if len(st.heardCH) == 0 {
 		st.role = roleHead
 		st.head = at
-		p.env.Tracef(at, "election", "self-promoted (no head in range)")
+		p.emit(at, at, trace.PhaseFormation, trace.TypeElection, "no-head-in-range", "self-promoted")
 		p.sendHello(at, helloHead, st.hops)
 		return
 	}
 	best := st.heardCH[p.env.Rng.Intn(len(st.heardCH))]
 	st.head = best.id
-	p.env.Tracef(at, "join", "joining head %d", best.id)
+	if p.env.Sink != nil {
+		p.emit(at, best.id, trace.PhaseFormation, trace.TypeJoin, "", "joining head %d", best.id)
+	}
 	p.env.MAC.Send(message.Build(
 		message.KindJoin, at, best.id, p.round,
 		message.MarshalJoin(message.Join{Head: best.id, Seed: shares.SeedFor(int(at))}),
@@ -173,6 +176,7 @@ func (p *Protocol) onJoin(at topo.NodeID, msg *message.Message) {
 // member that misses its roster cannot participate, which would fail the
 // whole cluster).
 func (p *Protocol) broadcastRosters() {
+	p.phaseMark(trace.PhaseRoster, "dissolution + final roster broadcasts")
 	window := p.cfg.SharesAt - p.cfg.RosterAt
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
@@ -212,7 +216,7 @@ func (p *Protocol) dissolve(id topo.NodeID) {
 	})
 	st.role = roleMember
 	st.joiners = nil
-	p.env.Tracef(id, "merge", "dissolved undersized cluster")
+	p.lifecycle(id, id, trace.PhaseRoster, trace.StateDissolved, "undersized cluster released its joiners")
 	p.rejoin(id, id)
 }
 
@@ -255,6 +259,10 @@ func (p *Protocol) finalRosters() {
 			continue
 		}
 		p.installRoster(id, roster)
+		if p.env.Sink != nil {
+			p.lifecycle(id, id, trace.PhaseRoster, trace.StateFormed,
+				"roster published: m=%d deputy=%d", len(roster.Entries), p.nodes[id].deputy)
+		}
 		jitter := p.jitter(window / 4)
 		p.env.Eng.After(jitter, func() {
 			p.env.MAC.Send(message.Build(message.KindRoster, id, message.BroadcastID, p.round, payload))
@@ -316,7 +324,8 @@ func (p *Protocol) onRoster(at topo.NodeID, msg *message.Message) {
 		st.joiners = nil
 		p.clearClusterState(st)
 		st.head = msg.From
-		p.env.Tracef(at, "recover", "standing down; deputy %d now heads the cluster", msg.From)
+		p.emit(at, msg.From, trace.PhaseRepair, trace.TypeRecover, "deputy-promoted",
+			"recovered head standing down; deputy %d now heads the cluster", msg.From)
 		p.env.MAC.Send(message.Build(
 			message.KindJoin, at, msg.From, p.round,
 			message.MarshalJoin(message.Join{Head: msg.From, Seed: shares.SeedFor(int(at))}),

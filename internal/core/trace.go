@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Flight-recorder emit helpers. Every helper guards on the env sink before
+// formatting, so a disabled run pays one nil comparison per site; call
+// sites inside per-node loops additionally hoist the check (p.env.Sink !=
+// nil) to skip the variadic boxing entirely.
+
+// emit records one typed protocol event with the current round stamped in.
+func (p *Protocol) emit(node, cluster topo.NodeID, phase, typ, cause, format string, args ...any) {
+	if p.env.Sink == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	p.env.Emit(trace.Event{Round: p.round, Node: node, Cluster: cluster,
+		Phase: phase, Type: typ, Cause: cause, Detail: detail})
+}
+
+// lifecycle records a cluster state-machine transition. The cluster is
+// identified by its head's node ID; the new state rides in Cause, so a
+// trace filtered to one cluster and the lifecycle type reads as the
+// explicit state machine (formed → exchanging → … → announced | failed).
+func (p *Protocol) lifecycle(node, cluster topo.NodeID, phase, state, format string, args ...any) {
+	p.emit(node, cluster, phase, trace.TypeLifecycle, state, format, args...)
+}
+
+// phaseMark records a protocol phase window opening (network-wide, so the
+// event is unscoped: base-station node, no cluster).
+func (p *Protocol) phaseMark(phase, format string, args ...any) {
+	p.emit(topo.BaseStationID, trace.NoCluster, phase, trace.TypePhase, "", format, args...)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Receiver consumes frames delivered to (or overheard by) a node after MAC
@@ -65,6 +66,7 @@ type Layer struct {
 	acksTx  int
 	retxTx  int
 	recvers []Receiver
+	sink    trace.Sink // flight recorder; nil = disabled
 }
 
 type port struct {
@@ -141,6 +143,21 @@ func (l *Layer) Reset() {
 	l.retxTx = 0
 }
 
+// SetSink installs (or removes) the flight-recorder sink. Like the radio,
+// the MAC emits only on failure paths — abandoned frames, exhausted ARQ,
+// crash injection — never per successful frame.
+func (l *Layer) SetSink(s trace.Sink) { l.sink = s }
+
+// emitDrop records one abandoned frame and its cause.
+func (l *Layer) emitDrop(id topo.NodeID, cause string, format string, args ...any) {
+	if l.sink == nil {
+		return
+	}
+	l.sink.Emit(trace.Event{At: l.eng.Now(), Node: id, Cluster: trace.NoCluster,
+		Phase: trace.PhaseMAC, Type: trace.TypeDrop, Cause: cause,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
 // SetReceiver installs the protocol-level receive callback for a node.
 func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
 	l.recvers[id] = r
@@ -152,14 +169,19 @@ func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
 func (l *Layer) Disable(id topo.NodeID) {
 	p := l.ports[id]
 	p.dead = true
+	purged := len(p.queue)
 	l.drops += len(p.queue)
 	p.queue = nil
 	if p.awaiting != nil {
 		p.awaiting = nil
 		l.drops++
+		purged++
 	}
 	p.ackTimer.Cancel()
 	p.ackTimer = sim.Timer{}
+	if purged > 0 {
+		l.emitDrop(id, "crash-purge", "%d queued frames lost with the node", purged)
+	}
 }
 
 // Enable reboots a crashed node (crash-and-recover injection). The port
@@ -178,6 +200,7 @@ func (l *Layer) Send(msg *message.Message) {
 	p := l.ports[msg.From]
 	if p.dead {
 		l.drops++
+		l.emitDrop(msg.From, "dead-port", "%s to %d queued on crashed node", msg.Kind, msg.To)
 		return
 	}
 	p.seq++
@@ -253,6 +276,7 @@ func (l *Layer) attempt(p *port) {
 		p.awaiting = nil
 		l.drops++
 		p.pending = false
+		l.emitDrop(p.id, "encode-error", "%v", err)
 		l.kick(p)
 		return
 	}
@@ -278,6 +302,7 @@ func (l *Layer) abandon(p *port) {
 		p.queue = p.queue[1:]
 	}
 	l.drops++
+	l.emitDrop(p.id, "cs-exhausted", "carrier sense gave up after %d deferrals", p.csTries)
 	p.csTries = 0
 	p.txTries = 0
 	p.cw = l.cfg.MinCW
@@ -292,10 +317,12 @@ func (l *Layer) ackTimedOut(p *port) {
 	}
 	p.txTries++
 	if p.txTries > l.cfg.MaxTxRetries {
+		dst := p.awaiting.To
 		p.awaiting = nil
 		p.txTries = 0
 		l.drops++
 		p.pending = false
+		l.emitDrop(p.id, "arq-exhausted", "unicast to %d unacked after %d retries", dst, l.cfg.MaxTxRetries)
 		l.kick(p)
 		return
 	}

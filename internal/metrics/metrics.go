@@ -6,7 +6,9 @@ package metrics
 
 import (
 	"fmt"
+	"maps"
 	"sort"
+	"strings"
 
 	"repro/internal/topo"
 )
@@ -106,6 +108,9 @@ func (r *Recorder) NodeRxBytes(id topo.NodeID) int { return r.rxBytes[id] }
 // NodeTxMessages returns frames transmitted by one node.
 func (r *Recorder) NodeTxMessages(id topo.NodeID) int { return r.txMsgs[id] }
 
+// NodeRxMessages returns frames successfully received by one node.
+func (r *Recorder) NodeRxMessages(id topo.NodeID) int { return r.rxMsgs[id] }
+
 // Collisions returns the number of collision events observed.
 func (r *Recorder) Collisions() int { return r.collisions }
 
@@ -123,11 +128,7 @@ func (r *Recorder) AppMessages() int {
 
 // BytesByKind returns a copy of the per-message-kind byte totals.
 func (r *Recorder) BytesByKind() map[string]int {
-	out := make(map[string]int, len(r.byKind))
-	for k, v := range r.byKind {
-		out[k] = v
-	}
-	return out
+	return maps.Clone(r.byKind)
 }
 
 // KindsSorted returns kind labels in deterministic order.
@@ -208,9 +209,20 @@ func (r RoundResult) CoverageRate() float64 {
 	return float64(r.Covered) / float64(r.TrueCount)
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Resilience and failover counters
+// appear only when non-zero, so the healthy-round line stays short.
 func (r RoundResult) String() string {
-	return fmt.Sprintf("%s: sum=%d/%d count=%d/%d accepted=%v alarms=%d tx=%dB",
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: sum=%d/%d count=%d/%d accepted=%v alarms=%d",
 		r.Protocol, r.ReportedSum, r.TrueSum, r.ReportedCnt, r.TrueCount,
-		r.Accepted, r.Alarms, r.TxBytes)
+		r.Accepted, r.Alarms)
+	if r.DegradedClusters > 0 || r.FailedClusters > 0 {
+		fmt.Fprintf(&b, " degraded=%d failed=%d", r.DegradedClusters, r.FailedClusters)
+	}
+	if r.Takeovers > 0 || r.Promotions > 0 || r.OrphansRejoined > 0 {
+		fmt.Fprintf(&b, " takeovers=%d promotions=%d rejoined=%d",
+			r.Takeovers, r.Promotions, r.OrphansRejoined)
+	}
+	fmt.Fprintf(&b, " tx=%dB", r.TxBytes)
+	return b.String()
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,82 @@ func TestRecorderByKind(t *testing.T) {
 	}
 }
 
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.OnTransmit(1, "hello", 30)
+	r.OnTransmit(2, "ack", 23)
+	r.OnReceive(3, 30)
+	r.OnCollision()
+	r.OnDrop()
+
+	r.Reset()
+	if got := r.TotalTxBytes(); got != 0 {
+		t.Errorf("TotalTxBytes after Reset = %d", got)
+	}
+	if got := r.TotalTxMessages(); got != 0 {
+		t.Errorf("TotalTxMessages after Reset = %d", got)
+	}
+	if got := r.TotalRxMessages(); got != 0 {
+		t.Errorf("TotalRxMessages after Reset = %d", got)
+	}
+	if r.Collisions() != 0 || r.Dropped() != 0 {
+		t.Errorf("collisions/drops after Reset = %d/%d", r.Collisions(), r.Dropped())
+	}
+	if got := len(r.BytesByKind()); got != 0 {
+		t.Errorf("BytesByKind after Reset has %d entries", got)
+	}
+	if got := r.AppMessages(); got != 0 {
+		t.Errorf("AppMessages after Reset = %d", got)
+	}
+
+	// The recorder must stay fully usable after Reset: the maps are cleared
+	// in place, not dropped.
+	r.OnTransmit(1, "share", 50)
+	r.OnReceive(2, 50)
+	if r.TotalTxBytes() != 50 || r.NodeTxMessages(1) != 1 || r.NodeRxMessages(2) != 1 {
+		t.Errorf("recorder unusable after Reset: tx=%d msgs=%d rx=%d",
+			r.TotalTxBytes(), r.NodeTxMessages(1), r.NodeRxMessages(2))
+	}
+	if kinds := r.KindsSorted(); len(kinds) != 1 || kinds[0] != "share" {
+		t.Errorf("KindsSorted after Reset = %v", kinds)
+	}
+}
+
+func TestNodeRxMessages(t *testing.T) {
+	r := NewRecorder()
+	r.OnReceive(4, 30)
+	r.OnReceive(4, 50)
+	r.OnReceive(5, 30)
+	if got := r.NodeRxMessages(4); got != 2 {
+		t.Errorf("NodeRxMessages(4) = %d", got)
+	}
+	if got := r.NodeRxMessages(5); got != 1 {
+		t.Errorf("NodeRxMessages(5) = %d", got)
+	}
+	if got := r.NodeRxMessages(6); got != 0 {
+		t.Errorf("NodeRxMessages(6) = %d (unknown node must read zero)", got)
+	}
+}
+
+func TestKindsSortedDeterministic(t *testing.T) {
+	r := NewRecorder()
+	for _, kind := range []string{"share", "hello", "announce", "ack", "roster"} {
+		r.OnTransmit(1, kind, 10)
+	}
+	want := []string{"ack", "announce", "hello", "roster", "share"}
+	for trial := 0; trial < 50; trial++ {
+		got := r.KindsSorted()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v", trial, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: KindsSorted = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
 func TestRoundResultMetrics(t *testing.T) {
 	r := RoundResult{
 		Protocol:     "x",
@@ -84,6 +161,26 @@ func TestRoundResultMetrics(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Error("String should render")
+	}
+}
+
+func TestRoundResultStringResilienceCounters(t *testing.T) {
+	healthy := RoundResult{Protocol: "icpda", TrueSum: 10, ReportedSum: 10, Accepted: true}
+	if s := healthy.String(); strings.Contains(s, "degraded") || strings.Contains(s, "takeovers") {
+		t.Errorf("healthy round should omit resilience counters: %s", s)
+	}
+	hurt := RoundResult{
+		Protocol: "icpda", TrueSum: 10, ReportedSum: 7,
+		DegradedClusters: 2, FailedClusters: 1,
+		Takeovers: 3, Promotions: 1, OrphansRejoined: 4,
+	}
+	s := hurt.String()
+	for _, want := range []string{
+		"degraded=2", "failed=1", "takeovers=3", "promotions=1", "rejoined=4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Handler consumes a delivered frame at a node. The frame is already
@@ -77,6 +78,7 @@ type Medium struct {
 	handlers []Handler
 	active   []*transmission // recent transmissions kept for overlap checks
 	maxDur   time.Duration   // longest frame airtime seen; bounds retention
+	sink     trace.Sink      // flight recorder; nil = disabled
 }
 
 // NewMedium wires a medium over the network. rec may be nil to skip
@@ -123,6 +125,21 @@ func (m *Medium) Reset() {
 // loss draws. Required when cfg.Fading, cfg.LossRate, or cfg.LossByKind is
 // set; typically the deployment's seeded RNG so runs stay reproducible.
 func (m *Medium) SetFadingSource(rng *rand.Rand) { m.rng = rng }
+
+// SetSink installs (or removes) the flight-recorder sink. The medium only
+// emits on drop paths — collisions, fading, injected loss — never on
+// successful delivery, keeping the traced hot path proportional to failures.
+func (m *Medium) SetSink(s trace.Sink) { m.sink = s }
+
+// emitDrop records one lost reception and its cause.
+func (m *Medium) emitDrop(rcv topo.NodeID, t *transmission, cause string) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit(trace.Event{At: m.eng.Now(), Node: rcv, Cluster: trace.NoCluster,
+		Phase: trace.PhaseRadio, Type: trace.TypeDrop, Cause: cause,
+		Detail: fmt.Sprintf("%s from %d (%dB)", t.msg.Kind, t.from, t.wireSize)})
+}
 
 // SetHandler installs the receive callback for a node.
 func (m *Medium) SetHandler(id topo.NodeID, h Handler) {
@@ -208,18 +225,21 @@ func (m *Medium) deliver(t *transmission) {
 				m.rec.OnCollision()
 				m.rec.OnDrop()
 			}
+			m.emitDrop(rcv, t, "collision")
 			continue
 		}
 		if !m.cfg.Ideal && m.faded(t.from, rcv) {
 			if m.rec != nil {
 				m.rec.OnDrop()
 			}
+			m.emitDrop(rcv, t, "fading")
 			continue
 		}
 		if !m.cfg.Ideal && m.lost(t.msg) {
 			if m.rec != nil {
 				m.rec.OnDrop()
 			}
+			m.emitDrop(rcv, t, "loss")
 			continue
 		}
 		if m.rec != nil {

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ErrStopped is returned by Run when the simulation was stopped explicitly
@@ -66,7 +68,8 @@ type Engine struct {
 	dead    int      // cancelled events still sitting in queue
 	stopped bool
 	ran     uint64
-	limit   uint64 // safety valve against runaway schedules; 0 = unlimited
+	limit   uint64     // safety valve against runaway schedules; 0 = unlimited
+	sink    trace.Sink // flight recorder; nil = disabled
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -77,6 +80,22 @@ func NewEngine() *Engine {
 // SetEventLimit installs a safety cap on the number of processed events.
 // Run returns an error when the cap is hit. Zero disables the cap.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// SetSink installs (or, with nil, removes) the flight-recorder sink. The
+// engine only emits run-lifecycle events — start, drain, stop, limit — so
+// the per-event hot loop stays untouched.
+func (e *Engine) SetSink(s trace.Sink) { e.sink = s }
+
+// emitRun records one run-lifecycle event when tracing is enabled. The
+// format runs behind the nil check so disabled runs pay nothing for it.
+func (e *Engine) emitRun(cause, format string, args ...any) {
+	if e.sink == nil {
+		return
+	}
+	e.sink.Emit(trace.Event{At: e.now, Cluster: trace.NoCluster,
+		Phase: trace.PhaseEngine, Type: trace.TypeEngine, Cause: cause,
+		Detail: fmt.Sprintf(format, args...)})
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -154,14 +173,17 @@ func (e *Engine) Stop() { e.stopped = true }
 // optional horizon (0 = none) passes. Events scheduled exactly at the
 // horizon still run.
 func (e *Engine) Run(horizon time.Duration) error {
+	e.emitRun("run", fmt.Sprintf("pending=%d horizon=%v", e.Pending(), horizon))
 	for len(e.queue) > 0 {
 		if e.stopped {
+			e.emitRun("stopped", fmt.Sprintf("processed=%d", e.ran))
 			return ErrStopped
 		}
 		if horizon > 0 && e.queue[0].at > horizon {
 			// Leave the event queued so a later Run with a larger horizon
 			// resumes exactly where this one paused.
 			e.now = horizon
+			e.emitRun("paused", fmt.Sprintf("pending=%d", e.Pending()))
 			return nil
 		}
 		ev := e.pop()
@@ -174,6 +196,7 @@ func (e *Engine) Run(horizon time.Duration) error {
 		e.ran++
 		if e.limit > 0 && e.ran > e.limit {
 			e.recycle(ev)
+			e.emitRun("limit", fmt.Sprintf("limit=%d", e.limit))
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
 		}
 		fn := ev.fn
@@ -183,6 +206,7 @@ func (e *Engine) Run(horizon time.Duration) error {
 		e.recycle(ev)
 		fn()
 	}
+	e.emitRun("drained", fmt.Sprintf("processed=%d", e.ran))
 	return nil
 }
 

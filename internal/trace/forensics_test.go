@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// fixture is a hand-written two-cluster round-3 trace: cluster 7 forms,
+// exchanges, goes silent (head crash), is taken over and announced by its
+// deputy; cluster 9 completes normally; one alarm fires against node 12.
+func fixture() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		{At: ms(0), Round: 3, Node: 0, Cluster: NoCluster, Phase: PhaseFormation, Type: TypePhase, Detail: "hello flood"},
+		{At: ms(1), Round: 3, Node: 7, Cluster: 7, Phase: PhaseFormation, Type: TypeElection, Cause: "pc-draw"},
+		{At: ms(2), Round: 3, Node: 7, Cluster: 7, Phase: PhaseRoster, Type: TypeLifecycle, Cause: StateFormed},
+		{At: ms(2), Round: 3, Node: 9, Cluster: 9, Phase: PhaseRoster, Type: TypeLifecycle, Cause: StateFormed},
+		{At: ms(3), Round: 3, Node: 0, Cluster: NoCluster, Phase: PhaseExchange, Type: TypePhase, Detail: "shares"},
+		{At: ms(4), Round: 3, Node: 7, Cluster: 7, Phase: PhaseExchange, Type: TypeLifecycle, Cause: StateExchanging},
+		{At: ms(4), Round: 3, Node: 9, Cluster: 9, Phase: PhaseExchange, Type: TypeLifecycle, Cause: StateExchanging},
+		{At: ms(5), Round: 3, Node: 7, Cluster: 7, Type: TypeCrash, Cause: "fail-stop"},
+		{At: ms(6), Round: 3, Node: 3, Cluster: NoCluster, Phase: PhaseRadio, Type: TypeDrop, Cause: "collision"},
+		{At: ms(6), Round: 3, Node: 4, Cluster: NoCluster, Phase: PhaseRadio, Type: TypeDrop, Cause: "collision"},
+		{At: ms(6), Round: 3, Node: 4, Cluster: NoCluster, Phase: PhaseMAC, Type: TypeDrop, Cause: "arq-exhausted"},
+		{At: ms(7), Round: 3, Node: 0, Cluster: NoCluster, Phase: PhaseAnnounce, Type: TypePhase, Detail: "announce"},
+		{At: ms(8), Round: 3, Node: 8, Cluster: 7, Phase: PhaseFailover, Type: TypeWatchdog, Cause: "head-silent"},
+		{At: ms(8), Round: 3, Node: 8, Cluster: 7, Phase: PhaseFailover, Type: TypeLifecycle, Cause: StateSilent},
+		{At: ms(9), Round: 3, Node: 8, Cluster: 7, Phase: PhaseFailover, Type: TypeLifecycle, Cause: StateTakeover},
+		{At: ms(10), Round: 3, Node: 9, Cluster: 9, Phase: PhaseAnnounce, Type: TypeLifecycle, Cause: StateAnnounced},
+		{At: ms(11), Round: 3, Node: 8, Cluster: 7, Phase: PhaseFailover, Type: TypeLifecycle, Cause: StateCorroborated},
+		{At: ms(12), Round: 3, Node: 5, Cluster: 9, Phase: PhaseAnnounce, Type: TypeAlarm,
+			Cause: "own-row-forged", Detail: "suspect=12 observed=1 expected=2"},
+		{At: ms(13), Round: 3, Node: 8, Cluster: 7, Phase: PhaseFailover, Type: TypeLifecycle, Cause: StateAnnounced},
+	}
+}
+
+func TestQuerySelect(t *testing.T) {
+	evs := fixture()
+	all := Select(evs, NewQuery())
+	if len(all) != len(evs) {
+		t.Fatalf("match-all selected %d of %d", len(all), len(evs))
+	}
+	q := NewQuery()
+	q.Round = 4
+	if got := Select(evs, q); got != nil {
+		t.Fatalf("round 4 should be empty, got %d", len(got))
+	}
+	q = NewQuery()
+	q.AnyCluster, q.Cluster = false, 7
+	for _, e := range Select(evs, q) {
+		if e.Cluster != 7 {
+			t.Fatalf("cluster filter leaked %+v", e)
+		}
+	}
+	q = NewQuery()
+	q.Type = TypeDrop
+	q.Phase = PhaseRadio
+	if got := Select(evs, q); len(got) != 2 {
+		t.Fatalf("want 2 radio drops, got %d", len(got))
+	}
+	q = NewQuery()
+	q.AnyNode, q.Node = false, 9
+	if got := Select(evs, q); len(got) != 3 {
+		t.Fatalf("want 3 events for node 9, got %d", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(fixture(), NewQuery())
+	if s.Total != len(fixture()) {
+		t.Fatalf("total %d", s.Total)
+	}
+	if s.ByType[TypeLifecycle] != 9 || s.ByType[TypeDrop] != 3 || s.ByType[TypeAlarm] != 1 {
+		t.Fatalf("type counts %v", s.ByType)
+	}
+	if s.ByState[StateFormed] != 2 || s.ByState[StateTakeover] != 1 {
+		t.Fatalf("state counts %v", s.ByState)
+	}
+	if len(s.Rounds) != 1 || s.Rounds[0] != 3 {
+		t.Fatalf("rounds %v", s.Rounds)
+	}
+	if len(s.Clusters) != 2 || s.Clusters[0] != 7 || s.Clusters[1] != 9 {
+		t.Fatalf("clusters %v", s.Clusters)
+	}
+	var b strings.Builder
+	s.Write(&b)
+	for _, want := range []string{"2 clusters", "lifecycle", "by phase:", StateCorroborated} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("summary output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	spans := Timeline(fixture(), NewQuery())
+	if len(spans) != 3 {
+		t.Fatalf("want 3 phase spans, got %d", len(spans))
+	}
+	if spans[0].Phase != PhaseFormation || spans[0].Duration != 3*time.Millisecond {
+		t.Fatalf("formation span %+v", spans[0])
+	}
+	if spans[1].Phase != PhaseExchange || spans[1].Duration != 4*time.Millisecond {
+		t.Fatalf("exchange span %+v", spans[1])
+	}
+	// Last span runs to the latest event in the trace (13 ms).
+	if spans[2].Phase != PhaseAnnounce || spans[2].Duration != 6*time.Millisecond {
+		t.Fatalf("announce span %+v", spans[2])
+	}
+	var b strings.Builder
+	WriteTimeline(&b, spans)
+	if !strings.Contains(b.String(), PhaseExchange) {
+		t.Fatalf("timeline output:\n%s", b.String())
+	}
+}
+
+func TestLifecyclesReconstructChains(t *testing.T) {
+	lives := Lifecycles(fixture(), NewQuery())
+	if len(lives) != 2 {
+		t.Fatalf("want 2 clusters, got %d", len(lives))
+	}
+	c7, c9 := lives[0], lives[1]
+	if c7.Key.Cluster != 7 || c9.Key.Cluster != 9 {
+		t.Fatalf("order %v %v", c7.Key, c9.Key)
+	}
+	wantChain := "formed → exchanging → silent → takeover → corroborated → announced"
+	if got := c7.Chain(); got != wantChain {
+		t.Fatalf("cluster 7 chain:\n got %s\nwant %s", got, wantChain)
+	}
+	if !c7.Takeover || c9.Takeover {
+		t.Fatalf("takeover flags: c7=%v c9=%v", c7.Takeover, c9.Takeover)
+	}
+	// The head's crash and the deputy's watchdog ride along as context.
+	types := map[string]int{}
+	for _, e := range c7.Context {
+		types[e.Type]++
+	}
+	if types[TypeCrash] != 1 || types[TypeWatchdog] != 1 {
+		t.Fatalf("cluster 7 context %v", types)
+	}
+	if got := c9.Chain(); got != "formed → exchanging → announced" {
+		t.Fatalf("cluster 9 chain: %s", got)
+	}
+
+	var b strings.Builder
+	WriteLifecycles(&b, lives)
+	if !strings.Contains(b.String(), "r3 cluster 7: "+wantChain) {
+		t.Fatalf("lifecycle output:\n%s", b.String())
+	}
+}
+
+func TestAlarmChains(t *testing.T) {
+	chains := AlarmChains(fixture(), NewQuery())
+	if len(chains) != 1 {
+		t.Fatalf("want 1 alarm chain, got %d", len(chains))
+	}
+	c := chains[0]
+	if c.Culprit.Cause != "own-row-forged" {
+		t.Fatalf("culprit %+v", c.Culprit)
+	}
+	// Context is scoped to the alarm's cluster (9) before the alarm time:
+	// formed, exchanging, announced — and nothing from cluster 7.
+	if len(c.Context) != 3 {
+		t.Fatalf("context size %d: %v", len(c.Context), c.Context)
+	}
+	for _, e := range c.Context {
+		if e.Cluster != 9 {
+			t.Fatalf("context leaked cluster %d event %+v", e.Cluster, e)
+		}
+	}
+}
+
+func TestAlarmChainFollowsSuspectAcrossClusters(t *testing.T) {
+	evs := []Event{
+		{At: 1, Round: 1, Node: 12, Cluster: 4, Type: TypeCrash, Cause: "fail-stop"},
+		{At: 2, Round: 1, Node: 3, Cluster: 8, Type: TypeAlarm,
+			Cause: "dual-announce", Detail: "suspect=12 observed=9 expected=0"},
+	}
+	chains := AlarmChains(evs, NewQuery())
+	if len(chains) != 1 || len(chains[0].Context) != 1 {
+		t.Fatalf("chains %+v", chains)
+	}
+	if chains[0].Context[0].Type != TypeCrash {
+		t.Fatalf("suspect context %+v", chains[0].Context[0])
+	}
+}
+
+func TestTakeoverChains(t *testing.T) {
+	chains := TakeoverChains(fixture(), NewQuery())
+	if len(chains) != 1 {
+		t.Fatalf("want 1 takeover chain, got %d", len(chains))
+	}
+	c := chains[0]
+	if c.Culprit.Cause != StateTakeover || c.Culprit.Cluster != 7 {
+		t.Fatalf("culprit %+v", c.Culprit)
+	}
+	// Full merged chain: crash + watchdog + 6 lifecycle states, time-ordered.
+	if len(c.Context) != 8 {
+		t.Fatalf("context size %d", len(c.Context))
+	}
+	for i := 1; i < len(c.Context); i++ {
+		if c.Context[i].At < c.Context[i-1].At {
+			t.Fatalf("context out of order at %d", i)
+		}
+	}
+}
+
+func TestDropChainsGroupByCause(t *testing.T) {
+	chains := DropChains(fixture(), NewQuery())
+	if len(chains) != 2 {
+		t.Fatalf("want 2 causes, got %d", len(chains))
+	}
+	if chains[0].Culprit.Cause != "arq-exhausted" || chains[1].Culprit.Cause != "collision" {
+		t.Fatalf("cause order %q %q", chains[0].Culprit.Cause, chains[1].Culprit.Cause)
+	}
+	if len(chains[1].Context) != 1 {
+		t.Fatalf("collision group should hold one extra drop, got %d", len(chains[1].Context))
+	}
+}
+
+func TestWriteChainsElidesContext(t *testing.T) {
+	ctx := make([]Event, 10)
+	for i := range ctx {
+		ctx[i] = Event{At: time.Duration(i), Node: topo.NodeID(i), Type: TypeDrop, Cause: "loss"}
+	}
+	var b strings.Builder
+	WriteChains(&b, []Chain{{Culprit: Event{Type: TypeAlarm}, Context: ctx}}, 4)
+	if !strings.Contains(b.String(), "… 6 more") {
+		t.Fatalf("no elision marker:\n%s", b.String())
+	}
+	b.Reset()
+	WriteChains(&b, []Chain{{Culprit: Event{Type: TypeAlarm}, Context: ctx}}, 0)
+	if strings.Contains(b.String(), "more") {
+		t.Fatalf("unlimited context still elided:\n%s", b.String())
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL streams every event as one JSON object per line — the on-disk
+// trace format cmd/aggtrace consumes. Writes are buffered; call Flush (or
+// Close) before reading the output. The first write error is sticky and
+// reported by Flush/Close so a full disk cannot silently truncate a
+// forensic trace.
+type JSONL struct {
+	w   *bufio.Writer
+	c   io.Closer // non-nil when NewJSONL was handed an io.WriteCloser
+	err error
+	n   int
+}
+
+// NewJSONL returns a sink writing one JSON line per event to w. When w is
+// also an io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit writes the event. Errors are latched, not returned — the emit path
+// must stay cheap and infallible for callers.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		j.err = fmt.Errorf("trace: encode event: %w", err)
+		return
+	}
+	if _, err := j.w.Write(data); err != nil {
+		j.err = fmt.Errorf("trace: write event: %w", err)
+		return
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		j.err = fmt.Errorf("trace: write event: %w", err)
+		return
+	}
+	j.n++
+}
+
+// Count returns the number of events successfully encoded.
+func (j *JSONL) Count() int { return j.n }
+
+// Flush drains the buffer and returns the first sticky error, if any.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("trace: flush: %w", err)
+	}
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is closable, closes it.
+func (j *JSONL) Close() error {
+	ferr := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && ferr == nil {
+			ferr = fmt.Errorf("trace: close: %w", cerr)
+		}
+		j.c = nil
+	}
+	return ferr
+}
+
+// ReadJSONL parses a JSONL trace stream back into events, tolerating
+// blank lines. A malformed line fails with its line number so truncated
+// traces are diagnosable.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is a live counter sink: it totals events by type and by phase and
+// remembers the latest virtual time and round seen. Unlike the other
+// sinks it is safe for concurrent reads while the simulation emits —
+// it backs the -observe expvar endpoint, which is scraped from an HTTP
+// goroutine mid-run.
+type Stats struct {
+	mu      sync.Mutex
+	byType  map[string]int64
+	byPhase map[string]int64
+	total   int64
+	lastAt  time.Duration
+	round   uint16
+}
+
+// NewStats returns an empty counter sink.
+func NewStats() *Stats {
+	return &Stats{
+		byType:  make(map[string]int64),
+		byPhase: make(map[string]int64),
+	}
+}
+
+// Emit counts the event.
+func (s *Stats) Emit(ev Event) {
+	s.mu.Lock()
+	s.byType[ev.Type]++
+	if ev.Phase != "" {
+		s.byPhase[ev.Phase]++
+	}
+	s.total++
+	s.lastAt = ev.At
+	if ev.Round > s.round {
+		s.round = ev.Round
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns the counters as a flat map, ready for expvar.Func:
+// per-type counts under "type.<t>", per-phase counts under "phase.<p>",
+// plus "events_total", "round", and "sim_time_ns".
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.byType)+len(s.byPhase)+3)
+	for k, v := range s.byType {
+		out["type."+k] = v
+	}
+	for k, v := range s.byPhase {
+		out["phase."+k] = v
+	}
+	out["events_total"] = s.total
+	out["round"] = int64(s.round)
+	out["sim_time_ns"] = int64(s.lastAt)
+	return out
+}
+
+// Keys returns the snapshot's keys in deterministic order (tests, text
+// rendering).
+func (s *Stats) Keys() []string {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

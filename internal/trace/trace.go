@@ -1,8 +1,16 @@
-// Package trace provides a bounded, structured event log for protocol
-// debugging: simulations record what each node did and when (virtual time),
-// a ring buffer bounds memory, and dumps can be filtered by node or
-// category. Tracing is optional — a nil *Tracer is a no-op everywhere —
-// so the hot path pays one nil check when disabled.
+// Package trace is the repository's flight recorder: a structured,
+// typed event log of everything the protocol stack did and why. Every
+// layer of the simulation — the event engine, the radio medium, the MAC,
+// and each core protocol phase — emits Events into a Sink; sinks include
+// a bounded in-memory ring buffer (Tracer), a JSONL stream writer for
+// offline forensics with cmd/aggtrace, and a thread-safe Stats counter
+// set for live observation over expvar.
+//
+// Tracing is optional and designed to vanish when disabled: every emit
+// site guards on a nil sink before building the event, so the hot path
+// pays exactly one nil check per site. A nil *Tracer is additionally a
+// valid no-op receiver everywhere, preserving the pre-flight-recorder
+// contract.
 package trace
 
 import (
@@ -14,20 +22,105 @@ import (
 	"repro/internal/topo"
 )
 
-// Event is one recorded protocol action.
+// NoCluster marks an event that is not scoped to any cluster.
+const NoCluster = topo.NodeID(-1)
+
+// Protocol phases an event can belong to. These mirror the round's
+// schedule (core.Config's phase times) plus the cross-round repair window.
+const (
+	PhaseFormation = "formation" // HELLO flood, election, joins
+	PhaseRoster    = "roster"    // dissolution + final roster broadcasts
+	PhaseExchange  = "exchange"  // polynomial share distribution
+	PhaseAssembly  = "assembly"  // assembled column-sum reports + recovery checkpoints
+	PhaseAnnounce  = "announce"  // CH-tree aggregation, witnessing, alarms
+	PhaseFailover  = "failover"  // watchdogs, takeover claims, stand-in announces
+	PhaseRepair    = "repair"    // cross-round churn repair window
+	PhaseRadio     = "radio"     // medium-level events (drops and their causes)
+	PhaseMAC       = "mac"       // MAC-level events (queue drops, ARQ exhaustion)
+	PhaseEngine    = "engine"    // simulation-engine events (run lifecycle)
+)
+
+// Event types. Lifecycle events carry the cluster's new state in Cause;
+// the remaining types mark point facts (an alarm, a frame drop, a crash).
+const (
+	TypePhase     = "phase"     // a protocol phase window opened
+	TypeLifecycle = "lifecycle" // a cluster's state machine advanced (state in Cause)
+	TypeElection  = "election"  // a node became (or refused to become) a head
+	TypeJoin      = "join"      // a member picked a head
+	TypeWitness   = "witness"   // a witness check ran and passed judgement
+	TypeAlarm     = "alarm"     // an integrity alarm was raised (causal chain in Cause)
+	TypeWatchdog  = "watchdog"  // a head-silence watchdog expired
+	TypeCrash     = "crash"     // a node fail-stopped
+	TypeRecover   = "recover"   // a node rebooted or a head stood down post-recovery
+	TypeDrop      = "drop"      // a frame was lost (cause: collision/fading/loss/queue)
+	TypeEngine    = "engine"    // engine run started/drained/hit its limit
+)
+
+// Cluster lifecycle states carried in the Cause field of TypeLifecycle
+// events. A cluster's trace, filtered to its head and ordered by time, is
+// an explicit state machine: formed → exchanging → assembling →
+// [repolled → degraded →] announced | silent → takeover → corroborated →
+// announced, with failed/stood-down/dissolved/promoted as the exits.
+const (
+	StateFormed       = "formed"       // roster published; algebra installed
+	StateExchanging   = "exchanging"   // share distribution started
+	StateAssembling   = "assembling"   // head committed its own column sum
+	StateRepolled     = "repolled"     // head re-polled missing reporters
+	StateDegraded     = "degraded"     // head broadcast a subset Reassemble
+	StateAnnounced    = "announced"    // cluster sum transmitted up the tree
+	StateRebutted     = "rebutted"     // live head re-broadcast against a takeover claim
+	StateSilent       = "silent"       // deputy observed head silence at its watchdog
+	StateTakeover     = "takeover"     // deputy claimed the takeover
+	StateCorroborated = "corroborated" // member majority corroborated the silence
+	StateStoodDown    = "stood-down"   // deputy retracted its claim
+	StateFailed       = "failed"       // cluster contributes nothing this round
+	StateDissolved    = "dissolved"    // cluster dissolved (undersized or dead remnant)
+	StatePromoted     = "promoted"     // deputy promoted to permanent head
+	StateOrphaned     = "orphaned"     // member re-joined after its cluster died
+	StateAdopted      = "adopted"      // head published an extended roster with orphans
+)
+
+// Event is one recorded protocol action: who did what, when (virtual
+// time), in which round, phase, and cluster, and why.
 type Event struct {
-	At       time.Duration // virtual time
-	Node     topo.NodeID
-	Category string // e.g. "election", "join", "solve", "witness"
-	Detail   string
+	At      time.Duration `json:"at"`
+	Round   uint16        `json:"round"`
+	Node    topo.NodeID   `json:"node"`
+	Cluster topo.NodeID   `json:"cluster"` // owning cluster's head; NoCluster when unscoped
+	Phase   string        `json:"phase,omitempty"`
+	Type    string        `json:"type"`
+	Cause   string        `json:"cause,omitempty"`  // lifecycle state or causal chain
+	Detail  string        `json:"detail,omitempty"` // free-form parameters
 }
 
 // String renders one line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12v node=%-4d %-10s %s", e.At, e.Node, e.Category, e.Detail)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v r%-3d node=%-4d", e.At, e.Round, e.Node)
+	if e.Cluster >= 0 {
+		fmt.Fprintf(&b, " cluster=%-4d", e.Cluster)
+	} else {
+		b.WriteString(" cluster=-   ")
+	}
+	fmt.Fprintf(&b, " %-10s %-12s", e.Phase, e.Type)
+	if e.Cause != "" {
+		fmt.Fprintf(&b, " %s", e.Cause)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " | %s", e.Detail)
+	}
+	return b.String()
 }
 
-// Tracer is a fixed-capacity ring buffer of events.
+// Sink consumes flight-recorder events. Implementations must tolerate
+// being called from the (single-threaded) simulation loop; sinks read
+// concurrently by other goroutines (Stats) synchronise internally.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer is a fixed-capacity ring buffer of events — the in-memory sink
+// behind aggsim's -trace dump.
 type Tracer struct {
 	buf     []Event
 	next    int
@@ -44,12 +137,13 @@ func New(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
-// Record appends an event. Nil tracers are valid no-ops.
-func (t *Tracer) Record(at time.Duration, node topo.NodeID, category, format string, args ...any) {
+// Emit appends an event, evicting the oldest at capacity. Nil tracers are
+// valid no-ops (callers still should nil-check first to skip building the
+// event at all).
+func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
-	ev := Event{At: at, Node: node, Category: category, Detail: fmt.Sprintf(format, args...)}
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
@@ -58,6 +152,16 @@ func (t *Tracer) Record(at time.Duration, node topo.NodeID, category, format str
 		t.dropped++
 	}
 	t.total++
+}
+
+// Record is the legacy formatted-event shim: category maps to the event
+// type, the formatted text to Detail. Nil tracers are valid no-ops.
+func (t *Tracer) Record(at time.Duration, node topo.NodeID, category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Node: node, Cluster: NoCluster, Type: category,
+		Detail: fmt.Sprintf(format, args...)})
 }
 
 // Len returns the number of retained events.
@@ -89,9 +193,9 @@ func (t *Tracer) Events() []Event {
 
 // Filter describes what Dump writes; zero value means everything.
 type Filter struct {
-	Node     topo.NodeID // match this node only; -1 or 0 value via Any
-	AnyNode  bool
-	Category string // match this category only; empty = all
+	Node    topo.NodeID // match this node only when AnyNode is false
+	AnyNode bool
+	Type    string // match this event type only; empty = all
 }
 
 // AllEvents is the match-everything filter.
@@ -100,14 +204,14 @@ func AllEvents() Filter { return Filter{AnyNode: true} }
 // NodeEvents filters to one node.
 func NodeEvents(id topo.NodeID) Filter { return Filter{Node: id} }
 
-// CategoryEvents filters to one category.
-func CategoryEvents(cat string) Filter { return Filter{AnyNode: true, Category: cat} }
+// TypeEvents filters to one event type.
+func TypeEvents(typ string) Filter { return Filter{AnyNode: true, Type: typ} }
 
 func (f Filter) match(e Event) bool {
 	if !f.AnyNode && e.Node != f.Node {
 		return false
 	}
-	if f.Category != "" && e.Category != f.Category {
+	if f.Type != "" && e.Type != f.Type {
 		return false
 	}
 	return true
@@ -137,14 +241,48 @@ func (t *Tracer) Dump(w io.Writer, f Filter) error {
 	return err
 }
 
-// Counts returns per-category event counts over retained events.
+// Counts returns per-type event counts over retained events.
 func (t *Tracer) Counts() map[string]int {
 	if t == nil {
 		return nil
 	}
 	out := make(map[string]int)
 	for _, e := range t.buf {
-		out[e.Category]++
+		out[e.Type]++
 	}
 	return out
+}
+
+// Multi fans one event stream out to several sinks.
+type Multi []Sink
+
+// Emit forwards the event to every sink.
+func (m Multi) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Fan combines sinks, flattening and dropping nils: zero live sinks
+// return nil (tracing stays disabled), one returns it bare (no fan-out
+// indirection on the emit path).
+func Fan(sinks ...Sink) Sink {
+	live := make(Multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if m, ok := s.(Multi); ok {
+			live = append(live, m...)
+			continue
+		}
+		live = append(live, s)
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
 }

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -9,6 +11,7 @@ import (
 func TestNilTracerIsNoOp(t *testing.T) {
 	var tr *Tracer
 	tr.Record(time.Second, 1, "x", "y") // must not panic
+	tr.Emit(Event{Type: "x"})
 	if tr.Len() != 0 || tr.Total() != 0 {
 		t.Error("nil tracer should report zero")
 	}
@@ -31,14 +34,28 @@ func TestRecordAndEvents(t *testing.T) {
 		t.Fatalf("len=%d total=%d", tr.Len(), tr.Total())
 	}
 	evs := tr.Events()
-	if evs[0].Category != "election" || evs[1].Node != 4 {
+	if evs[0].Type != "election" || evs[1].Node != 4 {
 		t.Errorf("events = %+v", evs)
+	}
+	if evs[0].Cluster != NoCluster {
+		t.Errorf("legacy Record should leave the event unscoped, got cluster %d", evs[0].Cluster)
 	}
 	if !strings.Contains(evs[0].Detail, "0.25") {
 		t.Errorf("formatting lost: %q", evs[0].Detail)
 	}
 	if !strings.Contains(evs[0].String(), "election") {
 		t.Errorf("String = %q", evs[0].String())
+	}
+}
+
+func TestEventStringCarriesCauseAndCluster(t *testing.T) {
+	e := Event{At: time.Second, Round: 3, Node: 7, Cluster: 9,
+		Phase: PhaseFailover, Type: TypeLifecycle, Cause: StateTakeover, Detail: "head 9 silent"}
+	s := e.String()
+	for _, want := range []string{"r3", "node=7", "cluster=9", PhaseFailover, TypeLifecycle, StateTakeover, "head 9 silent"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
 	}
 }
 
@@ -89,11 +106,11 @@ func TestDumpFilters(t *testing.T) {
 	}
 
 	var joins strings.Builder
-	if err := tr.Dump(&joins, CategoryEvents("join")); err != nil {
+	if err := tr.Dump(&joins, TypeEvents("join")); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(joins.String(), "2 events matched") {
-		t.Errorf("category dump:\n%s", joins.String())
+		t.Errorf("type dump:\n%s", joins.String())
 	}
 }
 
@@ -118,5 +135,122 @@ func TestCounts(t *testing.T) {
 	c := tr.Counts()
 	if c["a"] != 2 || c["b"] != 1 {
 		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	want := []Event{
+		{At: time.Second, Round: 1, Node: 3, Cluster: 9, Phase: PhaseAnnounce,
+			Type: TypeAlarm, Cause: "own-row-forged", Detail: "observed=1 expected=2"},
+		{At: 2 * time.Second, Round: 2, Node: 4, Cluster: NoCluster, Type: TypeCrash},
+	}
+	for _, ev := range want {
+		j.Emit(ev)
+	}
+	if j.Count() != len(want) {
+		t.Fatalf("Count = %d", j.Count())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"type\":\"ok\"}\nnot json\n")); err == nil {
+		t.Fatal("expected a line-numbered parse error")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	evs, err := ReadJSONL(strings.NewReader("\n{\"type\":\"a\"}\n\n{\"type\":\"b\"}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Type != "a" || evs[1].Type != "b" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+type errWriter struct{ failed bool }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.failed = true
+	return 0, bytes.ErrTooLarge
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	w := &errWriter{}
+	j := NewJSONL(w)
+	// Overflow the buffer so the write error surfaces.
+	big := Event{Detail: strings.Repeat("x", 1<<17)}
+	j.Emit(big)
+	j.Emit(big)
+	if err := j.Flush(); err == nil {
+		t.Fatal("expected sticky write error")
+	}
+}
+
+func TestFan(t *testing.T) {
+	if Fan(nil, nil) != nil {
+		t.Error("all-nil fan should disable tracing")
+	}
+	a, b := New(4), New(4)
+	if got := Fan(nil, a); got != Sink(a) {
+		t.Error("single live sink should be returned bare")
+	}
+	s := Fan(a, Fan(b, nil))
+	s.Emit(Event{Type: "x"})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out lost events: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // concurrent scrape while emitting must be race-free
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Snapshot()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s.Emit(Event{At: time.Duration(i), Round: uint16(i % 4), Phase: PhaseAnnounce, Type: TypeAlarm})
+	}
+	s.Emit(Event{Round: 9, Type: TypeCrash})
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap["events_total"] != 101 || snap["type."+TypeAlarm] != 100 ||
+		snap["type."+TypeCrash] != 1 || snap["phase."+PhaseAnnounce] != 100 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap["round"] != 9 {
+		t.Errorf("round high-water = %d", snap["round"])
+	}
+	keys := s.Keys()
+	if len(keys) != len(snap) {
+		t.Errorf("keys %v vs snapshot %v", keys, snap)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Errorf("keys not sorted: %v", keys)
+		}
 	}
 }

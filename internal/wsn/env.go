@@ -85,16 +85,45 @@ type Env struct {
 	Keys     wsncrypto.KeyScheme
 	Readings []int64 // per node; index 0 (base station) is always 0
 
-	// Trace, when non-nil, records protocol events (see internal/trace).
-	Trace *trace.Tracer
+	// Sink, when non-nil, receives every flight-recorder event from the
+	// whole stack (see internal/trace). Install it with SetSink so the
+	// engine, radio, and MAC share it.
+	Sink trace.Sink
 
 	sealers map[[2]topo.NodeID]*wsncrypto.Sealer
 }
 
-// Tracef records a protocol event at the current virtual time. Safe to call
-// with tracing disabled.
+// SetSink installs the flight-recorder sink across every layer of the
+// deployment — engine run lifecycle, radio drop causes, MAC failure paths,
+// and the protocol events emitted through Emit/Tracef. Nil disables all of
+// them.
+func (e *Env) SetSink(s trace.Sink) {
+	e.Sink = s
+	e.Eng.SetSink(s)
+	e.Medium.SetSink(s)
+	e.MAC.SetSink(s)
+}
+
+// Emit records one typed protocol event, stamping the current virtual
+// time. Callers must nil-check e.Sink first when building the event is
+// itself costly; Emit only guards the send.
+func (e *Env) Emit(ev trace.Event) {
+	if e.Sink == nil {
+		return
+	}
+	ev.At = e.Eng.Now()
+	e.Sink.Emit(ev)
+}
+
+// Tracef records a free-form protocol event at the current virtual time:
+// the category becomes the event type, the formatted text its detail. Safe
+// to call with tracing disabled; the formatting runs behind the nil check.
 func (e *Env) Tracef(node topo.NodeID, category, format string, args ...any) {
-	e.Trace.Record(e.Eng.Now(), node, category, format, args...)
+	if e.Sink == nil {
+		return
+	}
+	e.Sink.Emit(trace.Event{At: e.Eng.Now(), Node: node, Cluster: trace.NoCluster,
+		Type: category, Detail: fmt.Sprintf(format, args...)})
 }
 
 // NewEnv builds the substrate.

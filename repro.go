@@ -58,14 +58,34 @@ type Deployment struct {
 	env *wsn.Env
 }
 
-// EnableTrace turns on protocol event tracing with the given ring-buffer
-// capacity and returns a dump function that writes the recorded events
-// (election, join, merge, announce, witness, crash, takeover, promote,
-// recover, rejoin) to w.
+// EnableTrace turns on in-memory flight recording with the given
+// ring-buffer capacity and returns a dump function that writes the retained
+// events to w. It composes with TraceTo and TraceStats: each attaches an
+// additional sink to the same event stream.
 func (d *Deployment) EnableTrace(capacity int) func(w io.Writer) error {
 	tr := trace.New(capacity)
-	d.env.Trace = tr
+	d.env.SetSink(trace.Fan(d.env.Sink, tr))
 	return func(w io.Writer) error { return tr.Dump(w, trace.AllEvents()) }
+}
+
+// TraceTo streams every flight-recorder event to w as JSONL — the format
+// cmd/aggtrace consumes. The returned function flushes (and, when w is an
+// io.Closer, closes) the stream; call it after the run and check its error
+// so a failed write cannot silently truncate a forensic trace.
+func (d *Deployment) TraceTo(w io.Writer) func() error {
+	j := trace.NewJSONL(w)
+	d.env.SetSink(trace.Fan(d.env.Sink, j))
+	return j.Close
+}
+
+// TraceStats attaches a live, concurrency-safe counter sink and returns
+// its snapshot function: per-type and per-phase event counts plus round and
+// virtual-time high-water marks. Safe to call from another goroutine while
+// a run is in flight — this backs aggsim's -observe expvar endpoint.
+func (d *Deployment) TraceStats() func() map[string]int64 {
+	s := trace.NewStats()
+	d.env.SetSink(trace.Fan(d.env.Sink, s))
+	return s.Snapshot
 }
 
 // NewDeployment places the network and wires the full substrate.

@@ -265,6 +265,38 @@ func TestEnableTraceCapturesEvents(t *testing.T) {
 	}
 }
 
+func TestTraceSinksCompose(t *testing.T) {
+	dep, err := NewDeployment(Options{Nodes: 150, Seed: 10, Ideal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three attachments observe the same event stream.
+	dump := dep.EnableTrace(500)
+	var jsonl strings.Builder
+	closeTrace := dep.TraceTo(&jsonl)
+	snapshot := dep.TraceStats()
+	if _, err := dep.RunCluster(ClusterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeTrace(); err != nil {
+		t.Fatal(err)
+	}
+	var ring strings.Builder
+	if err := dump(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() == 0 {
+		t.Error("ring sink saw nothing")
+	}
+	if !strings.Contains(jsonl.String(), `"type":"lifecycle"`) {
+		t.Error("JSONL sink missing lifecycle events")
+	}
+	snap := snapshot()
+	if snap["events_total"] == 0 || snap["type.lifecycle"] == 0 {
+		t.Errorf("stats sink counters: %v", snap)
+	}
+}
+
 func TestPrivacyClosedForms(t *testing.T) {
 	if got := DisclosureClosedForm(0.5, 3); got != 0.0625 {
 		t.Errorf("cluster closed form = %g", got)
