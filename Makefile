@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
-## experiment smokes, a traced-failover forensics smoke, a one-iteration
-## benchmark smoke through the trend harness, and the deterministic
-## allocation gate on the tracing-disabled hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke bench-smoke bench-gate
+## experiment smokes, a traced-failover forensics smoke, the base-station
+## service smoke, a one-iteration benchmark smoke through the trend
+## harness, and the deterministic allocation gate on the tracing-disabled
+## hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/experiment/
+	$(GO) test -race ./internal/sim/ ./internal/experiment/ ./internal/station/
 	$(GO) test -race -run 'Deputy|Takeover|HeadCrash|Churn|CrashRecover|Failover' ./internal/core/
 
 ## f17-smoke: quick pass over the degraded-recovery ablation — fails if the
@@ -41,6 +42,16 @@ trace-smoke:
 	$(GO) run ./cmd/aggtrace -why takeover trace-smoke.jsonl | grep corroborated > /dev/null
 	@rm -f trace-smoke.jsonl
 	@echo "trace-smoke OK: takeover reconstructed with corroboration"
+
+## service-smoke: boot the aggd serving stack (4-worker pool + HTTP API) on
+## an ephemeral port, require a served SUM to be bit-identical to the same
+## deployment's offline RunQuery answer, then push a concurrent mixed-kind
+## aggload burst through it with zero errors — all under the race detector,
+## plus the SIGTERM graceful-drain path of the real daemon loop.
+service-smoke:
+	$(GO) test -race -count=1 -run 'TestServiceSmoke' ./internal/station/
+	$(GO) test -race -count=1 -run 'TestServeQueryAndGracefulSIGTERM' ./cmd/aggd/
+	@echo "service-smoke OK: served == offline, mixed-kind burst clean under -race"
 
 bench-smoke:
 	$(GO) run ./cmd/benchtrend -quick

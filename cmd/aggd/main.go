@@ -1,0 +1,192 @@
+// Command aggd is the base-station aggregation service: a standing HTTP
+// daemon that serves one-shot and recurring aggregation queries from a pool
+// of simulated deployments (see internal/station).
+//
+// Usage:
+//
+//	aggd -addr :8080 -workers 4 -nodes 400 -seed 7
+//	curl -d '{"kind":"sum"}' http://localhost:8080/v1/query
+//	curl http://localhost:8080/statsz
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// queued and in-flight epochs finish (bounded by -draintimeout), schedules
+// stop, and trace sinks flush before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -observe endpoint
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cliutil"
+	"repro/internal/station"
+)
+
+// listening, when non-nil, receives the bound listen address once the
+// server is accepting. Test seam: lets tests boot run() on ":0" and learn
+// the ephemeral port.
+var listening func(addr string)
+
+func main() {
+	fs, err := run(os.Args[1:])
+	cliutil.Exit("aggd", fs, err)
+}
+
+func run(args []string) (*flag.FlagSet, error) {
+	fs := flag.NewFlagSet("aggd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "HTTP listen address (host:port)")
+		workers    = fs.Int("workers", 4, "deployment pool size")
+		queue      = fs.Int("queue", 64, "admission queue depth")
+		keepjobs   = fs.Int("keepjobs", 1024, "finished jobs retained for polling")
+		nodes      = fs.Int("nodes", 400, "nodes per worker deployment (including the base station)")
+		field      = fs.Float64("field", 400, "square field side, meters")
+		radio      = fs.Float64("range", 50, "radio range, meters")
+		seed       = fs.Int64("seed", 1, "deployment template seed")
+		ideal      = fs.Bool("ideal", false, "error-free channel")
+		loss       = fs.Float64("loss", 0, "injected iid frame-loss rate in [0, 1)")
+		timeout    = fs.Duration("timeout", 0, "per-job timeout, admission to completion (0 = none)")
+		draintmo   = fs.Duration("draintimeout", 30*time.Second, "graceful-drain bound on shutdown")
+		tracestats = fs.Bool("tracestats", false, "attach flight-recorder counters to every worker (merged into /statsz)")
+		observe    = fs.String("observe", "", "serve live station stats (expvar) and pprof on this second address, e.g. :6060")
+	)
+	if err := cliutil.Parse(fs, args); err != nil {
+		return fs, err
+	}
+	if fs.NArg() > 0 {
+		return fs, cliutil.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if err := errors.Join(
+		cliutil.CheckAddr("addr", *addr),
+		cliutil.CheckMin("workers", *workers, 1),
+		cliutil.CheckMin("queue", *queue, 1),
+		cliutil.CheckMin("keepjobs", *keepjobs, 1),
+		cliutil.CheckMin("nodes", *nodes, 2),
+		cliutil.CheckPositive("field", *field),
+		cliutil.CheckPositive("range", *radio),
+		cliutil.CheckRange("loss", *loss, 0, 0.999),
+	); err != nil {
+		return fs, err
+	}
+	if *timeout < 0 {
+		return fs, cliutil.Usagef("-timeout must not be negative, got %v", *timeout)
+	}
+	if *draintmo <= 0 {
+		return fs, cliutil.Usagef("-draintimeout must be positive, got %v", *draintmo)
+	}
+	if *observe != "" {
+		if err := cliutil.CheckAddr("observe", *observe); err != nil {
+			return fs, err
+		}
+	}
+
+	st, err := station.New(station.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		KeepJobs:   *keepjobs,
+		JobTimeout: *timeout,
+		TraceStats: *tracestats,
+		Deploy: repro.Options{
+			Nodes:     *nodes,
+			FieldSize: *field,
+			Range:     *radio,
+			Seed:      *seed,
+			Ideal:     *ideal,
+			LossRate:  *loss,
+		},
+	})
+	if err != nil {
+		return fs, err
+	}
+
+	if *observe != "" {
+		if err := serveObserve(*observe, st); err != nil {
+			return fs, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fs, fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: station.NewAPI(st).Handler()}
+	fmt.Printf("aggd: serving on http://%s (%d workers, queue %d, %d-node deployments, seed %d)\n",
+		ln.Addr(), *workers, *queue, *nodes, *seed)
+	if listening != nil {
+		listening(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fs, fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "aggd: signal received, draining (bound %v)\n", *draintmo)
+	dctx, cancel := context.WithTimeout(context.Background(), *draintmo)
+	defer cancel()
+	// Stop accepting and finish in-flight HTTP exchanges first, then let the
+	// station run every already-admitted epoch to completion and flush sinks.
+	if err := srv.Shutdown(dctx); err != nil {
+		return fs, fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := st.Drain(dctx); err != nil {
+		return fs, fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "aggd: drained cleanly")
+	return fs, nil
+}
+
+// observed lets a process that runs the server more than once (tests)
+// re-point the published expvar at the live station instead of
+// re-publishing, which panics.
+var observed struct {
+	mu sync.Mutex
+	st *station.Station
+}
+
+// serveObserve publishes live station stats over expvar ("aggd_station" on
+// /debug/vars) next to the stock pprof handlers on a second listener, kept
+// off the serving address so profiling never competes with query traffic.
+func serveObserve(addr string, st *station.Station) error {
+	observed.mu.Lock()
+	first := observed.st == nil
+	observed.st = st
+	observed.mu.Unlock()
+	if first {
+		expvar.Publish("aggd_station", expvar.Func(func() any {
+			observed.mu.Lock()
+			cur := observed.st
+			observed.mu.Unlock()
+			return cur.Stats()
+		}))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-observe %s: %w", addr, err)
+	}
+	fmt.Printf("observe: expvar on http://%s/debug/vars, pprof on /debug/pprof\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "aggd: observe:", err)
+		}
+	}()
+	return nil
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -21,16 +22,15 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "aggsim:", err)
-		os.Exit(1)
-	}
+	fs, err := run(os.Args[1:])
+	cliutil.Exit("aggsim", fs, err)
 }
 
-func run(args []string) error {
+func run(args []string) (*flag.FlagSet, error) {
 	fs := flag.NewFlagSet("aggsim", flag.ContinueOnError)
 	var (
 		protocol = fs.String("protocol", "cluster", "protocol: cluster | tag | ipda")
@@ -58,115 +58,158 @@ func run(args []string) error {
 		traceOut = fs.String("traceout", "", "stream the flight recording as JSONL to this file (read it with aggtrace)")
 		observe  = fs.String("observe", "", "serve live run metrics (expvar) and pprof on this address, e.g. :6060")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	if err := cliutil.Parse(fs, args); err != nil {
+		return fs, err
 	}
-	opts := repro.Options{
-		Nodes:      *nodes,
-		FieldSize:  *field,
-		Range:      *radio,
-		Seed:       *seed,
-		Ideal:      *ideal,
-		CountQuery: *count,
-		Grid:       *grid,
-		LossRate:   *loss,
-		NoARQ:      *noarq,
+	if fs.NArg() > 0 {
+		return fs, cliutil.Usagef("unexpected arguments: %v", fs.Args())
 	}
+	if err := validate(*nodes, *field, *radio, *loss, *crash, *hcrash,
+		*pc, *rounds, *slices, *traceCap, *observe, *protocol); err != nil {
+		return fs, err
+	}
+	simulate := func() error {
+		opts := repro.Options{
+			Nodes:      *nodes,
+			FieldSize:  *field,
+			Range:      *radio,
+			Seed:       *seed,
+			Ideal:      *ideal,
+			CountQuery: *count,
+			Grid:       *grid,
+			LossRate:   *loss,
+			NoARQ:      *noarq,
+		}
 
-	attacker := 0
-	if *polluter == "auto" {
-		id, err := repro.PickPolluter(opts, false)
-		if err != nil {
-			return err
-		}
-		if id <= 0 {
-			return fmt.Errorf("no suitable attacker in this topology")
-		}
-		attacker = id
-		fmt.Printf("auto-selected polluter: node %d\n", attacker)
-	} else if *polluter != "" {
-		if _, err := fmt.Sscanf(*polluter, "%d", &attacker); err != nil {
-			return fmt.Errorf("bad -polluter %q: %w", *polluter, err)
-		}
-	}
-
-	dep, err := repro.NewDeployment(opts)
-	if err != nil {
-		return err
-	}
-	var dumpTrace func(io.Writer) error
-	if *traceCap > 0 {
-		dumpTrace = dep.EnableTrace(*traceCap)
-	}
-	var closeTrace func() error
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		closeTrace = dep.TraceTo(f)
-		defer func() {
-			if err := closeTrace(); err != nil {
-				fmt.Fprintln(os.Stderr, "aggsim: trace stream:", err)
-			}
-		}()
-	}
-	var snapshot func() map[string]int64
-	if *observe != "" {
-		snapshot = dep.TraceStats()
-		if err := serveObserve(*observe, snapshot); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("deployment: %d nodes, avg degree %.1f, connected=%v, true sum %d\n",
-		dep.Size(), dep.AverageDegree(), dep.Connected(), dep.TrueSum())
-
-	if *rounds != 1 && *protocol != "cluster" {
-		return fmt.Errorf("-rounds applies to the cluster protocol only")
-	}
-
-	var res repro.Result
-	switch *protocol {
-	case "cluster":
-		copts := repro.ClusterOptions{
-			Pc: *pc, Polluter: attacker, PollutionDelta: *delta,
-			NoDegrade: *nodeg, CrashRate: *crash, HeadCrashRate: *hcrash,
-			CrashRecover: *recov, NoFailover: *nofail,
-		}
-		if *localize {
-			loc, err := dep.LocalizePolluter(copts)
+		attacker := 0
+		if *polluter == "auto" {
+			id, err := repro.PickPolluter(opts, false)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("localization: suspect=%d rounds=%d\n", loc.Suspect, loc.Rounds)
-			return nil
+			if id <= 0 {
+				return fmt.Errorf("no suitable attacker in this topology")
+			}
+			attacker = id
+			fmt.Printf("auto-selected polluter: node %d\n", attacker)
+		} else if *polluter != "" {
+			if _, err := fmt.Sscanf(*polluter, "%d", &attacker); err != nil {
+				return fmt.Errorf("bad -polluter %q: %w", *polluter, err)
+			}
 		}
-		if *rounds != 1 {
-			results, err := dep.RunClusterRounds(*rounds, copts)
+
+		dep, err := repro.NewDeployment(opts)
+		if err != nil {
+			return err
+		}
+		var dumpTrace func(io.Writer) error
+		if *traceCap > 0 {
+			dumpTrace = dep.EnableTrace(*traceCap)
+		}
+		var closeTrace func() error
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
 			if err != nil {
 				return err
 			}
-			for i, r := range results {
-				fmt.Printf("--- round %d ---\n", i+1)
-				printResult(r)
-			}
-			printStats(snapshot)
-			return dumpIfEnabled(dumpTrace)
+			closeTrace = dep.TraceTo(f)
+			defer func() {
+				if err := closeTrace(); err != nil {
+					fmt.Fprintln(os.Stderr, "aggsim: trace stream:", err)
+				}
+			}()
 		}
-		res, err = dep.RunCluster(copts)
-	case "tag":
-		res, err = dep.RunTAG()
-	case "ipda":
-		res, err = dep.RunIPDA(repro.IPDAOptions{Slices: *slices, Polluter: attacker, PollutionDelta: *delta})
+		var snapshot func() map[string]int64
+		if *observe != "" {
+			snapshot = dep.TraceStats()
+			if err := serveObserve(*observe, snapshot); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("deployment: %d nodes, avg degree %.1f, connected=%v, true sum %d\n",
+			dep.Size(), dep.AverageDegree(), dep.Connected(), dep.TrueSum())
+
+		var res repro.Result
+		switch *protocol {
+		case "cluster":
+			copts := repro.ClusterOptions{
+				Pc: *pc, Polluter: attacker, PollutionDelta: *delta,
+				NoDegrade: *nodeg, CrashRate: *crash, HeadCrashRate: *hcrash,
+				CrashRecover: *recov, NoFailover: *nofail,
+			}
+			if *localize {
+				loc, err := dep.LocalizePolluter(copts)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("localization: suspect=%d rounds=%d\n", loc.Suspect, loc.Rounds)
+				return nil
+			}
+			if *rounds != 1 {
+				results, err := dep.RunClusterRounds(*rounds, copts)
+				if err != nil {
+					return err
+				}
+				for i, r := range results {
+					fmt.Printf("--- round %d ---\n", i+1)
+					printResult(r)
+				}
+				printStats(snapshot)
+				return dumpIfEnabled(dumpTrace)
+			}
+			res, err = dep.RunCluster(copts)
+		case "tag":
+			res, err = dep.RunTAG()
+		case "ipda":
+			res, err = dep.RunIPDA(repro.IPDAOptions{Slices: *slices, Polluter: attacker, PollutionDelta: *delta})
+		default:
+			return fmt.Errorf("unknown protocol %q", *protocol)
+		}
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		printStats(snapshot)
+		return dumpIfEnabled(dumpTrace)
+	}
+	return fs, simulate()
+}
+
+// validate is the upfront sanity sweep: nonsensical flag values are usage
+// errors (exit 2) reported before any deployment is built, not panics or
+// half-run simulations.
+func validate(nodes int, field, radio, loss, crash, hcrash,
+	pc float64, rounds, slices, traceCap int, observe, protocol string) error {
+	err := errors.Join(
+		cliutil.CheckMin("nodes", nodes, 2),
+		cliutil.CheckPositive("field", field),
+		cliutil.CheckPositive("range", radio),
+		cliutil.CheckRange("crash", crash, 0, 1),
+		cliutil.CheckRange("headcrash", hcrash, 0, 1),
+		cliutil.CheckMin("slices", slices, 0),
+		cliutil.CheckMin("trace", traceCap, 0),
+	)
+	if loss < 0 || loss >= 1 {
+		err = errors.Join(err, cliutil.Usagef("-loss must be in [0, 1), got %g", loss))
+	}
+	if pc < 0 || pc >= 1 {
+		err = errors.Join(err, cliutil.Usagef("-pc must be in [0, 1), got %g", pc))
+	}
+	if rounds < 1 || rounds > 65535 {
+		err = errors.Join(err, cliutil.Usagef("-rounds must be in [1, 65535], got %d", rounds))
+	}
+	if rounds != 1 && protocol != "cluster" {
+		err = errors.Join(err, cliutil.Usagef("-rounds applies to the cluster protocol only"))
+	}
+	switch protocol {
+	case "cluster", "tag", "ipda":
 	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+		err = errors.Join(err, cliutil.Usagef("unknown protocol %q (want cluster | tag | ipda)", protocol))
 	}
-	if err != nil {
-		return err
+	if observe != "" {
+		err = errors.Join(err, cliutil.CheckAddr("observe", observe))
 	}
-	printResult(res)
-	printStats(snapshot)
-	return dumpIfEnabled(dumpTrace)
+	return err
 }
 
 // serveObserve publishes the flight recorder's live counters over expvar

@@ -94,6 +94,16 @@ func WriteFile(path string, s Snapshot) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Write streams a snapshot as indented JSON (same encoding as WriteFile).
+func Write(w io.Writer, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
 // ReadFile loads a snapshot.
 func ReadFile(path string) (Snapshot, error) {
 	data, err := os.ReadFile(path)

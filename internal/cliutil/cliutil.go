@@ -1,0 +1,111 @@
+// Package cliutil standardizes how the repo's commands report bad
+// invocations: flag values that make no sense (negative node counts, zero
+// periods, malformed ports) are usage errors that exit with status 2 after
+// printing the flag set's usage, distinct from runtime failures (exit 1).
+// Panics and silent misruns are never an acceptable response to bad flags.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+)
+
+// UsageError marks an error caused by a nonsensical invocation.
+type UsageError struct{ msg string }
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.msg }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error. Errors from
+// flag.FlagSet parsing count: an unknown or malformed flag is a usage
+// error too.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// Parse runs fs.Parse with the flag package's own error printing silenced
+// and wraps any parse failure (unknown flag, malformed value) as a usage
+// error, so Exit reports it once with usage and status 2. flag.ErrHelp
+// passes through untouched.
+func Parse(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return Usagef("%v", err)
+}
+
+// Exit terminates the process with the convention: 0 on nil and on -h
+// (after printing usage), 2 on usage errors (after printing usage), 1
+// otherwise. name prefixes the message.
+func Exit(name string, fs *flag.FlagSet, err error) {
+	if err == nil {
+		os.Exit(0)
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		if fs != nil {
+			fs.SetOutput(os.Stdout)
+			fs.Usage()
+		}
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	if IsUsage(err) {
+		if fs != nil {
+			fs.SetOutput(os.Stderr)
+			fs.Usage()
+		}
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// CheckRange fails unless lo <= v <= hi.
+func CheckRange(name string, v, lo, hi float64) error {
+	if v < lo || v > hi {
+		return Usagef("-%s must be in [%g, %g], got %g", name, lo, hi, v)
+	}
+	return nil
+}
+
+// CheckMin fails unless v >= min.
+func CheckMin(name string, v, min int) error {
+	if v < min {
+		return Usagef("-%s must be at least %d, got %d", name, min, v)
+	}
+	return nil
+}
+
+// CheckPositive fails unless v > 0.
+func CheckPositive(name string, v float64) error {
+	if v <= 0 {
+		return Usagef("-%s must be positive, got %g", name, v)
+	}
+	return nil
+}
+
+// CheckAddr validates a listen address of the form host:port (host may be
+// empty, port may be 0 for an ephemeral port).
+func CheckAddr(name, addr string) error {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return Usagef("-%s %q is not a host:port address: %v", name, addr, err)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil || n < 0 || n > 65535 {
+		return Usagef("-%s %q has a bad port %q (want 0-65535)", name, addr, port)
+	}
+	return nil
+}

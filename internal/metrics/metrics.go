@@ -90,6 +90,15 @@ func (r *Recorder) TotalTxMessages() int {
 	return total
 }
 
+// TotalRxBytes returns the total bytes successfully delivered.
+func (r *Recorder) TotalRxBytes() int {
+	total := 0
+	for _, b := range r.rxBytes {
+		total += b
+	}
+	return total
+}
+
 // TotalRxMessages returns the total frames delivered.
 func (r *Recorder) TotalRxMessages() int {
 	total := 0
@@ -124,6 +133,42 @@ func (r *Recorder) TxMessagesOfKind(kind string) int { return r.msgsByKind[kind]
 // quantity the lineage papers count as "messages per node".
 func (r *Recorder) AppMessages() int {
 	return r.TotalTxMessages() - r.msgsByKind["ack"]
+}
+
+// Traffic is a point-in-time value copy of a Recorder's totals, safe to
+// hand across goroutine boundaries (the Recorder itself is single-owner).
+type Traffic struct {
+	TxBytes     int `json:"tx_bytes"`
+	RxBytes     int `json:"rx_bytes"`
+	TxMessages  int `json:"tx_messages"`
+	RxMessages  int `json:"rx_messages"`
+	AppMessages int `json:"app_messages"`
+	Collisions  int `json:"collisions"`
+	Dropped     int `json:"dropped"`
+}
+
+// Traffic snapshots the Recorder's aggregate counters.
+func (r *Recorder) Traffic() Traffic {
+	return Traffic{
+		TxBytes:     r.TotalTxBytes(),
+		RxBytes:     r.TotalRxBytes(),
+		TxMessages:  r.TotalTxMessages(),
+		RxMessages:  r.TotalRxMessages(),
+		AppMessages: r.AppMessages(),
+		Collisions:  r.collisions,
+		Dropped:     r.dropped,
+	}
+}
+
+// Add accumulates another snapshot into t (per-worker totals in a pool).
+func (t *Traffic) Add(o Traffic) {
+	t.TxBytes += o.TxBytes
+	t.RxBytes += o.RxBytes
+	t.TxMessages += o.TxMessages
+	t.RxMessages += o.RxMessages
+	t.AppMessages += o.AppMessages
+	t.Collisions += o.Collisions
+	t.Dropped += o.Dropped
 }
 
 // BytesByKind returns a copy of the per-message-kind byte totals.

@@ -200,3 +200,34 @@ func TestRoundResultZeroDivision(t *testing.T) {
 		t.Error("non-zero report against zero truth is maximally wrong")
 	}
 }
+
+func TestTrafficSnapshotAndAdd(t *testing.T) {
+	r := NewRecorder()
+	r.OnTransmit(1, "report", 40)
+	r.OnTransmit(2, "ack", 8)
+	r.OnReceive(3, 40)
+	r.OnCollision()
+	r.OnDrop()
+	got := r.Traffic()
+	want := Traffic{
+		TxBytes: 48, RxBytes: 40, TxMessages: 2, RxMessages: 1,
+		AppMessages: 1, Collisions: 1, Dropped: 1,
+	}
+	if got != want {
+		t.Errorf("Traffic() = %+v, want %+v", got, want)
+	}
+
+	// Add accumulates per-worker snapshots into pool totals.
+	total := Traffic{TxBytes: 2}
+	total.Add(got)
+	total.Add(got)
+	if total.TxBytes != 98 || total.TxMessages != 4 || total.Dropped != 2 {
+		t.Errorf("Add accumulated wrong: %+v", total)
+	}
+
+	// The snapshot is a value copy: later recording must not leak into it.
+	r.OnTransmit(1, "report", 100)
+	if got.TxBytes != 48 {
+		t.Error("Traffic snapshot aliases the live Recorder")
+	}
+}

@@ -1,0 +1,239 @@
+package station
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// API is the HTTP JSON frontend over a Station — the handler cmd/aggd
+// serves. Endpoints:
+//
+//	POST   /v1/query                  one-shot query, sync (default) or async
+//	GET    /v1/jobs/{id}              poll an async job
+//	DELETE /v1/jobs/{id}              cancel a job
+//	POST   /v1/schedules              register a recurring epoch query
+//	GET    /v1/schedules              list schedules
+//	GET    /v1/schedules/{id}/results retained epoch results, oldest first
+//	DELETE /v1/schedules/{id}         stop and remove a schedule
+//	GET    /healthz                   liveness (503 while draining)
+//	GET    /statsz                    pool/queue/scheduler/protocol counters
+//
+// Backpressure contract: when the admission queue is full the API answers
+// 503 with a Retry-After header and a retry_after_ms JSON hint; it never
+// blocks the accept loop waiting for a pool slot.
+type API struct {
+	st *Station
+}
+
+// NewAPI wraps a station.
+func NewAPI(st *Station) *API { return &API{st: st} }
+
+// retryAfterMs is the backoff hint handed to rejected clients. The queue
+// drains at pool speed (tens of ms per epoch), so a small hint keeps
+// closed-loop clients live without hammering the accept loop.
+const retryAfterMs = 25
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", a.handleQuery)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	mux.HandleFunc("POST /v1/schedules", a.handleScheduleAdd)
+	mux.HandleFunc("GET /v1/schedules", a.handleScheduleList)
+	mux.HandleFunc("GET /v1/schedules/{id}/results", a.handleScheduleResults)
+	mux.HandleFunc("DELETE /v1/schedules/{id}", a.handleScheduleDelete)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /statsz", a.handleStatsz)
+	return mux
+}
+
+type queryRequest struct {
+	Kind      string `json:"kind"`
+	Seed      int64  `json:"seed,omitempty"`
+	Async     bool   `json:"async,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+type apiError struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	kind, err := repro.ParseQueryKind(req.Kind)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if req.TimeoutMs < 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "timeout_ms must be non-negative"})
+		return
+	}
+	job, err := a.st.Submit(QuerySpec{
+		Kind:    kind,
+		Seed:    req.Seed,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	})
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	if _, err := job.Wait(r.Context()); err != nil {
+		// The client went away mid-epoch: release the pool slot's result
+		// and report the cancellation (the write usually goes nowhere).
+		job.Cancel()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "request aborted: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: err.Error(), RetryAfterMs: retryAfterMs})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
+}
+
+func (a *API) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job := a.st.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (a *API) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job := a.st.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+type scheduleRequest struct {
+	Kind     string   `json:"kind"`
+	PeriodMs float64  `json:"period_ms"`
+	Jitter   *float64 `json:"jitter,omitempty"` // absent = default 0.1
+	Keep     int      `json:"keep,omitempty"`
+}
+
+func (a *API) handleScheduleAdd(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	kind, err := repro.ParseQueryKind(req.Kind)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if req.PeriodMs <= 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "period_ms must be positive"})
+		return
+	}
+	spec := ScheduleSpec{
+		Kind:   kind,
+		Period: time.Duration(req.PeriodMs * float64(time.Millisecond)),
+		Jitter: -1, // scheduler default
+		Keep:   req.Keep,
+	}
+	if req.Jitter != nil {
+		spec.Jitter = *req.Jitter
+	}
+	sc, err := a.st.AddSchedule(spec)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/schedules/"+sc.ID()+"/results")
+	writeJSON(w, http.StatusCreated, sc.Status())
+}
+
+func (a *API) handleScheduleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.st.Stats().Schedules)
+}
+
+// scheduleResults is the GET /v1/schedules/{id}/results payload.
+type scheduleResults struct {
+	ScheduleStatus
+	Results []EpochResult `json:"results"`
+}
+
+func (a *API) handleScheduleResults(w http.ResponseWriter, r *http.Request) {
+	sc := a.st.Schedule(r.PathValue("id"))
+	if sc == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown schedule " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, scheduleResults{ScheduleStatus: sc.Status(), Results: sc.Results()})
+}
+
+func (a *API) handleScheduleDelete(w http.ResponseWriter, r *http.Request) {
+	if !a.st.RemoveSchedule(r.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown schedule " + r.PathValue("id")})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if a.st.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (a *API) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.st.Stats())
+}
+
+// decodeBody parses a small JSON request body strictly: unknown fields and
+// trailing garbage are errors, so client typos fail loudly instead of
+// silently running a default query.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}

@@ -1,0 +1,212 @@
+package station
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// JobState is the lifecycle of one admitted query job.
+type JobState int
+
+// Job lifecycle: Queued -> Running -> one of {Done, Failed, Canceled}.
+// Cancel while queued jumps straight to Canceled without costing an epoch.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCanceled
+)
+
+// String names the state for logs and wire payloads.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is one admitted query: submit, optionally poll or wait, read the
+// answer. All methods are safe for concurrent use.
+type Job struct {
+	id        string
+	spec      QuerySpec
+	st        *Station
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	timerStop context.CancelFunc // releases the timeout timer, if any
+
+	mu        sync.Mutex
+	state     JobState
+	worker    int
+	answer    repro.QueryAnswer
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// ID is the job's handle ("job-17").
+func (j *Job) ID() string { return j.id }
+
+// Spec returns what was admitted.
+func (j *Job) Spec() QuerySpec { return j.spec }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Finished reports whether the job has reached a terminal state.
+func (j *Job) Finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx expires, then returns the
+// answer (or the job's terminal error).
+func (j *Job) Wait(ctx context.Context) (repro.QueryAnswer, error) {
+	select {
+	case <-ctx.Done():
+		return repro.QueryAnswer{}, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.answer, j.err
+}
+
+// Cancel requests cancellation. A job still queued finishes as canceled
+// immediately and never costs an epoch; a running job's epoch completes
+// (simulation rounds are not interruptible) but its result is discarded
+// and the job finishes canceled. Cancel is idempotent and safe to race
+// with completion — whoever finishes the job first wins.
+func (j *Job) Cancel() {
+	j.cancel(context.Canceled)
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued && j.finish(repro.QueryAnswer{}, context.Canceled) {
+		j.st.cancelFinished(j)
+	}
+}
+
+// Answer returns the result of a finished job; ok is false while the job
+// is still queued or running.
+func (j *Job) Answer() (ans repro.QueryAnswer, err error, ok bool) {
+	if !j.Finished() {
+		return repro.QueryAnswer{}, nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.answer, j.err, true
+}
+
+func (j *Job) setRunning(worker int) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.worker = worker
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state exactly once; the first
+// caller wins and the return value reports whether this call did it.
+func (j *Job) finish(ans repro.QueryAnswer, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		return false
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state, j.answer = JobDone, ans
+	case context.Cause(j.ctx) == context.Canceled || err == context.Canceled:
+		j.state, j.err = JobCanceled, err
+	default:
+		j.state, j.err = JobFailed, err
+	}
+	j.timerStop()
+	close(j.done)
+	return true
+}
+
+// JobStatus is the wire view of a job — what GET /v1/jobs/{id} returns and
+// what a sync POST /v1/query responds with once the job finishes.
+type JobStatus struct {
+	ID          string             `json:"id"`
+	Kind        string             `json:"kind"`
+	Seed        int64              `json:"seed,omitempty"`
+	State       string             `json:"state"`
+	Worker      int                `json:"worker"` // -1 until running
+	SubmittedAt time.Time          `json:"submitted_at"`
+	QueuedMs    float64            `json:"queued_ms"`
+	RanMs       float64            `json:"ran_ms,omitempty"`
+	Answer      *repro.QueryAnswer `json:"answer,omitempty"`
+	Summary     string             `json:"summary,omitempty"` // QueryAnswer.String()
+	Error       string             `json:"error,omitempty"`
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		Kind:        j.spec.Kind.String(),
+		Seed:        j.spec.Seed,
+		State:       j.state.String(),
+		Worker:      j.worker,
+		SubmittedAt: j.submitted,
+	}
+	switch j.state {
+	case JobQueued:
+		st.QueuedMs = ms(time.Since(j.submitted))
+	case JobRunning:
+		st.QueuedMs = ms(j.started.Sub(j.submitted))
+		st.RanMs = ms(time.Since(j.started))
+	default:
+		if j.started.IsZero() { // finished without ever running
+			st.QueuedMs = ms(j.finished.Sub(j.submitted))
+		} else {
+			st.QueuedMs = ms(j.started.Sub(j.submitted))
+			st.RanMs = ms(j.finished.Sub(j.started))
+		}
+	}
+	if j.state == JobDone {
+		ans := j.answer
+		st.Answer = &ans
+		st.Summary = ans.String()
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

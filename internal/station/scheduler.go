@@ -1,0 +1,226 @@
+package station
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// ScheduleSpec registers a recurring query: one epoch per (jittered)
+// period, forever, until removed or the station drains.
+type ScheduleSpec struct {
+	Kind   repro.QueryKind
+	Period time.Duration // required, > 0
+	// Jitter spreads each period uniformly in [1-Jitter, 1+Jitter] so N
+	// schedules with equal periods do not phase-lock into synchronized
+	// bursts against the admission queue. Fraction in [0, 1); negative
+	// selects the default 0.1.
+	Jitter float64
+	// Keep bounds the retained results ring (default 32).
+	Keep int
+}
+
+// EpochResult is one recurring epoch's outcome as retained by the ring.
+type EpochResult struct {
+	Epoch     int64              `json:"epoch"`
+	At        time.Time          `json:"at"`
+	Answer    *repro.QueryAnswer `json:"answer,omitempty"`
+	Summary   string             `json:"summary,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	LatencyMs float64            `json:"latency_ms"`
+}
+
+// Schedule is one registered recurring query.
+type Schedule struct {
+	id       string
+	spec     ScheduleSpec
+	cancel   context.CancelFunc
+	stopped  chan struct{}
+	inflight sync.WaitGroup
+
+	mu      sync.Mutex
+	epochs  int64 // epochs attempted
+	skipped int64 // epochs rejected at admission (backpressure)
+	failed  int64 // epochs that ran but errored
+	results []EpochResult
+}
+
+// AddSchedule registers a recurring query and starts its epoch loop.
+func (s *Station) AddSchedule(spec ScheduleSpec) (*Schedule, error) {
+	if spec.Kind < repro.QuerySum || spec.Kind > repro.QueryMax {
+		return nil, fmt.Errorf("station: invalid query kind %d", spec.Kind)
+	}
+	if spec.Period <= 0 {
+		return nil, fmt.Errorf("station: schedule period must be positive, got %v", spec.Period)
+	}
+	if spec.Jitter < 0 {
+		spec.Jitter = 0.1
+	}
+	if spec.Jitter >= 1 {
+		return nil, fmt.Errorf("station: jitter must be in [0, 1), got %v", spec.Jitter)
+	}
+	if spec.Keep <= 0 {
+		spec.Keep = 32
+	}
+	n := s.nextSched.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := &Schedule{
+		id:      fmt.Sprintf("sched-%d", n),
+		spec:    spec,
+		cancel:  cancel,
+		stopped: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	s.schedules[sc.id] = sc
+	s.mu.Unlock()
+	go s.runSchedule(ctx, sc, n)
+	return sc, nil
+}
+
+// Schedule returns a registered schedule by ID (nil if unknown).
+func (s *Station) Schedule(id string) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schedules[id]
+}
+
+// RemoveSchedule stops a schedule's epoch loop and unregisters it. It
+// reports whether the ID was known.
+func (s *Station) RemoveSchedule(id string) bool {
+	s.mu.Lock()
+	sc := s.schedules[id]
+	delete(s.schedules, id)
+	s.mu.Unlock()
+	if sc == nil {
+		return false
+	}
+	sc.stop()
+	return true
+}
+
+// runSchedule is one schedule's epoch loop. The jitter RNG is seeded from
+// the schedule's ordinal so runs are reproducible given a fixed submission
+// order; each epoch re-seeds the worker deployment (template seed + epoch)
+// so readings re-draw between epochs.
+//
+// The loop never waits for an epoch before arming the next tick: epochs
+// overlap when the pool is slower than the period, and the admission queue
+// (not a pile of blocked ticks) absorbs the difference — a full queue
+// sheds the epoch. Results therefore land in completion order.
+func (s *Station) runSchedule(ctx context.Context, sc *Schedule, ordinal int64) {
+	defer close(sc.stopped)
+	rng := rand.New(rand.NewSource(s.cfg.Deploy.Seed ^ (ordinal << 32) ^ 0x5eed))
+	timer := time.NewTimer(sc.jittered(rng))
+	defer timer.Stop()
+	for epoch := int64(1); ; epoch++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		start := time.Now()
+		job, err := s.Submit(QuerySpec{Kind: sc.spec.Kind, Seed: s.cfg.Deploy.Seed + epoch})
+		if err != nil {
+			sc.record(EpochResult{Epoch: epoch, At: start, Error: err.Error()},
+				errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining))
+		} else {
+			sc.inflight.Add(1)
+			go func(epoch int64, job *Job, start time.Time) {
+				defer sc.inflight.Done()
+				// Every admitted job finishes (drain completes in-flight
+				// work), so this wait always terminates.
+				if ans, werr := job.Wait(context.Background()); werr != nil {
+					sc.record(EpochResult{Epoch: epoch, At: start, Error: werr.Error(),
+						LatencyMs: ms(time.Since(start))}, false)
+				} else {
+					sc.record(EpochResult{Epoch: epoch, At: start, Answer: &ans,
+						Summary: ans.String(), LatencyMs: ms(time.Since(start))}, false)
+				}
+			}(epoch, job, start)
+		}
+		timer.Reset(sc.jittered(rng))
+	}
+}
+
+// jittered draws the next epoch's period.
+func (sc *Schedule) jittered(rng *rand.Rand) time.Duration {
+	j := sc.spec.Jitter
+	if j == 0 {
+		return sc.spec.Period
+	}
+	f := 1 + j*(2*rng.Float64()-1)
+	return time.Duration(float64(sc.spec.Period) * f)
+}
+
+func (sc *Schedule) record(r EpochResult, skipped bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.epochs++
+	if skipped {
+		sc.skipped++
+	} else if r.Error != "" {
+		sc.failed++
+	}
+	sc.results = append(sc.results, r)
+	if over := len(sc.results) - sc.spec.Keep; over > 0 {
+		sc.results = append(sc.results[:0], sc.results[over:]...)
+	}
+}
+
+// stop halts the epoch loop, then waits for it and every in-flight epoch
+// recorder to exit.
+func (sc *Schedule) stop() {
+	sc.cancel()
+	<-sc.stopped
+	sc.inflight.Wait()
+}
+
+// ID returns the schedule handle ("sched-3").
+func (sc *Schedule) ID() string { return sc.id }
+
+// Results copies the retained epoch ring, oldest first.
+func (sc *Schedule) Results() []EpochResult {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]EpochResult, len(sc.results))
+	copy(out, sc.results)
+	return out
+}
+
+// ScheduleStatus is the wire view of a schedule.
+type ScheduleStatus struct {
+	ID       string  `json:"id"`
+	Kind     string  `json:"kind"`
+	PeriodMs float64 `json:"period_ms"`
+	Jitter   float64 `json:"jitter"`
+	Keep     int     `json:"keep"`
+	Epochs   int64   `json:"epochs"`
+	Skipped  int64   `json:"skipped"` // epochs shed by admission backpressure
+	Failed   int64   `json:"failed"`
+}
+
+// Status snapshots the schedule for serialization.
+func (sc *Schedule) Status() ScheduleStatus {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return ScheduleStatus{
+		ID:       sc.id,
+		Kind:     sc.spec.Kind.String(),
+		PeriodMs: ms(sc.spec.Period),
+		Jitter:   sc.spec.Jitter,
+		Keep:     sc.spec.Keep,
+		Epochs:   sc.epochs,
+		Skipped:  sc.skipped,
+		Failed:   sc.failed,
+	}
+}

@@ -1,0 +1,455 @@
+// Package station is the base-station serving layer: it turns the one-shot
+// round machinery behind repro.Deployment into a standing service, the
+// operating mode the protocol family assumes (a base station that floods a
+// query, collects per-epoch cluster aggregates, verifies them, and repeats).
+//
+// The package owns three things:
+//
+//   - a deployment pool of N workers. A repro.Deployment is NOT safe for
+//     concurrent use (see its concurrency contract), so each worker
+//     goroutine exclusively owns one Deployment for the station's lifetime
+//     and replays it with Reset(seed) per job — the pool is the
+//     serialization boundary between the concurrent HTTP frontend and the
+//     single-threaded simulation core.
+//   - a bounded admission queue with backpressure: Submit never blocks;
+//     when the queue is full it rejects with ErrQueueFull and the HTTP
+//     layer translates that into 503 + Retry-After. The accept loop is
+//     never stalled by a slow epoch.
+//   - an epoch scheduler (scheduler.go) that runs registered recurring
+//     queries on jittered periods, re-seeding the deployment each epoch so
+//     readings re-draw — the service analogue of ResampleReadings.
+//
+// Shutdown is a graceful drain: admission closes, queued and in-flight
+// epochs finish, schedules stop, and attached trace sinks are flushed.
+package station
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+// Config sizes the station. Zero values take the documented defaults.
+type Config struct {
+	Workers    int // deployment pool size (default 4)
+	QueueDepth int // admission queue capacity (default 64)
+	KeepJobs   int // finished jobs retained for polling (default 1024)
+
+	// JobTimeout bounds one job from admission to completion; 0 = none.
+	// A timeout that fires while the job is queued fails it before it
+	// costs a worker; one that fires mid-epoch fails it on completion.
+	JobTimeout time.Duration
+
+	Deploy  repro.Options        // deployment template, one instance per worker
+	Cluster repro.ClusterOptions // protocol options applied to every query
+
+	// TraceStats attaches a live trace.Stats sink to every worker
+	// deployment; Stats() then carries the merged counters (the /statsz
+	// "trace" block).
+	TraceStats bool
+
+	// AttachSinks, when set, is called once per worker deployment before
+	// it serves (e.g. to attach a TraceTo JSONL stream). A non-nil return
+	// is a flush function invoked during Drain.
+	AttachSinks func(worker int, d *repro.Deployment) func() error
+}
+
+// Sentinel errors the HTTP layer translates into status codes.
+var (
+	ErrQueueFull = errors.New("station: admission queue full")
+	ErrDraining  = errors.New("station: draining, not accepting work")
+)
+
+// QuerySpec is one unit of admitted work.
+type QuerySpec struct {
+	Kind repro.QueryKind
+	// Seed re-seeds the worker's deployment for this epoch; 0 uses the
+	// deployment template's seed, so identical specs yield bit-identical
+	// answers regardless of which worker serves them.
+	Seed int64
+	// Timeout overrides Config.JobTimeout for this job; 0 inherits it.
+	Timeout time.Duration
+}
+
+// Station is the serving layer: pool + queue + scheduler + counters.
+type Station struct {
+	cfg   Config
+	queue chan *Job
+
+	mu        sync.Mutex
+	draining  bool
+	jobs      map[string]*Job
+	doneOrder []string // finished job IDs, oldest first (eviction order)
+	schedules map[string]*Schedule
+	flushes   []func() error
+
+	workers []*worker
+	wg      sync.WaitGroup
+
+	nextJob   atomic.Int64
+	nextSched atomic.Int64
+
+	// Outcome counters (see Stats).
+	accepted, rejected             atomic.Int64
+	completed, failed, canceled    atomic.Int64
+	alarms, integrityRejected      atomic.Int64
+	degradedClusters, failedClstrs atomic.Int64
+	takeovers, promotions          atomic.Int64
+
+	// testHookRunning, when non-nil, fires after a job transitions to
+	// JobRunning and before its epoch executes — the seam the
+	// cancellation-mid-epoch and backpressure tests use to act at a
+	// deterministic point. Guarded by mu (set via setRunningHook).
+	testHookRunning func(*Job)
+}
+
+// worker is one pool slot: a goroutine that exclusively owns one
+// Deployment. Only rounds/traffic are read from outside, under wmu.
+type worker struct {
+	id        int
+	dep       *repro.Deployment
+	statsSnap func() map[string]int64 // nil unless Config.TraceStats
+
+	wmu     sync.Mutex
+	rounds  int64
+	traffic repro.Traffic
+}
+
+// New builds the pool (one deployment per worker) and starts serving.
+func New(cfg Config) (*Station, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.KeepJobs <= 0 {
+		cfg.KeepJobs = 1024
+	}
+	st := &Station{
+		cfg:       cfg,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		schedules: make(map[string]*Schedule),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		dep, err := repro.NewDeployment(cfg.Deploy)
+		if err != nil {
+			return nil, fmt.Errorf("station: worker %d: %w", i, err)
+		}
+		w := &worker{id: i, dep: dep}
+		if cfg.TraceStats {
+			w.statsSnap = dep.TraceStats()
+		}
+		if cfg.AttachSinks != nil {
+			if flush := cfg.AttachSinks(i, dep); flush != nil {
+				st.flushes = append(st.flushes, flush)
+			}
+		}
+		st.workers = append(st.workers, w)
+	}
+	for _, w := range st.workers {
+		st.wg.Add(1)
+		go st.runWorker(w)
+	}
+	return st, nil
+}
+
+// Submit admits one query job. It NEVER blocks: a full queue rejects with
+// ErrQueueFull immediately (the caller decides whether to retry later),
+// and a draining station rejects with ErrDraining.
+func (s *Station) Submit(spec QuerySpec) (*Job, error) {
+	if spec.Kind < repro.QuerySum || spec.Kind > repro.QueryMax {
+		return nil, fmt.Errorf("station: invalid query kind %d", spec.Kind)
+	}
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.JobTimeout
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancelCause := context.WithCancelCause(ctx)
+	job := &Job{
+		spec:      spec,
+		st:        s,
+		ctx:       ctx,
+		cancel:    cancelCause,
+		timerStop: cancel,
+		state:     JobQueued,
+		worker:    -1,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		job.timerStop()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+		job.id = fmt.Sprintf("job-%d", s.nextJob.Add(1))
+		s.jobs[job.id] = job
+		s.accepted.Add(1)
+		return job, nil
+	default:
+		job.timerStop()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Job returns a submitted job by ID (nil if unknown or evicted).
+func (s *Station) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// runWorker is the pool loop: it serializes every touch of its Deployment.
+func (s *Station) runWorker(w *worker) {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.execute(w, job)
+	}
+}
+
+func (s *Station) execute(w *worker, job *Job) {
+	// A job cancelled or timed out while queued never costs an epoch.
+	if job.Finished() {
+		return
+	}
+	if err := job.ctx.Err(); err != nil {
+		s.finish(job, repro.QueryAnswer{}, cause(job.ctx))
+		return
+	}
+	job.setRunning(w.id)
+	if h := s.runningHook(); h != nil {
+		h(job)
+	}
+	seed := job.spec.Seed
+	if seed == 0 {
+		seed = s.cfg.Deploy.Seed
+	}
+	var ans repro.QueryAnswer
+	err := w.dep.Reset(seed)
+	if err == nil {
+		ans, err = w.dep.RunQuery(job.spec.Kind, s.cfg.Cluster)
+	}
+	w.wmu.Lock()
+	w.rounds++
+	w.traffic.Add(w.dep.Traffic())
+	w.wmu.Unlock()
+	// Cancellation mid-epoch is best-effort: the simulation round is not
+	// interruptible, so the epoch runs to completion and the result is
+	// discarded here.
+	if cerr := job.ctx.Err(); cerr != nil {
+		ans, err = repro.QueryAnswer{}, cause(job.ctx)
+	}
+	s.finish(job, ans, err)
+}
+
+func (s *Station) runningHook() func(*Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.testHookRunning
+}
+
+func (s *Station) setRunningHook(h func(*Job)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.testHookRunning = h
+}
+
+// cause extracts the most specific context error (CancelCause when set).
+func cause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
+}
+
+func (s *Station) finish(job *Job, ans repro.QueryAnswer, err error) {
+	if !job.finish(ans, err) {
+		return // lost the race against Cancel-while-queued
+	}
+	switch job.State() {
+	case JobCanceled:
+		s.canceled.Add(1)
+	case JobFailed:
+		s.failed.Add(1)
+	case JobDone:
+		s.completed.Add(1)
+		s.alarms.Add(int64(ans.Alarms()))
+		if !ans.Accepted {
+			s.integrityRejected.Add(1)
+		}
+		s.degradedClusters.Add(int64(ans.Round.DegradedClusters))
+		s.failedClstrs.Add(int64(ans.Round.FailedClusters))
+		s.takeovers.Add(int64(ans.Round.Takeovers))
+		s.promotions.Add(int64(ans.Round.Promotions))
+	}
+	s.retire(job)
+}
+
+// retire records the finished job for eviction once KeepJobs is exceeded,
+// so a standing service polling thousands of jobs does not grow without
+// bound.
+func (s *Station) retire(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, job.id)
+	for len(s.doneOrder) > s.cfg.KeepJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// cancelFinished lets Job.Cancel retire a still-queued job immediately.
+func (s *Station) cancelFinished(job *Job) {
+	s.canceled.Add(1)
+	s.retire(job)
+}
+
+// Drain gracefully shuts the station down: schedules stop, admission
+// closes (Submit returns ErrDraining), every already-admitted job runs to
+// completion, and attached trace sinks are flushed. The context bounds the
+// wait; on expiry workers keep finishing in the background but Drain
+// returns the context's error. Drain is idempotent.
+func (s *Station) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	scheds := make([]*Schedule, 0, len(s.schedules))
+	for _, sc := range s.schedules {
+		scheds = append(scheds, sc)
+	}
+	s.mu.Unlock()
+
+	for _, sc := range scheds {
+		sc.stop()
+	}
+	if !already {
+		close(s.queue)
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-workersDone:
+	}
+
+	s.mu.Lock()
+	flushes := s.flushes
+	s.flushes = nil
+	s.mu.Unlock()
+	var errs []error
+	for _, flush := range flushes {
+		if err := flush(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Draining reports whether the station has begun shutting down.
+func (s *Station) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// WorkerStatus is one pool slot's live accounting.
+type WorkerStatus struct {
+	ID      int           `json:"id"`
+	Rounds  int64         `json:"rounds"`
+	Traffic repro.Traffic `json:"traffic"`
+}
+
+// Stats is the station's live view — the /statsz payload.
+type Stats struct {
+	Workers  int  `json:"workers"`
+	QueueLen int  `json:"queue_len"`
+	QueueCap int  `json:"queue_cap"`
+	Draining bool `json:"draining"`
+
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"` // queue-full rejections
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	// Protocol outcome counters accumulated over completed answers.
+	Alarms            int64 `json:"alarms"`
+	IntegrityRejected int64 `json:"integrity_rejected"`
+	DegradedClusters  int64 `json:"degraded_clusters"`
+	FailedClusters    int64 `json:"failed_clusters"`
+	Takeovers         int64 `json:"takeovers"`
+	Promotions        int64 `json:"promotions"`
+
+	WorkerStats []WorkerStatus   `json:"worker_stats"`
+	Schedules   []ScheduleStatus `json:"schedules,omitempty"`
+
+	// Trace carries the merged per-worker flight-recorder counters when
+	// Config.TraceStats is on.
+	Trace map[string]int64 `json:"trace,omitempty"`
+}
+
+// Stats snapshots the station. Safe to call from any goroutine while
+// epochs are in flight.
+func (s *Station) Stats() Stats {
+	st := Stats{
+		Workers:  len(s.workers),
+		QueueLen: len(s.queue),
+		QueueCap: cap(s.queue),
+		Draining: s.Draining(),
+
+		Accepted:  s.accepted.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Canceled:  s.canceled.Load(),
+
+		Alarms:            s.alarms.Load(),
+		IntegrityRejected: s.integrityRejected.Load(),
+		DegradedClusters:  s.degradedClusters.Load(),
+		FailedClusters:    s.failedClstrs.Load(),
+		Takeovers:         s.takeovers.Load(),
+		Promotions:        s.promotions.Load(),
+	}
+	var snaps []map[string]int64
+	for _, w := range s.workers {
+		w.wmu.Lock()
+		ws := WorkerStatus{ID: w.id, Rounds: w.rounds, Traffic: w.traffic}
+		w.wmu.Unlock()
+		st.WorkerStats = append(st.WorkerStats, ws)
+		if w.statsSnap != nil {
+			snaps = append(snaps, w.statsSnap())
+		}
+	}
+	if len(snaps) > 0 {
+		st.Trace = trace.MergeSnapshots(snaps...)
+	}
+	s.mu.Lock()
+	for _, sc := range s.schedules {
+		st.Schedules = append(st.Schedules, sc.Status())
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Schedules, func(i, j int) bool { return st.Schedules[i].ID < st.Schedules[j].ID })
+	return st
+}

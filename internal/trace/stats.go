@@ -62,6 +62,26 @@ func (s *Stats) Snapshot() map[string]int64 {
 	return out
 }
 
+// MergeSnapshots sums counter snapshots key-wise into one map — how a pool
+// of deployments (one Stats sink each) presents a single live view. The
+// high-water keys "round" and "sim_time_ns" take the max instead of the
+// sum, so the merged view still reads as "furthest progress seen".
+func MergeSnapshots(snaps ...map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for _, snap := range snaps {
+		for k, v := range snap {
+			if k == "round" || k == "sim_time_ns" {
+				if v > out[k] {
+					out[k] = v
+				}
+				continue
+			}
+			out[k] += v
+		}
+	}
+	return out
+}
+
 // Keys returns the snapshot's keys in deterministic order (tests, text
 // rendering).
 func (s *Stats) Keys() []string {

@@ -254,3 +254,25 @@ func TestStats(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeSnapshots(t *testing.T) {
+	a := map[string]int64{"events_total": 3, "alarm": 1, "round": 5, "sim_time_ns": 100}
+	b := map[string]int64{"events_total": 4, "takeover": 2, "round": 2, "sim_time_ns": 900}
+	got := MergeSnapshots(a, b)
+	want := map[string]int64{
+		// Counters sum across workers; "round" and "sim_time_ns" describe a
+		// single deployment's progress, so the merged view takes the max.
+		"events_total": 7, "alarm": 1, "takeover": 2, "round": 5, "sim_time_ns": 900,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("MergeSnapshots = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("MergeSnapshots[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if out := MergeSnapshots(); len(out) != 0 {
+		t.Errorf("empty merge should be empty, got %v", out)
+	}
+}

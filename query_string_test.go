@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var allKinds = []QueryKind{
+	QuerySum, QueryCount, QueryAverage, QueryVariance, QueryStdDev, QueryMin, QueryMax,
+}
+
+var kindNames = map[QueryKind]string{
+	QuerySum:      "sum",
+	QueryCount:    "count",
+	QueryAverage:  "average",
+	QueryVariance: "variance",
+	QueryStdDev:   "stddev",
+	QueryMin:      "min",
+	QueryMax:      "max",
+}
+
+func TestQueryKindStringAndParseRoundTrip(t *testing.T) {
+	for _, k := range allKinds {
+		want := kindNames[k]
+		if got := k.String(); got != want {
+			t.Errorf("QueryKind(%d).String() = %q, want %q", k, got, want)
+		}
+		back, err := ParseQueryKind(k.String())
+		if err != nil {
+			t.Errorf("ParseQueryKind(%q): %v", k.String(), err)
+		}
+		if back != k {
+			t.Errorf("ParseQueryKind(%q) = %v, want %v", k.String(), back, k)
+		}
+	}
+	// Aliases and normalization.
+	for name, want := range map[string]QueryKind{
+		"avg": QueryAverage, "var": QueryVariance,
+		"SUM": QuerySum, " min ": QueryMin,
+	} {
+		got, err := ParseQueryKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseQueryKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseQueryKind("median"); err == nil {
+		t.Error("ParseQueryKind accepted an unknown kind")
+	}
+	if got := QueryKind(0).String(); !strings.Contains(got, "queryKind(0)") {
+		t.Errorf("invalid kind String() = %q", got)
+	}
+}
+
+func TestQueryKindJSON(t *testing.T) {
+	for _, k := range allKinds {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		if want := `"` + kindNames[k] + `"`; string(data) != want {
+			t.Errorf("marshal %v = %s, want %s", k, data, want)
+		}
+		var back QueryKind
+		if err := json.Unmarshal(data, &back); err != nil || back != k {
+			t.Errorf("unmarshal %s = %v, %v; want %v", data, back, err, k)
+		}
+	}
+	if _, err := json.Marshal(QueryKind(99)); err == nil {
+		t.Error("marshal of invalid kind succeeded")
+	}
+	var k QueryKind
+	if err := json.Unmarshal([]byte(`"median"`), &k); err == nil {
+		t.Error("unmarshal of unknown kind succeeded")
+	}
+	if err := json.Unmarshal([]byte(`7`), &k); err == nil {
+		t.Error("unmarshal of a numeric kind succeeded — the wire format is by name")
+	}
+}
+
+// TestQueryAnswerString covers every kind plus both verdicts and the alarm
+// suffix: one line, kind=value, truth, participation, verdict.
+func TestQueryAnswerString(t *testing.T) {
+	round := Result{TrueCount: 100, Participants: 96}
+	for _, k := range allKinds {
+		a := QueryAnswer{Kind: k, Value: 54.5, Truth: 55.125, Accepted: true, Round: round}
+		got := a.String()
+		want := kindNames[k] + "=54.500 (truth 55.125, participation 0.960, accepted)"
+		if got != want {
+			t.Errorf("String() for %s:\n got %q\nwant %q", kindNames[k], got, want)
+		}
+	}
+	rejected := QueryAnswer{
+		Kind: QuerySum, Value: 9999, Truth: 1234, Accepted: false,
+		Round: Result{TrueCount: 100, Participants: 100, Alarms: 2},
+	}
+	want := "sum=9999.000 (truth 1234.000, participation 1.000, REJECTED, 2 alarms)"
+	if got := rejected.String(); got != want {
+		t.Errorf("rejected String():\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestQueryAnswerAccessors(t *testing.T) {
+	a := QueryAnswer{Round: Result{TrueCount: 50, Participants: 25, Alarms: 3}}
+	if got := a.Participation(); got != 0.5 {
+		t.Errorf("Participation() = %v, want 0.5", got)
+	}
+	if got := a.Alarms(); got != 3 {
+		t.Errorf("Alarms() = %v, want 3", got)
+	}
+}

@@ -52,10 +52,60 @@ type Options struct {
 	NoARQ      bool    // disable MAC retransmissions (exposes raw loss)
 }
 
-// Deployment is one placed network; protocols run on top of it. A
-// Deployment is not safe for concurrent use.
+// Deployment is one placed network; protocols run on top of it.
+//
+// Concurrency contract: a Deployment is NOT safe for concurrent use. Every
+// method — including the Run* family, Reset, the trace attachments, and the
+// read-only accessors (which touch shared RNG and counter state underneath)
+// — must be serialized by the caller: one goroutine at a time, with
+// happens-before edges between handoffs. A service that answers queries in
+// parallel owns one Deployment per worker goroutine and never shares them;
+// internal/station's pool is the reference implementation of that
+// discipline (each worker goroutine exclusively owns its Deployment for the
+// station's lifetime).
 type Deployment struct {
 	env *wsn.Env
+}
+
+// Traffic is a point-in-time copy of the deployment's radio-level traffic
+// counters, as accumulated since NewDeployment or the last Reset. It is a
+// plain value: safe to retain, compare, and hand across goroutines.
+type Traffic struct {
+	TxBytes     int `json:"tx_bytes"`
+	RxBytes     int `json:"rx_bytes"`
+	TxMessages  int `json:"tx_messages"`
+	RxMessages  int `json:"rx_messages"`
+	AppMessages int `json:"app_messages"` // frames excluding MAC ACKs
+	Collisions  int `json:"collisions"`
+	Dropped     int `json:"dropped"`
+}
+
+// Add accumulates another snapshot into t — how a pool of deployments
+// folds per-worker traffic into one total.
+func (t *Traffic) Add(o Traffic) {
+	t.TxBytes += o.TxBytes
+	t.RxBytes += o.RxBytes
+	t.TxMessages += o.TxMessages
+	t.RxMessages += o.RxMessages
+	t.AppMessages += o.AppMessages
+	t.Collisions += o.Collisions
+	t.Dropped += o.Dropped
+}
+
+// Traffic snapshots the deployment's traffic counters. Like every other
+// method it must be serialized with runs; capture the snapshot between
+// rounds, not during one.
+func (d *Deployment) Traffic() Traffic {
+	t := d.env.Rec.Traffic()
+	return Traffic{
+		TxBytes:     t.TxBytes,
+		RxBytes:     t.RxBytes,
+		TxMessages:  t.TxMessages,
+		RxMessages:  t.RxMessages,
+		AppMessages: t.AppMessages,
+		Collisions:  t.Collisions,
+		Dropped:     t.Dropped,
+	}
 }
 
 // EnableTrace turns on in-memory flight recording with the given
@@ -144,28 +194,28 @@ func (d *Deployment) TrueSum() int64 { return d.env.TrueSum() }
 
 // Result is the base station's view of one aggregation round.
 type Result struct {
-	Protocol     string
-	TrueSum      int64
-	TrueCount    int64
-	ReportedSum  int64
-	ReportedCnt  int64
-	Participants int
-	Covered      int
-	Accepted     bool // integrity verdict (always true for TAG)
-	Alarms       int  // witness alarms that reached the base station
+	Protocol     string `json:"protocol"`
+	TrueSum      int64  `json:"true_sum"`
+	TrueCount    int64  `json:"true_count"`
+	ReportedSum  int64  `json:"reported_sum"`
+	ReportedCnt  int64  `json:"reported_count"`
+	Participants int    `json:"participants"`
+	Covered      int    `json:"covered"`
+	Accepted     bool   `json:"accepted"` // integrity verdict (always true for TAG)
+	Alarms       int    `json:"alarms"`   // witness alarms that reached the base station
 
 	// Resilience accounting (cluster protocol only).
-	DegradedClusters int // clusters recovered over a strict participant subset
-	FailedClusters   int // viable clusters that contributed nothing
+	DegradedClusters int `json:"degraded_clusters"` // clusters recovered over a strict participant subset
+	FailedClusters   int `json:"failed_clusters"`   // viable clusters that contributed nothing
 
 	// Head-failover accounting (cluster protocol only).
-	Takeovers       int // deputy stand-in announces after in-round head silence
-	Promotions      int // deputies promoted to permanent head at round start
-	OrphansRejoined int // members of dead clusters re-adopted elsewhere
+	Takeovers       int `json:"takeovers"`        // deputy stand-in announces after in-round head silence
+	Promotions      int `json:"promotions"`       // deputies promoted to permanent head at round start
+	OrphansRejoined int `json:"orphans_rejoined"` // members of dead clusters re-adopted elsewhere
 
-	TxBytes     int // bytes on the air, MAC ACKs included
-	TxMessages  int
-	AppMessages int // frames excluding MAC ACKs
+	TxBytes     int `json:"tx_bytes"` // bytes on the air, MAC ACKs included
+	TxMessages  int `json:"tx_messages"`
+	AppMessages int `json:"app_messages"` // frames excluding MAC ACKs
 }
 
 // Accuracy is ReportedSum / TrueSum (1.0 = lossless). An exactly-reported
