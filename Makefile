@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
 ## experiment smokes, a traced-failover forensics smoke, the base-station
-## service smoke, a one-iteration benchmark smoke through the trend
-## harness, and the deterministic allocation gate on the tracing-disabled
-## hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke bench-smoke bench-gate
+## service smoke, the parallel-determinism smoke, a one-iteration
+## benchmark smoke through the trend harness, and the deterministic
+## allocation gate on the tracing-disabled hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke par-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,14 @@ service-smoke:
 	$(GO) test -race -count=1 -run 'TestServiceSmoke' ./internal/station/
 	$(GO) test -race -count=1 -run 'TestServeQueryAndGracefulSIGTERM' ./cmd/aggd/
 	@echo "service-smoke OK: served == offline, mixed-kind burst clean under -race"
+
+## par-smoke: the round engine's determinism gate — a parallel multi-round
+## failover simulation (lossy radio, head crashes, churn repair) must report
+## results bit-identical to the serial run, under the race detector so the
+## share-preparation and batch-solve barriers are swept for data races.
+par-smoke:
+	$(GO) test -race -count=1 -run 'TestParallelMatchesSerial' .
+	@echo "par-smoke OK: parallel rounds bit-identical to serial under -race"
 
 bench-smoke:
 	$(GO) run ./cmd/benchtrend -quick

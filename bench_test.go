@@ -2,12 +2,16 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/field"
 	"repro/internal/shares"
+	"repro/internal/wsn"
 )
 
 // Experiment benches — one per table/figure of the evaluation (DESIGN.md
@@ -47,15 +51,38 @@ func BenchmarkFigResilience(b *testing.B)     { benchExperiment(b, "F17-resilien
 
 // Protocol round benches: one full aggregation round per iteration at the
 // papers' N=400 reference density (lossy channel).
+//
+// Besides the stock -benchmem columns, each round bench reports
+// "allocs/node" — allocations per deployed node per round — because a raw
+// allocs/op in the hundreds of thousands says nothing about whether the
+// per-node cost regressed or the bench just grew. The counter is measured
+// with ReadMemStats deltas around exactly the timed region.
 
 func benchProtocolRound(b *testing.B, run func(dep *Deployment) (Result, error)) {
 	b.Helper()
+	benchRoundN(b, 400, func(dep *Deployment) error {
+		_, err := run(dep)
+		return err
+	})
+}
+
+// benchRoundN deploys n nodes once at the reference density (the field side
+// scales with sqrt(n) to hold ~20 neighbours per node) and measures one full
+// aggregation round — formation included — per iteration.
+func benchRoundN(b *testing.B, n int, run func(dep *Deployment) error) {
+	b.Helper()
 	// Deploy once; each iteration Resets to a fresh per-iteration seed so the
 	// timer measures the aggregation round, not topology construction.
-	dep, err := NewDeployment(Options{Nodes: 400, Seed: 1})
+	dep, err := NewDeployment(Options{
+		Nodes:     n,
+		FieldSize: 400 * math.Sqrt(float64(n)/400),
+		Seed:      1,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	var ms runtime.MemStats
+	var mallocs uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -63,10 +90,108 @@ func benchProtocolRound(b *testing.B, run func(dep *Deployment) (Result, error))
 		if err := dep.Reset(int64(i + 1)); err != nil {
 			b.Fatal(err)
 		}
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
 		b.StartTimer()
-		if _, err := run(dep); err != nil {
+		if err := run(dep); err != nil {
 			b.Fatal(err)
 		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - before
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mallocs)/float64(b.N)/float64(n), "allocs/node")
+}
+
+// scaleHops returns an announce-depth bound covering a deployment of n
+// nodes at the reference density: the field diagonal in radio-range hops,
+// plus slack for non-geodesic tree paths. The default MaxHops=16 covers the
+// papers' 400m field; without this, every head deeper than 16 hops lands in
+// the same announce slot and the large benches time an alarm storm instead
+// of the protocol.
+func scaleHops(n int) int {
+	side := 400 * math.Sqrt(float64(n)/400)
+	return int(side*math.Sqrt2/50) + 8
+}
+
+// BenchmarkRound gates the scale-out round engine: one full cluster round
+// (formation + shares + assembly + announce) at growing deployment sizes,
+// constant density, GOMAXPROCS worker pool. See DESIGN.md §"Round execution
+// at scale" for what each layer contributes.
+func BenchmarkRound(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
+			if n >= 100_000 && testing.Short() {
+				// benchtrend's default trend set runs -short; the 100k point
+				// takes tens of seconds per iteration, so it is opt-in:
+				//   go test -bench 'BenchmarkRound$/n=100k' -benchtime 1x .
+				b.Skip("n=100k is skipped under -short")
+			}
+			benchRoundN(b, n, func(dep *Deployment) error {
+				_, err := dep.RunCluster(ClusterOptions{MaxHops: scaleHops(n)})
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkRoundSerial pins the Parallelism=1 path at the mid scale so the
+// worker-pool speedup is measurable from one snapshot (compare against
+// BenchmarkRound/n=10k, which runs at GOMAXPROCS).
+func BenchmarkRoundSerial(b *testing.B) {
+	benchRoundN(b, 10_000, func(dep *Deployment) error {
+		_, err := dep.RunCluster(ClusterOptions{Parallelism: 1, MaxHops: scaleHops(10_000)})
+		return err
+	})
+}
+
+// BenchmarkRoundRetained measures the steady-state epoch — RunRetaining on a
+// kept formation, readings re-sampled between rounds — which is where the
+// arena-reused round buffers show: the per-round protocol state (share
+// tables, F-rows, solve scratch, radio transmission nodes) is all recycled,
+// leaving only the per-frame MAC/crypto costs in allocs/node.
+func BenchmarkRoundRetained(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
+			wcfg := wsn.DefaultConfig(n, 1)
+			wcfg.FieldSize = 400 * math.Sqrt(float64(n)/400)
+			env, err := wsn.NewEnv(wcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ccfg := core.DefaultConfig()
+			ccfg.MaxHops = scaleHops(n)
+			p, err := core.New(env, ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(1); err != nil {
+				b.Fatal(err)
+			}
+			var ms runtime.MemStats
+			var mallocs uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				env.ResampleReadings()
+				runtime.ReadMemStats(&ms)
+				before := ms.Mallocs
+				b.StartTimer()
+				// The wire round counter is 16-bit; wrap far below the limit.
+				if _, err := p.RunRetaining(uint16(2 + i%60_000)); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&ms)
+				mallocs += ms.Mallocs - before
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(mallocs)/float64(b.N)/float64(n), "allocs/node")
+		})
 	}
 }
 

@@ -16,11 +16,15 @@ import (
 	"strings"
 )
 
-// Metrics is one benchmark's measured cost per operation.
+// Metrics is one benchmark's measured cost per operation. AllocsPerNode is
+// the round benches' custom "allocs/node" metric — allocations normalised by
+// deployment size, the number that stays comparable when a bench's node
+// count changes; zero when the benchmark does not report it.
 type Metrics struct {
-	NsPerOp     float64 `json:"ns_op"`
-	BytesPerOp  float64 `json:"b_op"`
-	AllocsPerOp float64 `json:"allocs_op"`
+	NsPerOp       float64 `json:"ns_op"`
+	BytesPerOp    float64 `json:"b_op"`
+	AllocsPerOp   float64 `json:"allocs_op"`
+	AllocsPerNode float64 `json:"allocs_node,omitempty"`
 }
 
 // Snapshot is one recorded benchmark run.
@@ -60,6 +64,8 @@ func Parse(r io.Reader) (map[string]Metrics, error) {
 				m.BytesPerOp = v
 			case "allocs/op":
 				m.AllocsPerOp = v
+			case "allocs/node":
+				m.AllocsPerNode = v
 			}
 		}
 		if ok {

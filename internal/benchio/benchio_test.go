@@ -14,6 +14,7 @@ BenchmarkRoundCluster-8   	      28	  41400000 ns/op	13200000 B/op	  211924 allo
 BenchmarkClusterAlgebra/m=16-8  	  35000	     33997 ns/op	    7912 B/op	      39 allocs/op
 BenchmarkFieldInv-8       	 6100000	       196.4 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNoMem-8          	 1000000	      1234 ns/op
+BenchmarkRound/n=10k-8    	       5	 245000000 ns/op	       212.4 allocs/node	52000000 B/op	  820000 allocs/op
 PASS
 ok  	repro	12.3s
 `
@@ -23,8 +24,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	if len(m) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(m), m)
 	}
 	rc, ok := m["BenchmarkRoundCluster"]
 	if !ok {
@@ -42,6 +43,13 @@ func TestParse(t *testing.T) {
 	}
 	if nm := m["BenchmarkNoMem"]; nm.NsPerOp != 1234 || nm.AllocsPerOp != 0 {
 		t.Errorf("benchmem-less line = %+v", nm)
+	}
+	// The round benches' custom per-node metric rides along in the same line.
+	if rd := m["BenchmarkRound/n=10k"]; rd.AllocsPerNode != 212.4 || rd.AllocsPerOp != 820000 {
+		t.Errorf("allocs/node line = %+v", rd)
+	}
+	if rc.AllocsPerNode != 0 {
+		t.Errorf("allocs/node should stay zero when unreported, got %+v", rc)
 	}
 }
 

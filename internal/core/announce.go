@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/field"
 	"repro/internal/message"
+	"repro/internal/shares"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -14,8 +17,12 @@ import (
 // scheduleAnnounces arranges every head's single up-tree transmission,
 // deepest flood levels first so children report before their parents, and
 // arms the members' head-silence watchdogs one slot behind each head's own.
+// Before any announce event fires it runs the batch-solve barrier: every
+// cluster whose full report set is already in solves here, grouped by size,
+// so the per-head announce events just read their precomputed sums.
 func (p *Protocol) scheduleAnnounces() {
 	p.phaseMark(trace.PhaseAnnounce, "CH-tree aggregation, witnessing, failover watchdogs")
+	p.preSolveClusters()
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
 		st := &p.nodes[i]
@@ -30,6 +37,170 @@ func (p *Protocol) scheduleAnnounces() {
 		p.env.Eng.After(at, func() { p.announce(id) })
 	}
 	p.scheduleWatchdogs()
+}
+
+// solveGroup is one batch-solve unit: every pre-solvable cluster sharing an
+// algebra. Canonical rosters (heads assign position seeds {1..m}) make that
+// "every cluster of size m", so a round has one group — one weights table —
+// per distinct cluster size.
+type solveGroup struct {
+	alg   *shares.Algebra
+	heads []topo.NodeID
+	rhs   []field.Element // m × (G·c) packed right-hand-side columns
+	sums  []field.Element // G·c solved sums, c per cluster
+}
+
+// arenaTake hands out n elements from the round's solve arena. The arena
+// only grows until steady state; earlier slices stay valid across growth
+// (they keep the old backing), so callers hold them for the round.
+func (p *Protocol) arenaTake(n int) []field.Element {
+	base := len(p.solveArena)
+	if cap(p.solveArena) < base+n {
+		na := make([]field.Element, base, 2*(base+n))
+		copy(na, p.solveArena)
+		p.solveArena = na
+	}
+	p.solveArena = p.solveArena[:base+n]
+	return p.solveArena[base : base+n : base+n]
+}
+
+// preSolveClusters is the announce-phase batch barrier. It collects every
+// live, active, viable head whose report set is already complete at full
+// mask — the common case by the time the announce phase opens — groups the
+// clusters by algebra, and solves each group's packed right-hand sides in a
+// single weights pass per group, fanned out across the worker pool.
+//
+// Everything else keeps the serial event-time solve: deputies (their state
+// lives on the deputy node, not the head), degraded clusters (Subset()
+// mutates the algebra's cache, which must stay single-threaded), and heads
+// whose reports are still trickling in. Late post-barrier report deliveries
+// cannot desynchronise the solved sums from the announce's F-matrix echo: a
+// full-mask row can only be overwritten by a value-identical re-report
+// (receive masks only grow, and full is full).
+func (p *Protocol) preSolveClusters() {
+	c := p.nComponents()
+	heads := p.solveHeads[:0]
+	for i := 1; i < p.env.Net.Size(); i++ {
+		id := topo.NodeID(i)
+		st := &p.nodes[i]
+		if st.role != roleHead || p.env.MAC.Disabled(id) {
+			continue
+		}
+		if p.cfg.ActiveClusters != nil && !p.cfg.ActiveClusters[id] {
+			continue
+		}
+		if !viableCluster(st) {
+			continue
+		}
+		m := len(st.roster.Entries)
+		full := message.FullMask(m)
+		if st.fSeenMask&full != full {
+			continue
+		}
+		complete := true
+		for j := 0; j < m; j++ {
+			if a := st.fSeen[j]; a.Mask != full || len(a.Fs) != c {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		heads = append(heads, id)
+	}
+	p.solveHeads = heads
+
+	// Group by algebra pointer: same algebra ⇒ same size and weights.
+	// Group count is the number of distinct cluster sizes, so the linear
+	// scan stays cheap.
+	groups := p.solveGroups
+	ng := 0
+	for _, id := range heads {
+		alg := p.nodes[id].algebra
+		gi := -1
+		for g := 0; g < ng; g++ {
+			if groups[g].alg == alg {
+				gi = g
+				break
+			}
+		}
+		if gi < 0 {
+			if ng == len(groups) {
+				groups = append(groups, solveGroup{})
+			}
+			gi = ng
+			groups[gi].alg = alg
+			groups[gi].heads = groups[gi].heads[:0]
+			ng++
+		}
+		groups[gi].heads = append(groups[gi].heads, id)
+	}
+	p.solveGroups = groups
+	groups = groups[:ng]
+
+	// Pack and solve, one task per group: each task writes only its own
+	// group's arena slices and its own clusters' solved state, so results
+	// are independent of worker scheduling.
+	p.solveArena = p.solveArena[:0]
+	for g := range groups {
+		m, G := groups[g].alg.Size(), len(groups[g].heads)
+		groups[g].rhs = p.arenaTake(m * G * c)
+		groups[g].sums = p.arenaTake(G * c)
+	}
+	p.runWorkers(len(groups), func(_, g int) { p.batchSolveGroup(&groups[g]) })
+
+	p.emitRoundEngine(groups)
+}
+
+// batchSolveGroup packs the group's full-mask reports column-contiguously —
+// cluster g's component j lands in column g·c+j — and recovers every
+// cluster's sums in one weights pass. Field arithmetic is exact, so the
+// results are bit-identical to the per-cluster event-time solve.
+func (p *Protocol) batchSolveGroup(g *solveGroup) {
+	c := p.nComponents()
+	m := g.alg.Size()
+	cols := len(g.heads) * c
+	for gidx, id := range g.heads {
+		st := &p.nodes[id]
+		for row := 0; row < m; row++ {
+			copy(g.rhs[row*cols+gidx*c:row*cols+(gidx+1)*c], st.fSeen[row].Fs)
+		}
+	}
+	if err := g.alg.BatchSolver().SolveInto(g.sums, g.rhs, cols); err != nil {
+		return // clusters stay unsolved; announce falls back to the event-time path
+	}
+	for gidx, id := range g.heads {
+		st := &p.nodes[id]
+		st.solvedSums = g.sums[gidx*c : (gidx+1)*c : (gidx+1)*c]
+		st.solved = true
+	}
+}
+
+// emitRoundEngine records the per-round engine telemetry: worker-pool
+// width, batch-solve group layout, and deployment-grid occupancy — what
+// aggtrace -summary needs to explain where round wall-clock went.
+func (p *Protocol) emitRoundEngine(groups []solveGroup) {
+	if p.env.Sink == nil {
+		return
+	}
+	type mg struct{ m, g int }
+	mgs := make([]mg, len(groups))
+	for i := range groups {
+		mgs[i] = mg{groups[i].alg.Size(), len(groups[i].heads)}
+	}
+	sort.Slice(mgs, func(a, b int) bool { return mgs[a].m < mgs[b].m })
+	var sb strings.Builder
+	for i, e := range mgs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "m=%d×%d", e.m, e.g)
+	}
+	cells, occ, maxo := p.env.Net.GridStats()
+	p.emit(topo.BaseStationID, trace.NoCluster, trace.PhaseAnnounce, trace.TypeRound, "batch-solve",
+		"par=%d presolved=%d groups=[%s] grid: %d/%d cells occupied, max %d nodes/cell",
+		p.par, len(p.solveHeads), sb.String(), occ, cells, maxo)
 }
 
 // announceTarget picks where a head sends its announce: the shallowest head
@@ -70,6 +241,12 @@ func (p *Protocol) clusterContribution(id topo.NodeID) ([]field.Element, uint32,
 		return nil, 0, 0
 	}
 	if viableCluster(st) {
+		if st.solved {
+			// Solved in the announce-phase batch barrier: by construction a
+			// complete full-mask solve, so neither resilience counter moves.
+			st.effMask = message.FullMask(len(st.roster.Entries))
+			return st.solvedSums, uint32(len(st.roster.Entries)), st.effMask
+		}
 		sums, cnt, effMask, ok := p.solveCluster(st)
 		if !ok {
 			p.failedClusters++
@@ -394,7 +571,7 @@ func (p *Protocol) ownRowForged(st *nodeState, a message.Announce, full uint64) 
 	// either vouches for the echo.
 	var candidates []message.Assembled
 	if a.Mask == full {
-		if o, ok := st.fSeen[st.myIdx]; ok {
+		if o, ok := st.fSeenAt(st.myIdx); ok {
 			candidates = append(candidates, o)
 		}
 	}
@@ -480,6 +657,9 @@ func (p *Protocol) onAlarm(at topo.NodeID, msg *message.Message) {
 	}
 	if st.alarmed[key] {
 		return
+	}
+	if st.alarmed == nil {
+		st.alarmed = make(map[string]bool)
 	}
 	st.alarmed[key] = true
 	p.env.MAC.Send(message.Build(message.KindAlarm, at, message.BroadcastID, msg.Round, msg.Payload))

@@ -23,7 +23,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/field"
@@ -126,6 +129,13 @@ type Config struct {
 	// contribute their cluster sums (the O(log N) localization bisects
 	// this set). Inactive CHs still relay children.
 	ActiveClusters map[topo.NodeID]bool
+
+	// Parallelism caps the worker pool the round engine fans the
+	// share-nothing per-cluster work (share preparation, batched cluster
+	// solves) out to. 0 means runtime.GOMAXPROCS; 1 forces the serial path.
+	// Results are bit-identical for every value — the pool only executes
+	// pure per-node work between deterministic serial passes.
+	Parallelism int
 }
 
 // DefaultConfig returns the reconstruction's reference parameters.
@@ -175,7 +185,19 @@ type nodeState struct {
 
 	recvShares [][]field.Element // by roster index: component vector
 	recvMask   uint64
-	fSeen      map[int]message.Assembled // by roster index
+
+	// fSeen holds the assembled reports by roster index; fSeenMask says
+	// which slots are live. A dense slice (sized by installRoster, backing
+	// array reused across rounds) instead of a map: the per-round churn of
+	// map allocation dominated the old allocation profile.
+	fSeen     []message.Assembled
+	fSeenMask uint64
+
+	// solved marks a head whose full-mask cluster solve already ran in the
+	// announce-phase batch barrier; solvedSums (arena-backed) carries the
+	// result the announce event reads instead of re-solving.
+	solved     bool
+	solvedSums []field.Element
 
 	// Degraded subset recovery (the resilience path). subMask is the head's
 	// announced common participant subset M (0 = no degradation this round);
@@ -194,7 +216,7 @@ type nodeState struct {
 	myAnnounce *message.Announce    // heads: what we sent (child-side witness state)
 	sentTo     topo.NodeID          // heads: direct head we announced to (-1 = relayed/BS)
 
-	alarmed map[string]bool // forwarded-alarm dedup (heads)
+	alarmed map[string]bool // forwarded-alarm dedup, allocated on first alarm
 
 	// Head-failover state (failover.go). deputy is the roster-designated
 	// fallback head every member computes locally; headSilent survives the
@@ -243,12 +265,113 @@ type Protocol struct {
 	// (see query.go). Nil means one component: the raw reading.
 	comps []func(int64) int64
 
-	// Round-scoped scratch reused across members so the share-exchange and
-	// recovery phases stop allocating per member per round. Safe because the
-	// engine is single-threaded and each buffer is consumed within one event.
-	scratchOuts []shares.Shares
-	scratchVec  []field.Element
+	// Round-scoped scratch reused across event-time solves (degraded and
+	// takeover paths). Safe because the engine is single-threaded and the
+	// buffer is consumed within one event.
 	scratchRows [][]field.Element
+
+	// par is the resolved worker-pool width (Config.Parallelism, with 0
+	// mapped to GOMAXPROCS at construction).
+	par int
+
+	// algebras caches one shares.Algebra per canonical cluster size m.
+	// Heads re-seed every roster they publish with position seeds {1..m},
+	// so all clusters of equal size share one algebra — one weights table
+	// per m, which is what makes the announce-phase batch solve possible.
+	algebras map[int]*shares.Algebra
+
+	// Share-exchange barrier state: one sharePrep per participant, plus one
+	// private scratch per worker. All backing arrays are reused per round.
+	sharePreps  []sharePrep
+	prepScratch []shareScratch
+
+	// Announce-phase batch-solve state: the heads picked up by the barrier,
+	// their grouping by algebra, and the arena backing the packed
+	// right-hand sides and solved sums.
+	solveHeads  []topo.NodeID
+	solveGroups []solveGroup
+	solveArena  []field.Element
+}
+
+// fSeenAt reads the assembled report at roster index i, mirroring the old
+// map lookup's two-value form.
+func (st *nodeState) fSeenAt(i int) (message.Assembled, bool) {
+	if i < 0 || i >= len(st.fSeen) || st.fSeenMask&(uint64(1)<<uint(i)) == 0 {
+		return message.Assembled{}, false
+	}
+	return st.fSeen[i], true
+}
+
+// setFSeen records an assembled report at roster index i.
+func (st *nodeState) setFSeen(i int, a message.Assembled) {
+	st.fSeen[i] = a
+	st.fSeenMask |= uint64(1) << uint(i)
+}
+
+// growElems returns s resized to n elements, reusing its backing array when
+// capacity allows.
+func growElems(s []field.Element, n int) []field.Element {
+	if cap(s) < n {
+		return make([]field.Element, n)
+	}
+	return s[:n]
+}
+
+// growRows returns s resized to n nil'd rows, reusing the backing array:
+// stale rows from a previous round must never read as received shares.
+func growRows(s [][]field.Element, n int) [][]field.Element {
+	if cap(s) < n {
+		return make([][]field.Element, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// growAssembled returns s resized to n slots, reusing the backing array.
+// Slots are gated by fSeenMask, so stale values need no clearing.
+func growAssembled(s []message.Assembled, n int) []message.Assembled {
+	if cap(s) < n {
+		return make([]message.Assembled, n)
+	}
+	return s[:n]
+}
+
+// runWorkers fans fn out over n items on the protocol's worker pool using an
+// atomic work-stealing counter. fn(w, i) receives the worker index w (for
+// per-worker scratch) and the item index i, and must write only to item i's
+// output slot and worker w's scratch — which is what makes the results
+// independent of scheduling and therefore bit-identical to the serial path.
+// With Parallelism 1 (or a single item) it degenerates to an inline loop.
+func (p *Protocol) runWorkers(n int, fn func(w, i int)) {
+	workers := p.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // nComponents returns the active component-vector width.
@@ -288,6 +411,13 @@ func New(env *wsn.Env, cfg Config) (*Protocol, error) {
 	if cfg.HeadCrashRate < 0 || cfg.HeadCrashRate >= 1 {
 		return nil, fmt.Errorf("core: head crash rate %g out of [0, 1)", cfg.HeadCrashRate)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: parallelism %d must be >= 1 (or 0 for GOMAXPROCS)", cfg.Parallelism)
+	}
+	par := cfg.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	// Contention-adaptive schedule: the share and assemble phases carry
 	// O(degree) unicasts per collision domain, so their windows stretch
 	// with density beyond the reference degree the defaults were sized for.
@@ -297,7 +427,7 @@ func New(env *wsn.Env, cfg Config) (*Protocol, error) {
 		cfg.AssembleAt = cfg.SharesAt + sharesWin
 		cfg.AggAt = cfg.AssembleAt + asmWin
 	}
-	return &Protocol{env: env, cfg: cfg}, nil
+	return &Protocol{env: env, cfg: cfg, par: par}, nil
 }
 
 // referenceDegree is the deployment density the default schedule is sized
@@ -322,21 +452,45 @@ func (p *Protocol) jitter(d time.Duration) time.Duration {
 func (p *Protocol) Run(round uint16) (metrics.RoundResult, error) {
 	p.round = round
 	n := p.env.Net.Size()
-	p.nodes = make([]nodeState, n)
+	// The node array and every per-node buffer survive across rounds: the
+	// reset below zeroes the state in place while retaining the backing
+	// arrays (heardCH, joiners, children, fSeen, recvShares, alarm dedup),
+	// so steady-state rounds allocate near-zero here.
+	if len(p.nodes) != n {
+		p.nodes = make([]nodeState, n)
+	}
 	for i := range p.nodes {
 		st := &p.nodes[i]
-		st.helloParent = -1
-		st.head = -1
-		st.myIdx = -1
-		st.sentTo = -1
-		st.deputy = -1
-		st.takeoverBy = -1
-		st.fSeen = make(map[int]message.Assembled)
-		st.alarmed = make(map[string]bool)
+		alarmed := st.alarmed
+		if alarmed != nil {
+			clear(alarmed)
+		}
+		*st = nodeState{
+			heardCH:       st.heardCH[:0],
+			joiners:       st.joiners[:0],
+			children:      st.children[:0],
+			repairJoiners: st.repairJoiners[:0],
+			fSeen:         st.fSeen[:0],
+			recvShares:    st.recvShares[:0],
+			alarmed:       alarmed,
+			helloParent:   -1,
+			head:          -1,
+			myIdx:         -1,
+			sentTo:        -1,
+			deputy:        -1,
+			takeoverBy:    -1,
+		}
 	}
-	p.bsSums = make([]field.Element, p.nComponents())
+	p.bsSums = growElems(p.bsSums, p.nComponents())
+	for k := range p.bsSums {
+		p.bsSums[k] = 0
+	}
 	p.bsCount = 0
-	p.bsAlarms = make(map[string]message.Alarm)
+	if p.bsAlarms == nil {
+		p.bsAlarms = make(map[string]message.Alarm)
+	} else {
+		clear(p.bsAlarms)
+	}
 	p.alarmsRaised = 0
 	p.degradedClusters = 0
 	p.failedClusters = 0

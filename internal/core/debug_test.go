@@ -32,7 +32,7 @@ func TestDebugClusterDiagnostics(t *testing.T) {
 			full := message.FullMask(m)
 			missing, badMask := 0, 0
 			for i := 0; i < m; i++ {
-				a, ok := st.fSeen[i]
+				a, ok := st.fSeenAt(i)
 				if !ok {
 					missing++
 				} else if a.Mask != full {

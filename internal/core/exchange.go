@@ -11,11 +11,51 @@ import (
 	"repro/internal/trace"
 )
 
-// scheduleShareExchange starts every viable cluster participant's share
-// generation with jitter spreading contention across the phase window.
+// sharePrep carries one participant's share-exchange work across the
+// three-pass barrier in scheduleShareExchange. Pass 1 (serial) fills id,
+// delay, and coeffs; pass 2 (parallel) fills self and frames; pass 3
+// (serial) schedules the jittered send events. The struct and its backing
+// arrays are protocol-owned and reused every round: the frames of round r
+// are consumed by the engine before round r+1's pass 1 runs.
+type sharePrep struct {
+	id     topo.NodeID
+	delay  time.Duration
+	coeffs []field.Element    // c×(m-1) masking coefficients, serial RNG order
+	self   []field.Element    // own share vector (retained by acceptShare)
+	frames []*message.Message // prepared co-member frames, roster order
+}
+
+// shareScratch is one worker's private buffers for buildShareFrames.
+type shareScratch struct {
+	reading []field.Element // c: the node's component vector
+	rows    []field.Element // c×m share matrix, row k = component k
+	vec     []field.Element // c: per-target column
+}
+
+// scheduleShareExchange runs the share-generation barrier and schedules
+// every viable participant's jittered send event.
+//
+// The work is split into three passes so the expensive part — polynomial
+// evaluation, marshalling, link encryption — fans out across the worker
+// pool while every shared-state touch stays serial and deterministic:
+//
+//	pass 1 (serial, ascending node ID): draw each participant's jitter and
+//	       masking coefficients from the round RNG — a fixed consumption
+//	       order regardless of worker count — and pre-warm the sealer cache
+//	       entry for every (sender, target) pair a worker will read;
+//	pass 2 (parallel): pure per-participant frame construction into the
+//	       participant's own sharePrep slot. No RNG, no map writes, no
+//	       shared buffers — results are independent of scheduling;
+//	pass 3 (serial, ascending node ID): schedule the send events.
+//
+// Per-sealer nonce streams stay deterministic too: each directional sealer
+// (a, b) is touched by exactly one sender's pass-2 task, and any later
+// sub-exchange Seal on the same pair runs at (serial) event time.
 func (p *Protocol) scheduleShareExchange() {
 	p.phaseMark(trace.PhaseExchange, "polynomial share distribution")
 	window := p.cfg.AssembleAt - p.cfg.SharesAt
+	c := p.nComponents()
+	nprep := 0
 	for i := 1; i < p.env.Net.Size(); i++ {
 		id := topo.NodeID(i)
 		st := &p.nodes[i]
@@ -34,43 +74,70 @@ func (p *Protocol) scheduleShareExchange() {
 			}
 			continue
 		}
-		p.env.Eng.After(p.jitter(window/2), func() { p.exchangeShares(id) })
+		if nprep == len(p.sharePreps) {
+			p.sharePreps = append(p.sharePreps, sharePrep{})
+		}
+		pr := &p.sharePreps[nprep]
+		nprep++
+		pr.id = id
+		pr.delay = p.jitter(window / 2)
+		m := len(st.roster.Entries)
+		pr.coeffs = growElems(pr.coeffs, c*(m-1))
+		for k := 0; k < c; k++ {
+			st.algebra.DrawCoeffs(p.env.Rng, pr.coeffs[k*(m-1):(k+1)*(m-1)])
+		}
+		for _, e := range st.roster.Entries {
+			if e.ID != id {
+				p.env.WarmSealer(id, e.ID)
+			}
+		}
+	}
+	preps := p.sharePreps[:nprep]
+	if len(p.prepScratch) < p.par {
+		p.prepScratch = make([]shareScratch, p.par)
+	}
+	p.runWorkers(len(preps), func(w, x int) {
+		p.buildShareFrames(&preps[x], &p.prepScratch[w])
+	})
+	for x := range preps {
+		pr := &preps[x]
+		p.env.Eng.After(pr.delay, func() { p.sendPreparedShares(pr) })
 	}
 }
 
-// exchangeShares generates one masking polynomial per query component and
-// distributes the share vector to every cluster co-member: kept locally for
-// itself, direct link-encrypted unicast when in radio range, or relayed
-// through the head (still encrypted end-to-end) otherwise.
-func (p *Protocol) exchangeShares(id topo.NodeID) {
+// buildShareFrames is the pure pass-2 body: evaluate the participant's
+// masking polynomials at every co-member seed and build the outgoing frames
+// — link-encrypted direct unicast when in radio range, head-relayed (still
+// end-to-end encrypted) otherwise. Writes only to pr and sc.
+func (p *Protocol) buildShareFrames(pr *sharePrep, sc *shareScratch) {
+	id := pr.id
 	st := &p.nodes[id]
 	c := p.nComponents()
-	reading := p.readingVector(id)
-	if cap(p.scratchOuts) < c {
-		p.scratchOuts = make([]shares.Shares, c)
-	}
-	outs := p.scratchOuts[:c]
+	m := len(st.roster.Entries)
+	sc.reading = growElems(sc.reading, c)
+	p.readingVectorInto(sc.reading, id)
+	sc.rows = growElems(sc.rows, c*m)
 	for k := 0; k < c; k++ {
-		st.algebra.GenerateInto(p.env.Rng, reading[k], &outs[k])
+		st.algebra.SharesFromCoeffs(sc.rows[k*m:(k+1)*m], pr.coeffs[k*(m-1):(k+1)*(m-1)], sc.reading[k])
 	}
-	if cap(p.scratchVec) < c {
-		p.scratchVec = make([]field.Element, c)
-	}
-	vec := p.scratchVec[:c]
+	pr.self = growElems(pr.self, c)
+	pr.frames = pr.frames[:0]
+	sc.vec = growElems(sc.vec, c)
 	for j, entry := range st.roster.Entries {
 		target := entry.ID
-		for k := 0; k < c; k++ {
-			vec[k] = outs[k].ForMember[j]
-		}
 		if target == id {
-			// acceptShare retains the vector; the scratch must not leak in.
-			p.acceptShare(id, st.myIdx, append([]field.Element(nil), vec...))
+			for k := 0; k < c; k++ {
+				pr.self[k] = sc.rows[k*m+j]
+			}
 			continue
 		}
 		if !p.env.HasLinkKey(id, target) {
 			continue // keyless pair (EG scheme): share lost, cluster will fail
 		}
-		pt, err := message.MarshalValues(vec)
+		for k := 0; k < c; k++ {
+			sc.vec[k] = sc.rows[k*m+j]
+		}
+		pt, err := message.MarshalValues(sc.vec)
 		if err != nil {
 			continue
 		}
@@ -80,7 +147,7 @@ func (p *Protocol) exchangeShares(id topo.NodeID) {
 		}
 		inner := message.Build(message.KindShare, id, target, p.round, sealed)
 		if p.env.Net.InRange(id, target) {
-			p.env.MAC.Send(inner)
+			pr.frames = append(pr.frames, inner)
 			continue
 		}
 		// Out of mutual range: relay via the head. The head forwards the
@@ -93,7 +160,19 @@ func (p *Protocol) exchangeShares(id topo.NodeID) {
 		if err != nil {
 			continue
 		}
-		p.env.MAC.Send(message.Build(message.KindRelay, id, st.head, p.round, relayPayload))
+		pr.frames = append(pr.frames, message.Build(message.KindRelay, id, st.head, p.round, relayPayload))
+	}
+}
+
+// sendPreparedShares is the pass-3 event body: keep our own share and hand
+// the prepared frames to the MAC. A node that crashed since preparation
+// still runs this — its frames are dropped at the (disabled) MAC, exactly
+// like the old at-event-time generation behaved.
+func (p *Protocol) sendPreparedShares(pr *sharePrep) {
+	st := &p.nodes[pr.id]
+	p.acceptShare(pr.id, st.myIdx, pr.self)
+	for _, f := range pr.frames {
+		p.env.MAC.Send(f)
 	}
 }
 
@@ -213,7 +292,7 @@ func (p *Protocol) broadcastAssembled(id topo.NodeID) {
 	}
 	a := message.Assembled{Fs: fs, Mask: st.recvMask}
 	// Record our own F locally: it is the witness's ground truth.
-	st.fSeen[st.myIdx] = a
+	st.setFSeen(st.myIdx, a)
 	if st.role == roleHead {
 		return // the head's own F needs no transmission
 	}
@@ -248,7 +327,7 @@ func (p *Protocol) onAssembled(at topo.NodeID, msg *message.Message) {
 	if err != nil || len(a.Fs) != p.nComponents() {
 		return
 	}
-	st.fSeen[senderIdx] = a
+	st.setFSeen(senderIdx, a)
 }
 
 // solveCluster recovers the cluster's component sums, preferring the full
@@ -268,7 +347,7 @@ func (p *Protocol) solveCluster(st *nodeState) ([]field.Element, uint32, uint64,
 	rows := p.scratchRows[:m]
 	complete := true
 	for i := 0; i < m; i++ {
-		a, ok := st.fSeen[i]
+		a, ok := st.fSeenAt(i)
 		if !ok || a.Mask != full || len(a.Fs) != c {
 			complete = false
 			break
@@ -326,7 +405,7 @@ func (p *Protocol) repollMissing(id topo.NodeID) {
 		if i == st.myIdx {
 			continue
 		}
-		if a, ok := st.fSeen[i]; ok && a.Mask == full {
+		if a, ok := st.fSeenAt(i); ok && a.Mask == full {
 			continue
 		}
 		repolled++
@@ -369,7 +448,7 @@ func (p *Protocol) maybeDegrade(id topo.NodeID) {
 	common := ^uint64(0)
 	var reporters uint64
 	for i := 0; i < m; i++ {
-		a, ok := st.fSeen[i]
+		a, ok := st.fSeenAt(i)
 		if !ok || a.Mask != full {
 			complete = false
 		}

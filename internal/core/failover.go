@@ -177,7 +177,7 @@ func (p *Protocol) onTakeover(at topo.NodeID, msg *message.Message) {
 		return // head demonstrably alive, or duplicate claim broadcast
 	}
 	st.takeoverBy = msg.From
-	a, ok := st.fSeen[st.myIdx]
+	a, ok := st.fSeenAt(st.myIdx)
 	if !ok {
 		return // never committed a report this round: nothing to re-send
 	}
@@ -246,7 +246,7 @@ func (p *Protocol) takeoverDecide(id topo.NodeID) {
 	common := ^uint64(0)
 	var reporters uint64
 	for i := 0; i < m; i++ {
-		a, ok := st.fSeen[i]
+		a, ok := st.fSeenAt(i)
 		if !ok {
 			continue
 		}
@@ -524,6 +524,7 @@ func (p *Protocol) promoteDeputy(id topo.NodeID, window time.Duration) {
 	st.role = roleHead
 	st.head = id
 	p.forgetHead(st, dead)
+	canonicalizeSeeds(entries)
 	promoted := message.Roster{Head: id, Entries: entries}
 	p.installRoster(id, promoted)
 	p.promotions++
@@ -590,6 +591,7 @@ func (p *Protocol) repairFinalize(window time.Duration) {
 			roster.Entries = append(roster.Entries, j)
 			p.orphansRejoined++
 		}
+		canonicalizeSeeds(roster.Entries)
 		payload, err := message.MarshalRoster(roster)
 		if err != nil {
 			continue

@@ -254,6 +254,7 @@ func (p *Protocol) finalRosters() {
 		roster.Entries = append(roster.Entries,
 			message.RosterEntry{ID: id, Seed: shares.SeedFor(int(id))})
 		roster.Entries = append(roster.Entries, st.joiners...)
+		canonicalizeSeeds(roster.Entries)
 		payload, err := message.MarshalRoster(roster)
 		if err != nil {
 			continue
@@ -348,6 +349,55 @@ func (p *Protocol) onRoster(at topo.NodeID, msg *message.Message) {
 	p.installRoster(at, r)
 }
 
+// canonicalizeSeeds overwrites every roster entry's seed with the position
+// seed SeedFor(index) before publication. Seeds only need to be distinct and
+// known to all cluster members — nothing in the algebra depends on which node
+// holds which seed — so a head publishing {1..m} makes every size-m cluster
+// algebraically identical: one Vandermonde weights table per size (shared via
+// Protocol.algebraFor), and the batch solver can group whole rounds of
+// clusters by size. The Join wire format still carries ID-derived seeds for
+// compatibility; heads ignore them at publication.
+func canonicalizeSeeds(entries []message.RosterEntry) {
+	for i := range entries {
+		entries[i].Seed = shares.SeedFor(i)
+	}
+}
+
+// algebraFor returns the share algebra for a roster, serving canonical
+// position-seeded rosters ({1..m}) from a per-size cache so all clusters of
+// one size share a single weights table and Lagrange-subset cache.
+// Non-canonical rosters (none are produced by this code, but the wire format
+// permits them) get a private algebra as before.
+func (p *Protocol) algebraFor(entries []message.RosterEntry) (*shares.Algebra, error) {
+	canonical := true
+	for i, e := range entries {
+		if e.Seed != shares.SeedFor(i) {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		if a, ok := p.algebras[len(entries)]; ok {
+			return a, nil
+		}
+	}
+	seeds := make([]field.Element, len(entries))
+	for i, e := range entries {
+		seeds[i] = e.Seed
+	}
+	a, err := shares.NewAlgebra(seeds)
+	if err != nil {
+		return nil, err
+	}
+	if canonical {
+		if p.algebras == nil {
+			p.algebras = make(map[int]*shares.Algebra)
+		}
+		p.algebras[len(entries)] = a
+	}
+	return a, nil
+}
+
 // installRoster prepares the share algebra for a node's cluster view and
 // designates the failover deputy (highest-seed entry other than the head),
 // which every roster holder computes locally — zero extra wire bytes.
@@ -368,16 +418,14 @@ func (p *Protocol) installRoster(at topo.NodeID, r message.Roster) {
 	if !shares.Viable(len(r.Entries)) {
 		return // undersized: handled by policy at the shares phase
 	}
-	seeds := make([]field.Element, len(r.Entries))
-	for i, e := range r.Entries {
-		seeds[i] = e.Seed
-	}
-	algebra, err := shares.NewAlgebra(seeds)
+	algebra, err := p.algebraFor(r.Entries)
 	if err != nil {
 		return // corrupt roster (duplicate seeds); cluster cannot run
 	}
 	st.algebra = algebra
-	st.recvShares = make([][]field.Element, len(r.Entries))
+	st.recvShares = growRows(st.recvShares, len(r.Entries))
+	st.fSeen = growAssembled(st.fSeen, len(r.Entries))
+	st.fSeenMask = 0
 	if !p.cfg.NoFailover {
 		st.deputy = deputyOf(r)
 	}

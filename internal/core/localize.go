@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/field"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/topo"
@@ -35,17 +34,21 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 		for j := range st.recvShares {
 			st.recvShares[j] = nil
 		}
-		st.fSeen = make(map[int]message.Assembled)
+		st.fSeenMask = 0
+		st.solved = false
+		st.solvedSums = nil
 		st.subMask, st.subRecvMask = 0, 0
 		st.subShares = nil
 		st.subSent = nil
 		st.fSub = nil
 		st.effMask = 0
 		st.plainSums, st.plainCnt = nil, 0
-		st.children = nil
+		st.children = st.children[:0]
 		st.myAnnounce = nil
 		st.sentTo = -1
-		st.alarmed = make(map[string]bool)
+		if st.alarmed != nil {
+			clear(st.alarmed)
+		}
 		st.headAnnounced = false
 		st.headContributed = false
 		st.takeoverBy = -1
@@ -56,9 +59,16 @@ func (p *Protocol) RunRetaining(round uint16) (metrics.RoundResult, error) {
 			st.headSilent = false // nothing will consume the flag; drop it
 		}
 	}
-	p.bsSums = make([]field.Element, p.nComponents())
+	p.bsSums = growElems(p.bsSums, p.nComponents())
+	for k := range p.bsSums {
+		p.bsSums[k] = 0
+	}
 	p.bsCount = 0
-	p.bsAlarms = make(map[string]message.Alarm)
+	if p.bsAlarms == nil {
+		p.bsAlarms = make(map[string]message.Alarm)
+	} else {
+		clear(p.bsAlarms)
+	}
 	p.alarmsRaised = 0
 	p.degradedClusters = 0
 	p.failedClusters = 0

@@ -23,6 +23,20 @@ func (p *Protocol) readingVector(id topo.NodeID) []field.Element {
 	return out
 }
 
+// readingVectorInto is readingVector into a caller buffer of nComponents()
+// elements. It reads only immutable round inputs (the component closures and
+// the sensor readings), so the parallel share-preparation pass may call it
+// concurrently.
+func (p *Protocol) readingVectorInto(dst []field.Element, id topo.NodeID) {
+	if len(p.comps) == 0 {
+		dst[0] = p.env.ReadingElement(id)
+		return
+	}
+	for k, c := range p.comps {
+		dst[k] = field.FromInt(c(p.env.Readings[id]))
+	}
+}
+
 // QueryOutcome is the base station's answer to a statistics query.
 type QueryOutcome struct {
 	Value    float64 // the aggregated answer

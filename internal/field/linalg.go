@@ -139,6 +139,62 @@ func RecoveryWeights(seeds []Element) ([]Element, error) {
 	return w, nil
 }
 
+// BatchSolver recovers the constant coefficient of many Vandermonde systems
+// sharing one seed vector in a single pass. A round engine groups every
+// cluster of size m behind one solver (one weights table per m) and lays the
+// clusters' assembled values out as contiguous right-hand-side columns, so
+// the whole group is solved with m row-scaled vector accumulations instead
+// of one dot product per cluster.
+type BatchSolver struct {
+	weights []Element
+}
+
+// NewBatchSolver precomputes the Lagrange-at-zero recovery weights for the
+// seed vector (distinct, non-zero) shared by every system in the batch.
+func NewBatchSolver(seeds []Element) (*BatchSolver, error) {
+	w, err := RecoveryWeights(seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchSolver{weights: w}, nil
+}
+
+// BatchSolverFromWeights wraps an already-computed recovery weight vector
+// (e.g. one cached by a cluster algebra) without copying. The caller must
+// not mutate w afterwards.
+func BatchSolverFromWeights(w []Element) *BatchSolver {
+	return &BatchSolver{weights: w}
+}
+
+// Size returns the per-system dimension m.
+func (b *BatchSolver) Size() int { return len(b.weights) }
+
+// SolveInto solves cols systems at once: rhs is the m×cols row-major matrix
+// whose row i holds the i-th assembled value of every system, and on return
+// dst[j] = Σ_i w_i·rhs[i·cols+j] — the recovered sum of system j. dst must
+// hold cols elements and rhs m·cols. SolveInto is pure (no shared state),
+// so concurrent calls on the same solver are safe.
+func (b *BatchSolver) SolveInto(dst, rhs []Element, cols int) error {
+	m := len(b.weights)
+	if cols < 0 || len(dst) < cols {
+		return fmt.Errorf("field: batch dst holds %d of %d columns", len(dst), cols)
+	}
+	if len(rhs) < m*cols {
+		return fmt.Errorf("field: batch rhs holds %d of %d values", len(rhs), m*cols)
+	}
+	for j := range dst[:cols] {
+		dst[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		w := b.weights[i]
+		row := rhs[i*cols : (i+1)*cols]
+		for j, v := range row {
+			dst[j] = dst[j].Add(w.Mul(v))
+		}
+	}
+	return nil
+}
+
 // CheckSeeds verifies that the seed set is usable for a Vandermonde system:
 // all non-zero and pairwise distinct.
 func CheckSeeds(seeds []Element) error {

@@ -112,3 +112,121 @@ func clamp(v, lo, hi float64) float64 {
 	}
 	return v
 }
+
+// Grid is a uniform spatial index over a field: square cells whose side
+// equals the query radius, so that every point within that radius of a
+// position lies inside the 3×3 block of cells around the position's own
+// cell. Range queries therefore scan at most nine buckets instead of the
+// whole deployment. Grid is pure geometry (cell addressing); pair it with
+// PointIndex for a bucketed point set, or keep per-cell state of your own
+// (the radio medium buckets in-flight transmissions this way).
+//
+// A non-positive, NaN, or infinite cell size degenerates to a single cell
+// covering the whole field: every query scans everything, which keeps the
+// superset contract trivially true for radius-zero queries.
+type Grid struct {
+	cell       float64
+	cols, rows int
+}
+
+// NewGrid builds a grid over f with the given cell side. The cell side
+// must be at least the radius of the range queries the grid will serve;
+// larger cells stay correct but scan more candidates.
+func NewGrid(f Field, cell float64) Grid {
+	g := Grid{cell: cell, cols: 1, rows: 1}
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		g.cell = 0
+		return g
+	}
+	g.cols = int(f.Width/cell) + 1
+	g.rows = int(f.Height/cell) + 1
+	return g
+}
+
+// Cells returns the total number of grid cells.
+func (g Grid) Cells() int { return g.cols * g.rows }
+
+// cellOf returns p's clamped (col, row). Points outside the field are
+// attributed to the nearest border cell, so the grid tolerates jittered
+// or clamped deployments without bounds checks at every call site.
+func (g Grid) cellOf(p Point) (int, int) {
+	if g.cell <= 0 {
+		return 0, 0
+	}
+	c := int(p.X / g.cell)
+	r := int(p.Y / g.cell)
+	if c < 0 {
+		c = 0
+	} else if c >= g.cols {
+		c = g.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	} else if r >= g.rows {
+		r = g.rows - 1
+	}
+	return c, r
+}
+
+// CellIndex returns the flat bucket index of p's cell, in [0, Cells()).
+func (g Grid) CellIndex(p Point) int {
+	c, r := g.cellOf(p)
+	return r*g.cols + c
+}
+
+// VisitNeighborhood calls fn with the flat index of every existing cell
+// in the 3×3 block centred on p's cell, in row-major order. Together
+// those cells contain every point within one cell side of p.
+func (g Grid) VisitNeighborhood(p Point, fn func(cell int)) {
+	g.VisitBlock(p, 1, fn)
+}
+
+// VisitBlock generalises VisitNeighborhood to a (2k+1)×(2k+1) block: the
+// visited cells contain every point within k cell sides of p. The radio
+// medium uses k=2 to find every transmission audible at any receiver of a
+// frame (interferer within range of a receiver within range of the sender).
+func (g Grid) VisitBlock(p Point, k int, fn func(cell int)) {
+	c, r := g.cellOf(p)
+	for dr := -k; dr <= k; dr++ {
+		nr := r + dr
+		if nr < 0 || nr >= g.rows {
+			continue
+		}
+		for dc := -k; dc <= k; dc++ {
+			nc := c + dc
+			if nc < 0 || nc >= g.cols {
+				continue
+			}
+			fn(nr*g.cols + nc)
+		}
+	}
+}
+
+// PointIndex is a Grid plus a fixed point set bucketed by cell — the
+// index behind near-linear neighbour-table construction.
+type PointIndex struct {
+	grid    Grid
+	buckets [][]int32
+}
+
+// IndexPoints buckets pts by g's cells. Point indices within a bucket
+// stay in ascending order, so visitors see candidates deterministically.
+func IndexPoints(g Grid, pts []Point) *PointIndex {
+	ix := &PointIndex{grid: g, buckets: make([][]int32, g.Cells())}
+	for i, p := range pts {
+		ci := g.CellIndex(p)
+		ix.buckets[ci] = append(ix.buckets[ci], int32(i))
+	}
+	return ix
+}
+
+// Near visits the index of every point in the 3×3 cell neighbourhood of
+// p — a superset of the points within the grid's cell side of p. Callers
+// apply their own exact distance predicate.
+func (ix *PointIndex) Near(p Point, fn func(i int)) {
+	ix.grid.VisitNeighborhood(p, func(cell int) {
+		for _, i := range ix.buckets[cell] {
+			fn(int(i))
+		}
+	})
+}

@@ -61,27 +61,48 @@ type Layer struct {
 	medium  *radio.Medium
 	rng     *rand.Rand
 	cfg     Config
-	ports   []*port
-	drops   int // frames abandoned (CS exhaustion, ARQ exhaustion, encode errors)
+	ports   []port // flat: one reception touches one contiguous port record
+	drops   int    // frames abandoned (CS exhaustion, ARQ exhaustion, encode errors)
 	acksTx  int
 	retxTx  int
 	recvers []Receiver
 	sink    trace.Sink // flight recorder; nil = disabled
 }
 
+// port field order is deliberate: every reception in the simulation loads
+// this record from a 100k-entry array, so the receive-path fields — dead,
+// awaiting, the dedup table header — lead the struct to land in one cache
+// line; transmit-side state follows.
 type port struct {
+	dead     bool             // crashed node: radio silent both ways
+	pending  bool             // a send attempt or ARQ exchange is in flight
+	seq      uint16           // last sequence number assigned
+	awaiting *message.Message // unicast awaiting ACK
+	// Duplicate-suppression table: last seq accepted per sender. A port only
+	// ever hears its radio neighbours (~20 at reference density), so a
+	// linear-scan slice beats a map on every reception — this is the hottest
+	// lookup in the whole simulation.
+	dedup []seqEntry
+
 	id       topo.NodeID
 	queue    []*message.Message
-	pending  bool // a send attempt or ARQ exchange is in flight
 	cw       int
 	csTries  int
 	txTries  int
-	seq      uint16
-	awaiting *message.Message       // unicast awaiting ACK
-	ackTimer sim.Timer              // pending ACK timeout
-	lastSeq  map[topo.NodeID]uint16 // dedup: last seq accepted per sender
-	seenAny  map[topo.NodeID]struct{}
-	dead     bool // crashed node: radio silent both ways
+	ackTimer sim.Timer // pending ACK timeout
+
+	// Timer callbacks built once at layer construction: ports schedule
+	// thousands of backoff and completion events per round, and closing
+	// over the port at each scheduling allocated per event.
+	attemptFn    func()
+	bcastDoneFn  func()
+	ackTimeoutFn func()
+}
+
+// seqEntry is one sender's dedup slot.
+type seqEntry struct {
+	from topo.NodeID
+	seq  uint16
 }
 
 // NewLayer builds the MAC over a medium for a network of n nodes and takes
@@ -97,20 +118,27 @@ func NewLayer(eng *sim.Engine, medium *radio.Medium, n int, rng *rand.Rand, cfg 
 		medium:  medium,
 		rng:     rng,
 		cfg:     cfg,
-		ports:   make([]*port, n),
+		ports:   make([]port, n),
 		recvers: make([]Receiver, n),
 	}
 	for i := range l.ports {
-		l.ports[i] = &port{
-			id:      topo.NodeID(i),
-			cw:      cfg.MinCW,
-			lastSeq: make(map[topo.NodeID]uint16),
-			seenAny: make(map[topo.NodeID]struct{}),
+		l.ports[i] = port{
+			id: topo.NodeID(i),
+			cw: cfg.MinCW,
 		}
 		id := topo.NodeID(i)
 		medium.SetHandler(id, func(at topo.NodeID, msg *message.Message) {
 			l.onReceive(at, msg)
 		})
+	}
+	for i := range l.ports {
+		p := &l.ports[i]
+		p.attemptFn = func() { l.attempt(p) }
+		p.bcastDoneFn = func() {
+			p.pending = false
+			l.kick(p)
+		}
+		p.ackTimeoutFn = func() { l.ackTimedOut(p) }
 	}
 	return l, nil
 }
@@ -121,7 +149,8 @@ func NewLayer(eng *sim.Engine, medium *radio.Medium, n int, rng *rand.Rand, cfg 
 // dropped too — each protocol run installs its own. Reset the engine first
 // so outstanding ACK timers are already recycled.
 func (l *Layer) Reset() {
-	for _, p := range l.ports {
+	for i := range l.ports {
+		p := &l.ports[i]
 		p.queue = nil
 		p.pending = false
 		p.cw = l.cfg.MinCW
@@ -131,8 +160,7 @@ func (l *Layer) Reset() {
 		p.awaiting = nil
 		p.ackTimer.Cancel()
 		p.ackTimer = sim.Timer{}
-		clear(p.lastSeq)
-		clear(p.seenAny)
+		p.dedup = p.dedup[:0]
 		p.dead = false
 	}
 	for i := range l.recvers {
@@ -167,7 +195,7 @@ func (l *Layer) SetReceiver(id topo.NodeID, r Receiver) {
 // (fail-stop). Queued frames are dropped. Used by the failure-injection
 // experiments; Enable models a reboot at a later instant.
 func (l *Layer) Disable(id topo.NodeID) {
-	p := l.ports[id]
+	p := &l.ports[id]
 	p.dead = true
 	purged := len(p.queue)
 	l.drops += len(p.queue)
@@ -197,7 +225,7 @@ func (l *Layer) Disabled(id topo.NodeID) bool { return l.ports[id].dead }
 // Send queues a frame for transmission from msg.From. The MAC assigns the
 // sequence number. Frames are sent in FIFO order per node.
 func (l *Layer) Send(msg *message.Message) {
-	p := l.ports[msg.From]
+	p := &l.ports[msg.From]
 	if p.dead {
 		l.drops++
 		l.emitDrop(msg.From, "dead-port", "%s to %d queued on crashed node", msg.Kind, msg.To)
@@ -212,7 +240,7 @@ func (l *Layer) Send(msg *message.Message) {
 // QueueLen returns the number of frames waiting at a node, including a
 // frame mid-ARQ.
 func (l *Layer) QueueLen(id topo.NodeID) int {
-	p := l.ports[id]
+	p := &l.ports[id]
 	n := len(p.queue)
 	if p.awaiting != nil {
 		n++
@@ -235,7 +263,7 @@ func (l *Layer) kick(p *port) {
 		return
 	}
 	p.pending = true
-	l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+	l.eng.After(l.backoffDelay(p.cw), p.attemptFn)
 }
 
 // attempt performs carrier sense and either transmits or backs off.
@@ -261,7 +289,7 @@ func (l *Layer) attempt(p *port) {
 		if p.cw < l.cfg.MaxCW {
 			p.cw *= 2
 		}
-		l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+		l.eng.After(l.backoffDelay(p.cw), p.attemptFn)
 		return
 	}
 	// Claim the frame before the air time elapses.
@@ -284,14 +312,11 @@ func (l *Layer) attempt(p *port) {
 	p.cw = l.cfg.MinCW
 	if p.awaiting == nil {
 		// Broadcast: done when the frame leaves the air.
-		l.eng.After(dur, func() {
-			p.pending = false
-			l.kick(p)
-		})
+		l.eng.After(dur, p.bcastDoneFn)
 		return
 	}
 	// Unicast: arm the ACK timeout.
-	p.ackTimer = l.eng.After(dur+l.cfg.AckTimeout, func() { l.ackTimedOut(p) })
+	p.ackTimer = l.eng.After(dur+l.cfg.AckTimeout, p.ackTimeoutFn)
 }
 
 // abandon drops the current frame and resets the port.
@@ -330,12 +355,12 @@ func (l *Layer) ackTimedOut(p *port) {
 	if p.cw < l.cfg.MaxCW {
 		p.cw *= 2
 	}
-	l.eng.After(l.backoffDelay(p.cw), func() { l.attempt(p) })
+	l.eng.After(l.backoffDelay(p.cw), p.attemptFn)
 }
 
 // onReceive is the radio handler for every node.
 func (l *Layer) onReceive(at topo.NodeID, msg *message.Message) {
-	p := l.ports[at]
+	p := &l.ports[at]
 	if p.dead {
 		return
 	}
@@ -353,12 +378,23 @@ func (l *Layer) onReceive(at topo.NodeID, msg *message.Message) {
 	if msg.To == at {
 		l.sendAck(at, msg)
 	}
-	// Duplicate suppression (retransmissions repeat the same seq).
-	if _, seen := p.seenAny[msg.From]; seen && p.lastSeq[msg.From] == msg.Seq {
-		return
+	// Duplicate suppression (retransmissions repeat the same seq). Hits
+	// move to the front of the table: senders transmit in bursts, so the
+	// next frame usually resolves in the first slot.
+	for i := range p.dedup {
+		if p.dedup[i].from == msg.From {
+			if p.dedup[i].seq == msg.Seq {
+				return
+			}
+			p.dedup[i].seq = msg.Seq
+			if i > 0 {
+				p.dedup[0], p.dedup[i] = p.dedup[i], p.dedup[0]
+			}
+			goto accept
+		}
 	}
-	p.seenAny[msg.From] = struct{}{}
-	p.lastSeq[msg.From] = msg.Seq
+	p.dedup = append(p.dedup, seqEntry{from: msg.From, seq: msg.Seq})
+accept:
 	if r := l.recvers[at]; r != nil {
 		r(at, msg)
 	}

@@ -118,6 +118,19 @@ func (m *Message) WireSize() int {
 // IsBroadcast reports whether the frame is addressed to everyone in range.
 func (m *Message) IsBroadcast() bool { return m.To == BroadcastID }
 
+// Validate reports whether the frame would Marshal, without encoding it.
+// The radio checks every frame at transmit time; allocating a wire image
+// just to throw it away showed up in round profiles.
+func (m *Message) Validate() error {
+	if !m.Kind.Valid() {
+		return fmt.Errorf("message: invalid kind %d", m.Kind)
+	}
+	if len(m.Payload) > 0xFFFF {
+		return fmt.Errorf("message: payload too large: %d", len(m.Payload))
+	}
+	return nil
+}
+
 // Marshal encodes the frame (excluding PHY overhead).
 func (m *Message) Marshal() ([]byte, error) {
 	if !m.Kind.Valid() {

@@ -15,11 +15,16 @@ import (
 
 // Recorder accumulates radio-level traffic counters for one simulation run.
 // It is not safe for concurrent use; one trial owns one Recorder.
+//
+// Per-node counters are dense slices indexed by NodeID, not maps: every
+// reception on the simulated air touches them, and at 100k nodes the map
+// hashing was the single hottest line of a round. Slices grow on demand so
+// the zero-configuration constructor keeps working.
 type Recorder struct {
-	txBytes    map[topo.NodeID]int
-	rxBytes    map[topo.NodeID]int
-	txMsgs     map[topo.NodeID]int
-	rxMsgs     map[topo.NodeID]int
+	txBytes    []int
+	rxBytes    []int
+	txMsgs     []int
+	rxMsgs     []int
 	collisions int
 	dropped    int // frames lost to collisions (receiver-side)
 	byKind     map[string]int
@@ -29,18 +34,14 @@ type Recorder struct {
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		txBytes:    make(map[topo.NodeID]int),
-		rxBytes:    make(map[topo.NodeID]int),
-		txMsgs:     make(map[topo.NodeID]int),
-		rxMsgs:     make(map[topo.NodeID]int),
 		byKind:     make(map[string]int),
 		msgsByKind: make(map[string]int),
 	}
 }
 
 // Reset clears every counter, returning the Recorder to its just-built
-// state. It keeps the allocated maps so a reused deployment does not churn
-// the heap between trials.
+// state. It keeps the allocated slices and maps so a reused deployment does
+// not churn the heap between trials.
 func (r *Recorder) Reset() {
 	clear(r.txBytes)
 	clear(r.rxBytes)
@@ -52,8 +53,21 @@ func (r *Recorder) Reset() {
 	clear(r.msgsByKind)
 }
 
+// ensure grows the per-node counters to cover id.
+func (r *Recorder) ensure(id topo.NodeID) {
+	if int(id) < len(r.txBytes) {
+		return
+	}
+	n := int(id) + 1
+	r.txBytes = append(r.txBytes, make([]int, n-len(r.txBytes))...)
+	r.rxBytes = append(r.rxBytes, make([]int, n-len(r.rxBytes))...)
+	r.txMsgs = append(r.txMsgs, make([]int, n-len(r.txMsgs))...)
+	r.rxMsgs = append(r.rxMsgs, make([]int, n-len(r.rxMsgs))...)
+}
+
 // OnTransmit records a frame leaving node from.
 func (r *Recorder) OnTransmit(from topo.NodeID, kind string, bytes int) {
+	r.ensure(from)
 	r.txBytes[from] += bytes
 	r.txMsgs[from]++
 	r.byKind[kind] += bytes
@@ -62,6 +76,7 @@ func (r *Recorder) OnTransmit(from topo.NodeID, kind string, bytes int) {
 
 // OnReceive records a successfully delivered frame at node to.
 func (r *Recorder) OnReceive(to topo.NodeID, bytes int) {
+	r.ensure(to)
 	r.rxBytes[to] += bytes
 	r.rxMsgs[to]++
 }
@@ -109,16 +124,24 @@ func (r *Recorder) TotalRxMessages() int {
 }
 
 // NodeTxBytes returns bytes transmitted by one node.
-func (r *Recorder) NodeTxBytes(id topo.NodeID) int { return r.txBytes[id] }
+func (r *Recorder) NodeTxBytes(id topo.NodeID) int { return nodeCount(r.txBytes, id) }
 
 // NodeRxBytes returns bytes successfully received by one node.
-func (r *Recorder) NodeRxBytes(id topo.NodeID) int { return r.rxBytes[id] }
+func (r *Recorder) NodeRxBytes(id topo.NodeID) int { return nodeCount(r.rxBytes, id) }
 
 // NodeTxMessages returns frames transmitted by one node.
-func (r *Recorder) NodeTxMessages(id topo.NodeID) int { return r.txMsgs[id] }
+func (r *Recorder) NodeTxMessages(id topo.NodeID) int { return nodeCount(r.txMsgs, id) }
 
 // NodeRxMessages returns frames successfully received by one node.
-func (r *Recorder) NodeRxMessages(id topo.NodeID) int { return r.rxMsgs[id] }
+func (r *Recorder) NodeRxMessages(id topo.NodeID) int { return nodeCount(r.rxMsgs, id) }
+
+// nodeCount reads a per-node counter; nodes never heard from count zero.
+func nodeCount(s []int, id topo.NodeID) int {
+	if int(id) >= len(s) {
+		return 0
+	}
+	return s[id]
+}
 
 // Collisions returns the number of collision events observed.
 func (r *Recorder) Collisions() int { return r.collisions }

@@ -134,17 +134,35 @@ func (a *Algebra) Generate(rng *rand.Rand, private field.Element) Shares {
 // round allocates nothing in steady state. The coefficient draw order and
 // the produced shares are bit-identical to Generate's.
 func (a *Algebra) GenerateInto(rng *rand.Rand, private field.Element, out *Shares) {
-	m := a.Size()
-	out.Coeffs = growElems(out.Coeffs, m-1)
-	for k := range out.Coeffs {
-		out.Coeffs[k] = field.New(rng.Uint64())
+	out.Coeffs = a.DrawCoeffs(rng, out.Coeffs)
+	out.ForMember = growElems(out.ForMember, a.Size())
+	a.SharesFromCoeffs(out.ForMember, out.Coeffs, private)
+}
+
+// DrawCoeffs draws the m-1 random masking coefficients into buf (reused
+// when it has capacity) and returns the resized slice. Splitting the draw
+// from the evaluation lets a single-threaded caller consume the shared RNG
+// stream deterministically and then fan the pure polynomial evaluations
+// (SharesFromCoeffs) out to a worker pool.
+func (a *Algebra) DrawCoeffs(rng *rand.Rand, buf []field.Element) []field.Element {
+	buf = growElems(buf, a.Size()-1)
+	for k := range buf {
+		buf[k] = field.New(rng.Uint64())
 	}
-	out.ForMember = growElems(out.ForMember, m)
+	return buf
+}
+
+// SharesFromCoeffs evaluates the masking polynomial private + x·G(x), with
+// G's coefficients given, at every member seed: dst[j] is the share for the
+// j-th member. dst must hold Size() elements. The function is pure — it
+// touches no RNG and mutates nothing but dst — so concurrent calls on the
+// same Algebra are safe.
+func (a *Algebra) SharesFromCoeffs(dst, coeffs []field.Element, private field.Element) {
 	// The masking polynomial is private + x·G(x) with G the random part:
 	// evaluate G at every seed, then one Horner step folds the reading in.
-	field.EvalPolyInto(out.ForMember, out.Coeffs, a.seeds)
+	field.EvalPolyInto(dst, coeffs, a.seeds)
 	for j, x := range a.seeds {
-		out.ForMember[j] = out.ForMember[j].Mul(x).Add(private)
+		dst[j] = dst[j].Mul(x).Add(private)
 	}
 }
 
@@ -201,6 +219,13 @@ func (a *Algebra) RecoverSumInto(dst []field.Element, rows [][]field.Element) er
 	}
 	field.DotInto(dst, a.weights, rows)
 	return nil
+}
+
+// BatchSolver returns a batch Vandermonde solver sharing this algebra's
+// precomputed recovery weights, for solving every same-size cluster of a
+// round in one pass.
+func (a *Algebra) BatchSolver() *field.BatchSolver {
+	return field.BatchSolverFromWeights(a.weights)
 }
 
 // Weights returns a copy of the precomputed recovery weight vector

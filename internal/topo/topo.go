@@ -6,7 +6,6 @@ package topo
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/geom"
@@ -25,6 +24,10 @@ type Network struct {
 	rng       float64 // radio range in meters
 	positions []geom.Point
 	neighbors [][]NodeID
+	grid      geom.Grid // spatial index with cell side = radio range
+
+	gridOccupied int // cells holding at least one node
+	gridMax      int // nodes in the fullest cell
 }
 
 // Config describes a deployment to build.
@@ -72,48 +75,36 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// buildNeighbors fills the adjacency lists with a simple grid-bucketed
-// range query (O(n) buckets, near-linear for uniform deployments).
+// buildNeighbors fills the adjacency lists with a grid-bucketed range
+// query over geom.Grid (near-linear for uniform deployments). The same
+// grid is retained for per-round spatial queries by the radio medium.
 func (n *Network) buildNeighbors() {
 	count := len(n.positions)
 	n.neighbors = make([][]NodeID, count)
-	cell := n.rng
-	cols := int(math.Ceil(n.field.Width/cell)) + 1
-	rows := int(math.Ceil(n.field.Height/cell)) + 1
-	buckets := make([][]NodeID, cols*rows)
-	bucketOf := func(p geom.Point) (int, int) {
-		c := int(p.X / cell)
-		r := int(p.Y / cell)
-		if c >= cols {
-			c = cols - 1
+	n.grid = geom.NewGrid(n.field, n.rng)
+	ix := geom.IndexPoints(n.grid, n.positions)
+	occ := make([]int, n.grid.Cells())
+	for _, p := range n.positions {
+		occ[n.grid.CellIndex(p)]++
+	}
+	n.gridOccupied, n.gridMax = 0, 0
+	for _, c := range occ {
+		if c > 0 {
+			n.gridOccupied++
 		}
-		if r >= rows {
-			r = rows - 1
+		if c > n.gridMax {
+			n.gridMax = c
 		}
-		return c, r
 	}
 	for i, p := range n.positions {
-		c, r := bucketOf(p)
-		buckets[r*cols+c] = append(buckets[r*cols+c], NodeID(i))
-	}
-	for i, p := range n.positions {
-		c, r := bucketOf(p)
-		for dr := -1; dr <= 1; dr++ {
-			for dc := -1; dc <= 1; dc++ {
-				nc, nr := c+dc, r+dr
-				if nc < 0 || nc >= cols || nr < 0 || nr >= rows {
-					continue
-				}
-				for _, j := range buckets[nr*cols+nc] {
-					if int(j) == i {
-						continue
-					}
-					if p.InRange(n.positions[j], n.rng) {
-						n.neighbors[i] = append(n.neighbors[i], j)
-					}
-				}
+		ix.Near(p, func(j int) {
+			if j == i {
+				return
 			}
-		}
+			if p.InRange(n.positions[j], n.rng) {
+				n.neighbors[i] = append(n.neighbors[i], NodeID(j))
+			}
+		})
 	}
 }
 
@@ -125,6 +116,21 @@ func (n *Network) Range() float64 { return n.rng }
 
 // Field returns the deployment field.
 func (n *Network) Field() geom.Field { return n.field }
+
+// Grid returns the deployment's spatial index: uniform cells whose side
+// is the radio range, so any node's radio disc fits in the 3×3 cell
+// block around it. The radio medium keys its in-flight transmission
+// buckets off this grid.
+func (n *Network) Grid() geom.Grid { return n.grid }
+
+// GridStats reports spatial-index occupancy: total cell count, cells holding
+// at least one node, and the population of the fullest cell. The round
+// engine surfaces these in its per-round trace event so a skewed deployment
+// (everything piled into a few cells, degrading grid queries toward the old
+// quadratic scan) is visible in aggtrace output.
+func (n *Network) GridStats() (cells, occupied, maxPerCell int) {
+	return n.grid.Cells(), n.gridOccupied, n.gridMax
+}
 
 // Position returns node id's location.
 func (n *Network) Position(id NodeID) geom.Point { return n.positions[id] }

@@ -54,6 +54,7 @@ const (
 	TypeRecover   = "recover"   // a node rebooted or a head stood down post-recovery
 	TypeDrop      = "drop"      // a frame was lost (cause: collision/fading/loss/queue)
 	TypeEngine    = "engine"    // engine run started/drained/hit its limit
+	TypeRound     = "round"     // per-round engine telemetry (workers, batch groups, grid)
 )
 
 // Cluster lifecycle states carried in the Cause field of TypeLifecycle

@@ -292,6 +292,15 @@ func (e *Env) sealerFor(a, b topo.NodeID) (*wsncrypto.Sealer, error) {
 	return s, nil
 }
 
+// WarmSealer materialises the directional sealer cache entry for a→b and
+// reports whether the pair shares a key. A round engine that fans Seal
+// calls out to a worker pool calls this serially first: once every sealer
+// a worker will touch exists, the parallel phase only reads the map.
+func (e *Env) WarmSealer(a, b topo.NodeID) bool {
+	_, err := e.sealerFor(a, b)
+	return err == nil
+}
+
 // Seal encrypts a payload from a to b. Returns an error when the key scheme
 // leaves the pair keyless (possible under EG predistribution).
 func (e *Env) Seal(a, b topo.NodeID, plaintext []byte) ([]byte, error) {

@@ -72,7 +72,7 @@ func (s *Sealer) Seal(plaintext []byte) []byte {
 	binary.BigEndian.PutUint64(out, s.counter)
 	var iv [aes.BlockSize]byte
 	copy(iv[:], out[:nonceSize])
-	cipher.NewCTR(s.block, iv[:]).XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
+	ctrXOR(s.block, &iv, out[nonceSize:nonceSize+len(plaintext)], plaintext)
 	copy(out[nonceSize+len(plaintext):], s.tag(out[:nonceSize+len(plaintext)]))
 	return out
 }
@@ -89,6 +89,31 @@ func (s *Sealer) Open(envelope []byte) ([]byte, error) {
 	var iv [aes.BlockSize]byte
 	copy(iv[:], envelope[:nonceSize])
 	pt := make([]byte, len(body)-nonceSize)
-	cipher.NewCTR(s.block, iv[:]).XORKeyStream(pt, body[nonceSize:])
+	ctrXOR(s.block, &iv, pt, body[nonceSize:])
 	return pt, nil
+}
+
+// ctrXOR applies AES-CTR under iv without constructing a stream-cipher
+// object: Seal and Open run once per frame, and the per-call cipher.NewCTR
+// allocation was a measurable slice of a round's garbage. Semantics match
+// cipher.NewCTR — the full 16-byte IV is a big-endian counter.
+func ctrXOR(b cipher.Block, iv *[aes.BlockSize]byte, dst, src []byte) {
+	var ks [aes.BlockSize]byte
+	ctr := *iv
+	for off := 0; off < len(src); off += aes.BlockSize {
+		b.Encrypt(ks[:], ctr[:])
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+		n := len(src) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ ks[i]
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parClusterRounds runs a multi-round failover simulation — lossy radio,
+// per-round head crashes with reboot, cross-round churn repair — on a fresh
+// deployment at the given worker-pool width.
+func parClusterRounds(t *testing.T, par int) []Result {
+	t.Helper()
+	dep, err := NewDeployment(Options{Nodes: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := dep.RunClusterRounds(5, ClusterOptions{
+		HeadCrashRate: 0.15,
+		CrashRecover:  true,
+		Parallelism:   par,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestParallelMatchesSerial is the facade-level determinism gate behind
+// `make par-smoke`: a parallel multi-round failover simulation must report
+// exactly the serial run's results — same sums, counts, alarms, failover
+// accounting, and traffic — because the worker pools only parallelise pure
+// computation between deterministic serial passes. Run under -race this
+// also sweeps the share-preparation and batch-solve barriers for races.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := parClusterRounds(t, 1)
+	for _, par := range []int{0, 4} { // 0 = GOMAXPROCS
+		parallel := parClusterRounds(t, par)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("par=%d diverged from serial:\nserial:   %+v\nparallel: %+v", par, serial, parallel)
+		}
+	}
+}
+
+// TestParallelismRejected pins the facade contract: negative widths are a
+// construction-time error, not a knob that silently falls back.
+func TestParallelismRejected(t *testing.T) {
+	dep, err := NewDeployment(Options{Nodes: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.RunCluster(ClusterOptions{Parallelism: -2}); err == nil {
+		t.Error("negative Parallelism accepted")
+	}
+}
