@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
 ## experiment smokes, a traced-failover forensics smoke, the base-station
-## service smoke, the parallel-determinism smoke, a one-iteration
-## benchmark smoke through the trend harness, and the deterministic
-## allocation gate on the tracing-disabled hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke par-smoke bench-smoke bench-gate
+## service smoke, the fleet-coordinator smoke, the parallel-determinism
+## smoke, a one-iteration benchmark smoke through the trend harness, and
+## the deterministic allocation gate on the tracing-disabled hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke par-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/experiment/ ./internal/station/
+	$(GO) test -race ./internal/sim/ ./internal/experiment/ ./internal/station/ ./internal/fleet/
 	$(GO) test -race -run 'Deputy|Takeover|HeadCrash|Churn|CrashRecover|Failover' ./internal/core/
 
 ## f17-smoke: quick pass over the degraded-recovery ablation — fails if the
@@ -52,6 +52,15 @@ service-smoke:
 	$(GO) test -race -count=1 -run 'TestServiceSmoke' ./internal/station/
 	$(GO) test -race -count=1 -run 'TestServeQueryAndGracefulSIGTERM' ./cmd/aggd/
 	@echo "service-smoke OK: served == offline, mixed-kind burst clean under -race"
+
+## fleet-smoke: the coordinator's correctness gate — a 3-shard fleet must
+## serve answers bit-identical to a single station AND the offline
+## deployment (including a fanout where every shard agrees), and the
+## drain-vs-submit-vs-cancel interleaving at the coordinator boundary must
+## stay silent under the race detector.
+fleet-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetSmoke|TestFleetDrainSubmitCancelRace' ./internal/fleet/
+	@echo "fleet-smoke OK: fleet == station == offline, coordinator races clean"
 
 ## par-smoke: the round engine's determinism gate — a parallel multi-round
 ## failover simulation (lossy radio, head crashes, churn repair) must report

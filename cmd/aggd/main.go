@@ -1,10 +1,15 @@
 // Command aggd is the base-station aggregation service: a standing HTTP
 // daemon that serves one-shot and recurring aggregation queries from a pool
-// of simulated deployments (see internal/station).
+// of simulated deployments (see internal/station). With -shards it runs an
+// in-process fleet of stations behind one consistent-hash coordinator
+// (see internal/fleet); with -join it runs a stateless proxy coordinator
+// over remote aggd shard listeners instead.
 //
 // Usage:
 //
 //	aggd -addr :8080 -workers 4 -nodes 400 -seed 7
+//	aggd -addr :8080 -shards 4 -workers 2            # in-process fleet
+//	aggd -addr :8080 -join http://s0:8081,http://s1:8082
 //	curl -d '{"kind":"sum"}' http://localhost:8080/v1/query
 //	curl http://localhost:8080/statsz
 //
@@ -19,17 +24,20 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof on the -observe endpoint
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/station"
 )
 
@@ -37,6 +45,19 @@ import (
 // server is accepting. Test seam: lets tests boot run() on ":0" and learn
 // the ephemeral port.
 var listening func(addr string)
+
+// ordinalBase maps an -idprefix to a schedule-ordinal window (see
+// station.Config.ScheduleOrdinalBase). 15 hash bits shifted past the
+// 16-bit local-counter window: distinct prefixes land in distinct windows
+// (up to hash collisions), the empty prefix keeps the standalone zero base.
+func ordinalBase(idprefix string) int64 {
+	if idprefix == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(idprefix))
+	return int64(h.Sum32()&0x7fff) << 16
+}
 
 func main() {
 	fs, err := run(os.Args[1:])
@@ -47,8 +68,11 @@ func run(args []string) (*flag.FlagSet, error) {
 	fs := flag.NewFlagSet("aggd", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "HTTP listen address (host:port)")
-		workers    = fs.Int("workers", 4, "deployment pool size")
-		queue      = fs.Int("queue", 64, "admission queue depth")
+		shards     = fs.Int("shards", 1, "station shards behind an in-process fleet coordinator (1 = plain station)")
+		join       = fs.String("join", "", "comma-separated remote shard URLs to coordinate instead of serving locally")
+		idprefix   = fs.String("idprefix", "", "prefix stamped on job/schedule IDs (give each -join shard a distinct one)")
+		workers    = fs.Int("workers", 4, "deployment pool size per shard")
+		queue      = fs.Int("queue", 64, "admission queue depth per shard")
 		keepjobs   = fs.Int("keepjobs", 1024, "finished jobs retained for polling")
 		nodes      = fs.Int("nodes", 400, "nodes per worker deployment (including the base station)")
 		field      = fs.Float64("field", 400, "square field side, meters")
@@ -69,6 +93,7 @@ func run(args []string) (*flag.FlagSet, error) {
 	}
 	if err := errors.Join(
 		cliutil.CheckAddr("addr", *addr),
+		cliutil.CheckMin("shards", *shards, 1),
 		cliutil.CheckMin("workers", *workers, 1),
 		cliutil.CheckMin("queue", *queue, 1),
 		cliutil.CheckMin("keepjobs", *keepjobs, 1),
@@ -85,18 +110,28 @@ func run(args []string) (*flag.FlagSet, error) {
 	if *draintmo <= 0 {
 		return fs, cliutil.Usagef("-draintimeout must be positive, got %v", *draintmo)
 	}
+	if *join != "" && *shards > 1 {
+		return fs, cliutil.Usagef("-join and -shards are mutually exclusive: a proxy coordinates remote shards, it does not host local ones")
+	}
 	if *observe != "" {
 		if err := cliutil.CheckAddr("observe", *observe); err != nil {
 			return fs, err
 		}
 	}
 
-	st, err := station.New(station.Config{
+	stCfg := station.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		KeepJobs:   *keepjobs,
 		JobTimeout: *timeout,
 		TraceStats: *tracestats,
+		IDPrefix:   *idprefix,
+		// -join shards are independent processes whose schedule ordinals
+		// each restart at 1; deriving a disjoint ordinal base from the
+		// (required-distinct) -idprefix keeps same-kind schedules on
+		// different shards from aliasing onto one epoch-seed stream, the
+		// same guarantee fleet.New stamps on in-process shards.
+		ScheduleOrdinalBase: ordinalBase(*idprefix),
 		Deploy: repro.Options{
 			Nodes:     *nodes,
 			FieldSize: *field,
@@ -105,13 +140,50 @@ func run(args []string) (*flag.FlagSet, error) {
 			Ideal:     *ideal,
 			LossRate:  *loss,
 		},
-	})
-	if err != nil {
-		return fs, err
 	}
 
-	if *observe != "" {
-		if err := serveObserve(*observe, st); err != nil {
+	// Build whichever coordinator topology was asked for. All three serve
+	// the identical HTTP surface; only drain semantics and /statsz payloads
+	// differ, and both are behind small interfaces.
+	var (
+		handler http.Handler
+		drainer interface{ Drain(context.Context) error }
+		stats   func() any
+		banner  string
+	)
+	switch {
+	case *join != "":
+		targets := strings.Split(*join, ",")
+		p, err := fleet.NewProxy(targets, *draintmo)
+		if err != nil {
+			return fs, err
+		}
+		handler = p.Handler()
+		banner = fmt.Sprintf("coordinating %d remote shard(s)", p.Shards())
+	case *shards > 1:
+		fl, err := fleet.New(fleet.Config{Shards: *shards, Station: stCfg})
+		if err != nil {
+			return fs, err
+		}
+		handler = station.NewAPI(fl).Handler()
+		drainer = fl
+		stats = func() any { return fl.Stats() }
+		banner = fmt.Sprintf("%d shards x %d workers, queue %d/shard, %d-node deployments, seed %d",
+			*shards, *workers, *queue, *nodes, *seed)
+	default:
+		st, err := station.New(stCfg)
+		if err != nil {
+			return fs, err
+		}
+		handler = station.NewAPI(st).Handler()
+		drainer = st
+		stats = func() any { return st.Stats() }
+		banner = fmt.Sprintf("%d workers, queue %d, %d-node deployments, seed %d",
+			*workers, *queue, *nodes, *seed)
+	}
+
+	if *observe != "" && stats != nil {
+		if err := serveObserve(*observe, stats); err != nil {
 			return fs, err
 		}
 	}
@@ -120,9 +192,8 @@ func run(args []string) (*flag.FlagSet, error) {
 	if err != nil {
 		return fs, fmt.Errorf("listen %s: %w", *addr, err)
 	}
-	srv := &http.Server{Handler: station.NewAPI(st).Handler()}
-	fmt.Printf("aggd: serving on http://%s (%d workers, queue %d, %d-node deployments, seed %d)\n",
-		ln.Addr(), *workers, *queue, *nodes, *seed)
+	srv := &http.Server{Handler: handler}
+	fmt.Printf("aggd: serving on http://%s (%s)\n", ln.Addr(), banner)
 	if listening != nil {
 		listening(ln.Addr().String())
 	}
@@ -143,39 +214,43 @@ func run(args []string) (*flag.FlagSet, error) {
 	dctx, cancel := context.WithTimeout(context.Background(), *draintmo)
 	defer cancel()
 	// Stop accepting and finish in-flight HTTP exchanges first, then let the
-	// station run every already-admitted epoch to completion and flush sinks.
+	// station(s) run every already-admitted epoch to completion and flush
+	// sinks. A -join proxy holds no local work, so shutdown alone drains it.
 	if err := srv.Shutdown(dctx); err != nil {
 		return fs, fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := st.Drain(dctx); err != nil {
-		return fs, fmt.Errorf("drain: %w", err)
+	if drainer != nil {
+		if err := drainer.Drain(dctx); err != nil {
+			return fs, fmt.Errorf("drain: %w", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "aggd: drained cleanly")
 	return fs, nil
 }
 
 // observed lets a process that runs the server more than once (tests)
-// re-point the published expvar at the live station instead of
+// re-point the published expvar at the live stats source instead of
 // re-publishing, which panics.
 var observed struct {
-	mu sync.Mutex
-	st *station.Station
+	mu    sync.Mutex
+	stats func() any
 }
 
-// serveObserve publishes live station stats over expvar ("aggd_station" on
-// /debug/vars) next to the stock pprof handlers on a second listener, kept
+// serveObserve publishes live serving stats over expvar ("aggd_station" on
+// /debug/vars — a station.Stats or fleet.Stats payload, depending on the
+// topology) next to the stock pprof handlers on a second listener, kept
 // off the serving address so profiling never competes with query traffic.
-func serveObserve(addr string, st *station.Station) error {
+func serveObserve(addr string, stats func() any) error {
 	observed.mu.Lock()
-	first := observed.st == nil
-	observed.st = st
+	first := observed.stats == nil
+	observed.stats = stats
 	observed.mu.Unlock()
 	if first {
 		expvar.Publish("aggd_station", expvar.Func(func() any {
 			observed.mu.Lock()
-			cur := observed.st
+			cur := observed.stats
 			observed.mu.Unlock()
-			return cur.Stats()
+			return cur()
 		}))
 	}
 	ln, err := net.Listen("tcp", addr)

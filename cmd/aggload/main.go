@@ -1,16 +1,21 @@
 // Command aggload drives a closed-loop load test against a running aggd
 // instance: N concurrent clients issue synchronous queries of mixed kinds
 // back-to-back, honoring 503 backpressure with the server's retry hint.
+// With -shards it instead boots in-process fleets of the given shard
+// counts and sweeps the same burst across them, measuring how serving
+// throughput scales with shards.
 //
 // Usage:
 //
 //	aggload -addr http://localhost:8080 -c 8 -n 500
 //	aggload -addr http://localhost:8080 -c 16 -d 30s -kinds sum,min,max -out load.json
+//	aggload -shards 1,2,4 -c 4 -n 400 -nodes 80 -ideal -seed 7
 //
 // The human-readable summary goes to stderr; a benchio-compatible JSON
-// snapshot (BenchmarkServeLatency/{mean,p50,p95,p99}, BenchmarkServeThroughput)
-// goes to stdout or -out, so benchtrend can track serving latency the same
-// way it tracks simulator benchmarks.
+// snapshot (BenchmarkServeLatency/{mean,p50,p95,p99}, BenchmarkServeThroughput,
+// or BenchmarkServeThroughput/shards=N in sweep mode) goes to stdout or
+// -out, so benchtrend can track serving latency the same way it tracks
+// simulator benchmarks.
 //
 // Exit status: 0 on a clean run, 1 if any request errored, 2 on bad flags.
 package main
@@ -24,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +37,7 @@ import (
 	"repro"
 	"repro/internal/benchio"
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/station"
 )
 
@@ -46,12 +53,20 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 	fs := flag.NewFlagSet("aggload", flag.ContinueOnError)
 	var (
 		addr    = fs.String("addr", "http://localhost:8080", "base URL of the aggd instance")
-		conc    = fs.Int("c", 8, "concurrent closed-loop clients")
+		conc    = fs.Int("c", 8, "concurrent closed-loop clients (per shard in sweep mode)")
 		reqs    = fs.Int("n", 0, "total requests (default 100 when -d is unset)")
 		dur     = fs.Duration("d", 0, "run for a duration instead of a request count")
 		kinds   = fs.String("kinds", "", "comma-separated query kinds (default: all)")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		out     = fs.String("out", "", "write the benchio JSON snapshot here instead of stdout")
+
+		// Sweep mode: boot in-process fleets instead of hitting -addr.
+		shards  = fs.String("shards", "", "comma-separated shard counts to sweep in-process (e.g. 1,2,4); ignores -addr")
+		workers = fs.Int("workers", 2, "sweep: deployment pool size per shard")
+		queue   = fs.Int("queue", 64, "sweep: admission queue depth per shard")
+		nodes   = fs.Int("nodes", 400, "sweep: nodes per worker deployment")
+		seed    = fs.Int64("seed", 1, "sweep: deployment template seed")
+		ideal   = fs.Bool("ideal", false, "sweep: error-free channel")
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return fs, err
@@ -61,6 +76,9 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 	}
 	if err := errors.Join(
 		cliutil.CheckMin("c", *conc, 1),
+		cliutil.CheckMin("workers", *workers, 1),
+		cliutil.CheckMin("queue", *queue, 1),
+		cliutil.CheckMin("nodes", *nodes, 2),
 	); err != nil {
 		return fs, err
 	}
@@ -76,7 +94,16 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 	if *timeout <= 0 {
 		return fs, cliutil.Usagef("-timeout must be positive, got %v", *timeout)
 	}
-	if !strings.HasPrefix(*addr, "http://") && !strings.HasPrefix(*addr, "https://") {
+	var shardCounts []int
+	if *shards != "" {
+		for _, s := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fs, cliutil.Usagef("-shards: %q is not a positive shard count", s)
+			}
+			shardCounts = append(shardCounts, n)
+		}
+	} else if !strings.HasPrefix(*addr, "http://") && !strings.HasPrefix(*addr, "https://") {
 		return fs, cliutil.Usagef("-addr must be an http(s) base URL, got %q", *addr)
 	}
 
@@ -93,20 +120,58 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	rep, err := station.RunLoad(ctx, station.LoadConfig{
-		BaseURL:     strings.TrimRight(*addr, "/"),
+	load := station.LoadConfig{
 		Concurrency: *conc,
 		Requests:    *reqs,
 		Duration:    *dur,
 		Kinds:       qkinds,
 		Timeout:     *timeout,
-	})
-	if err != nil {
-		return fs, err
 	}
-	fmt.Fprintln(os.Stderr, rep.String())
 
-	snap := rep.Snapshot(time.Now().UTC().Format("2006-01-02"), runtime.Version(), hostname())
+	var (
+		snap    benchio.Snapshot
+		summary string
+		failed  error
+	)
+	date := time.Now().UTC().Format("2006-01-02")
+	if len(shardCounts) > 0 {
+		base := fleet.Config{Station: station.Config{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			Deploy: repro.Options{
+				Nodes: *nodes,
+				Seed:  *seed,
+				Ideal: *ideal,
+			},
+		}}
+		points, err := fleet.RunSweep(ctx, base, shardCounts, load)
+		if err != nil {
+			return fs, err
+		}
+		snap = fleet.SweepSnapshot(points, date, runtime.Version(), hostname())
+		summary = fleet.SweepSummary(points)
+		for _, pt := range points {
+			if pt.Report.Errors > 0 {
+				failed = fmt.Errorf("%w: shards=%d had %d errors (samples: %v)",
+					errRequestsFailed, pt.Shards, pt.Report.Errors, pt.Report.ErrSamples)
+				break
+			}
+		}
+	} else {
+		load.BaseURL = strings.TrimRight(*addr, "/")
+		rep, err := station.RunLoad(ctx, load)
+		if err != nil {
+			return fs, err
+		}
+		snap = rep.Snapshot(date, runtime.Version(), hostname())
+		summary = rep.String()
+		if rep.Errors > 0 {
+			failed = fmt.Errorf("%w: %d of %d (samples: %v)",
+				errRequestsFailed, rep.Errors, rep.Requests+rep.Errors, rep.ErrSamples)
+		}
+	}
+	fmt.Fprintln(os.Stderr, summary)
+
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -119,11 +184,7 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 	if err := benchio.Write(w, snap); err != nil {
 		return fs, err
 	}
-	if rep.Errors > 0 {
-		return fs, fmt.Errorf("%w: %d of %d (samples: %v)",
-			errRequestsFailed, rep.Errors, rep.Requests+rep.Errors, rep.ErrSamples)
-	}
-	return fs, nil
+	return fs, failed
 }
 
 func hostname() string {

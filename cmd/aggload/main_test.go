@@ -125,3 +125,37 @@ func TestLoadBadFlagsAreUsageErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestSweepModeEmitsShardedThroughput: -shards boots in-process fleets and
+// the snapshot carries one BenchmarkServeThroughput/shards=N point per
+// count, with the scaling table on stderr.
+func TestSweepModeEmitsShardedThroughput(t *testing.T) {
+	var stdout bytes.Buffer
+	if _, err := run([]string{
+		"-shards", "1,2", "-c", "2", "-n", "16",
+		"-workers", "1", "-queue", "8", "-nodes", "80", "-seed", "7", "-ideal",
+	}, &stdout); err != nil {
+		t.Fatalf("sweep run: %v", err)
+	}
+	var snap benchio.Snapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("stdout is not a benchio snapshot: %v\n%s", err, stdout.String())
+	}
+	for _, name := range []string{
+		"BenchmarkServeThroughput/shards=1",
+		"BenchmarkServeThroughput/shards=2",
+	} {
+		if m, ok := snap.Benchmarks[name]; !ok || m.NsPerOp <= 0 {
+			t.Errorf("snapshot missing %s: %+v", name, m)
+		}
+	}
+}
+
+// TestSweepBadShardCountsAreUsageErrors: malformed -shards lists fail fast.
+func TestSweepBadShardCountsAreUsageErrors(t *testing.T) {
+	for _, bad := range []string{"0", "-2", "abc", "1,,2", "1,zero"} {
+		if _, err := run([]string{"-shards", bad}, &bytes.Buffer{}); err == nil || !cliutil.IsUsage(err) {
+			t.Errorf("-shards %q: want usage error, got %v", bad, err)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package fleet shards the base-station serving layer horizontally: a
+// coordinator that owns N station shards (each a full station.Station with
+// its own worker pool, deployments, and schedules) and consistent-hashes
+// one-shot queries across them. It implements station.Backend, so the
+// HTTP API, the load driver, and every client are oblivious to whether one
+// shard or sixteen sit behind the listener.
+//
+// The coordinator's contract:
+//
+//   - Placement: a query's ring key is (kind, effective seed) — the pair
+//     that determines its answer bit-for-bit — so identical queries always
+//     land on the same shard. Because every shard is built from the same
+//     deployment template, any shard can serve any query with an answer
+//     bit-identical to a single station's (make fleet-smoke proves it).
+//   - Shedding: a draining or queue-full owner sheds the query to the next
+//     shard clockwise on the ring. Clients see a 503 only when the whole
+//     fleet refuses.
+//   - Composed admission: backpressure hints do not multiply across
+//     shards. One walk, one rejection, one Retry-After — coordinator-level
+//     admission, not N stacked 503s.
+//   - Fan-out: SubmitAll places one job on every shard (fleet-spanning
+//     queries); schedule registration fans out by hashing each schedule to
+//     one owner shard so recurring load spreads across pools.
+//   - Observation: Stats() merges every shard's counters into one
+//     fleet-wide view via trace.MergeSnapshots and repro.Traffic folding,
+//     with the per-shard breakdown preserved.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// Config sizes the fleet.
+type Config struct {
+	// Shards is the number of station shards (default 2). Each shard gets
+	// a full copy of the Station config — its own worker pool and
+	// deployments — plus a distinct ID prefix ("s3-job-17").
+	Shards int
+	// Station is the per-shard template. IDPrefix is managed by the fleet.
+	Station station.Config
+}
+
+// Fleet is the coordinator. It implements station.Backend.
+type Fleet struct {
+	cfg    Config
+	shards []*station.Station
+	ring   *ring
+
+	draining  atomic.Bool
+	nextSched atomic.Int64
+
+	shed     atomic.Int64 // admissions served by a non-owner shard
+	rejected atomic.Int64 // admissions rejected by the whole fleet
+}
+
+// New builds Shards stations and the hash ring over them.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("fleet: shards must be positive, got %d", cfg.Shards)
+	}
+	f := &Fleet{cfg: cfg, ring: newRing(cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Station
+		scfg.IDPrefix = fmt.Sprintf("s%d-%s", i, cfg.Station.IDPrefix)
+		// Each shard's scheduler draws ordinals from a disjoint window so
+		// same-kind schedules placed on different shards never alias onto
+		// the same epoch-seed stream (they would both start at ordinal 1).
+		scfg.ScheduleOrdinalBase = cfg.Station.ScheduleOrdinalBase + int64(i)<<16
+		st, err := station.New(scfg)
+		if err != nil {
+			// Unwind the shards already serving.
+			for _, prev := range f.shards {
+				_ = prev.Drain(context.Background())
+			}
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, st)
+	}
+	return f, nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Shard exposes one shard for tests and the daemon's observe hook.
+func (f *Fleet) Shard(i int) *station.Station { return f.shards[i] }
+
+// Owner returns the ring owner for a spec — which shard the query lands on
+// when nothing is shedding.
+func (f *Fleet) Owner(spec station.QuerySpec) int {
+	return f.ring.owner(f.key(spec))
+}
+
+func (f *Fleet) key(spec station.QuerySpec) uint64 {
+	return queryKey(int64(spec.Kind), spec.EffectiveSeed(f.cfg.Station.Deploy.Seed))
+}
+
+// Submit admits one query: the ring owner first, shedding clockwise past
+// draining or full shards, rejecting only when every shard refuses. Like
+// station.Submit it never blocks.
+func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
+	if f.draining.Load() {
+		return nil, station.ErrDraining
+	}
+	sawFull := false
+	order := f.ring.walk(f.key(spec))
+	for n, idx := range order {
+		sh := f.shards[idx]
+		if sh.Draining() {
+			continue // shed to the next ring owner
+		}
+		job, err := sh.Submit(spec)
+		switch {
+		case err == nil:
+			if n > 0 {
+				f.shed.Add(1)
+			}
+			return job, nil
+		case errors.Is(err, station.ErrQueueFull):
+			sawFull = true
+		case errors.Is(err, station.ErrDraining):
+			// Raced into a drain; keep walking.
+		default:
+			return nil, err // invalid spec — no shard will take it
+		}
+	}
+	// The whole fleet refused: compose ONE rejection. Full beats draining
+	// because it is the retryable condition the backoff hint exists for.
+	f.rejected.Add(1)
+	if sawFull {
+		return nil, station.ErrQueueFull
+	}
+	return nil, station.ErrDraining
+}
+
+// SubmitAll fans one query out to every accepting shard — the
+// fleet-spanning form. All shards share the deployment template, so the
+// fan-in answers must agree bit-for-bit; disagreement means a shard
+// diverged. Admission is all-or-nothing: if any shard refuses, the
+// already-admitted jobs are canceled and the error surfaces once.
+func (f *Fleet) SubmitAll(spec station.QuerySpec) ([]*station.Job, error) {
+	if f.draining.Load() {
+		return nil, station.ErrDraining
+	}
+	jobs := make([]*station.Job, 0, len(f.shards))
+	for _, sh := range f.shards {
+		job, err := sh.Submit(spec)
+		if err != nil {
+			for _, j := range jobs {
+				j.Cancel()
+			}
+			if errors.Is(err, station.ErrQueueFull) {
+				f.rejected.Add(1)
+			}
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// Job resolves a job handle. Shard-prefixed IDs ("s2-job-17") route
+// directly; anything else falls back to scanning every shard.
+func (f *Fleet) Job(id string) *station.Job {
+	if i, ok := f.shardOf(id); ok {
+		return f.shards[i].Job(id)
+	}
+	for _, sh := range f.shards {
+		if job := sh.Job(id); job != nil {
+			return job
+		}
+	}
+	return nil
+}
+
+// shardOf parses the "s<i>-" prefix the fleet stamps on every handle.
+func (f *Fleet) shardOf(id string) (int, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	rest := id[1:]
+	cut := strings.IndexByte(rest, '-')
+	if cut <= 0 {
+		return 0, false
+	}
+	var i int
+	if _, err := fmt.Sscanf(rest[:cut], "%d", &i); err != nil || i < 0 || i >= len(f.shards) {
+		return 0, false
+	}
+	return i, true
+}
+
+// AddSchedule registers a recurring query on one shard, chosen by hashing
+// the schedule's fleet-wide ordinal so standing load spreads across pools;
+// a draining owner sheds registration clockwise like a query would.
+func (f *Fleet) AddSchedule(spec station.ScheduleSpec) (*station.Schedule, error) {
+	if f.draining.Load() {
+		return nil, station.ErrDraining
+	}
+	ordinal := f.nextSched.Add(1)
+	var lastErr error = station.ErrDraining
+	for _, idx := range f.ring.walk(queryKey(^int64(spec.Kind), ordinal)) {
+		sh := f.shards[idx]
+		if sh.Draining() {
+			continue
+		}
+		sc, err := sh.AddSchedule(spec)
+		if err == nil {
+			return sc, nil
+		}
+		lastErr = err
+		if !errors.Is(err, station.ErrDraining) {
+			return nil, err // invalid spec — no shard will take it
+		}
+	}
+	return nil, lastErr
+}
+
+// Schedule resolves a schedule handle across shards.
+func (f *Fleet) Schedule(id string) *station.Schedule {
+	if i, ok := f.shardOf(id); ok {
+		return f.shards[i].Schedule(id)
+	}
+	for _, sh := range f.shards {
+		if sc := sh.Schedule(id); sc != nil {
+			return sc
+		}
+	}
+	return nil
+}
+
+// RemoveSchedule stops and removes a schedule wherever it lives.
+func (f *Fleet) RemoveSchedule(id string) bool {
+	if i, ok := f.shardOf(id); ok {
+		return f.shards[i].RemoveSchedule(id)
+	}
+	for _, sh := range f.shards {
+		if sh.RemoveSchedule(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScheduleStatuses lists every shard's schedules, sorted by ID.
+func (f *Fleet) ScheduleStatuses() []station.ScheduleStatus {
+	var out []station.ScheduleStatus
+	for _, sh := range f.shards {
+		out = append(out, sh.ScheduleStatuses()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Draining reports whether fleet-level shutdown has begun.
+func (f *Fleet) Draining() bool { return f.draining.Load() }
+
+// Drain gracefully shuts the whole fleet down: fleet admission closes,
+// then every shard drains concurrently (schedules stop, admitted epochs
+// finish, sinks flush). Idempotent; the context bounds the wait.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.draining.Store(true)
+	errs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sh := range f.shards {
+		wg.Add(1)
+		go func(i int, sh *station.Station) {
+			defer wg.Done()
+			errs[i] = sh.Drain(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ShardStats is one shard's stats tagged with its ordinal.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	station.Stats
+}
+
+// Stats is the fleet-wide /statsz payload: a merged roll-up (counters
+// summed, flight-recorder snapshots folded through trace.MergeSnapshots,
+// radio traffic folded through repro.Traffic) plus the per-shard detail
+// and the coordinator's own shed/reject accounting.
+type Stats struct {
+	Shards   int   `json:"shards"`
+	Draining bool  `json:"draining"`
+	Shed     int64 `json:"shed"`     // admissions served off-owner
+	Rejected int64 `json:"rejected"` // fleet-wide composed rejections
+
+	Merged   station.Stats `json:"merged"`
+	Traffic  repro.Traffic `json:"traffic"` // radio traffic summed over every worker
+	PerShard []ShardStats  `json:"per_shard"`
+}
+
+// Stats snapshots the fleet. Safe while epochs are in flight.
+func (f *Fleet) Stats() Stats {
+	out := Stats{
+		Shards:   len(f.shards),
+		Draining: f.draining.Load(),
+		Shed:     f.shed.Load(),
+		Rejected: f.rejected.Load(),
+	}
+	per := make([]station.Stats, len(f.shards))
+	for i, sh := range f.shards {
+		per[i] = sh.Stats()
+		out.PerShard = append(out.PerShard, ShardStats{Shard: i, Stats: per[i]})
+	}
+	out.Merged = MergeStats(per...)
+	out.Merged.Draining = out.Draining
+	for _, s := range per {
+		for _, w := range s.WorkerStats {
+			out.Traffic.Add(w.Traffic)
+		}
+	}
+	return out
+}
+
+// StatsPayload is the /statsz body for a fleet backend.
+func (f *Fleet) StatsPayload() any { return f.Stats() }
+
+// MergeStats folds per-shard station stats into one fleet-wide view:
+// counters sum, queue depth and capacity sum, worker rosters concatenate,
+// trace snapshots merge key-wise, schedules concatenate. It is also how
+// the -join proxy merges /statsz payloads fetched from remote shards.
+func MergeStats(stats ...station.Stats) station.Stats {
+	var m station.Stats
+	traces := make([]map[string]int64, 0, len(stats))
+	for _, s := range stats {
+		m.Workers += s.Workers
+		m.QueueLen += s.QueueLen
+		m.QueueCap += s.QueueCap
+		m.Accepted += s.Accepted
+		m.Rejected += s.Rejected
+		m.Completed += s.Completed
+		m.Failed += s.Failed
+		m.Canceled += s.Canceled
+		m.Alarms += s.Alarms
+		m.IntegrityRejected += s.IntegrityRejected
+		m.DegradedClusters += s.DegradedClusters
+		m.FailedClusters += s.FailedClusters
+		m.Takeovers += s.Takeovers
+		m.Promotions += s.Promotions
+		m.WorkerStats = append(m.WorkerStats, s.WorkerStats...)
+		m.Schedules = append(m.Schedules, s.Schedules...)
+		if len(s.Trace) > 0 {
+			traces = append(traces, s.Trace)
+		}
+	}
+	if len(traces) > 0 {
+		m.Trace = trace.MergeSnapshots(traces...)
+	}
+	sort.Slice(m.Schedules, func(i, j int) bool { return m.Schedules[i].ID < m.Schedules[j].ID })
+	return m
+}

@@ -1,0 +1,529 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/station"
+)
+
+// testConfig is a small, fast per-shard template: 80 ideal-channel nodes
+// keep one epoch in the low milliseconds.
+func testConfig(shards, workers, queue int) Config {
+	return Config{
+		Shards: shards,
+		Station: station.Config{
+			Workers:    workers,
+			QueueDepth: queue,
+			Deploy:     repro.Options{Nodes: 80, Seed: 7, Ideal: true},
+		},
+	}
+}
+
+func newFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := f.Drain(ctx); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	return f
+}
+
+// TestFleetSmoke is the `make fleet-smoke` gate: a 3-shard fleet must
+// serve answers bit-identical to a single station AND to the offline
+// deployment for the same seeds — including a fanout query where every
+// shard answers the same epoch — and the consistent-hash placement must
+// route identical queries to the same shard.
+func TestFleetSmoke(t *testing.T) {
+	cfg := testConfig(3, 1, 8)
+	f := newFleet(t, cfg)
+
+	// Ground truth 1: the offline deployment.
+	dep, err := repro.NewDeployment(cfg.Station.Deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dep.RunQuery(repro.QuerySum, repro.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth 2: a single station with the same template.
+	single, err := station.New(cfg.Station)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = single.Drain(ctx)
+	}()
+	sjob, err := single.Submit(station.QuerySpec{Kind: repro.QuerySum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sans, err := sjob.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sans != want {
+		t.Fatalf("single station diverged from offline: %+v != %+v", sans, want)
+	}
+
+	// The fleet, hashed path: bit-identical to both.
+	spec := station.QuerySpec{Kind: repro.QuerySum}
+	job, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans != want {
+		t.Fatalf("fleet answer diverged from offline: %+v != %+v", ans, want)
+	}
+	wantPrefix := fmt.Sprintf("s%d-", f.Owner(spec))
+	if !strings.HasPrefix(job.ID(), wantPrefix) {
+		t.Errorf("query landed on %s, ring owner is %s", job.ID(), wantPrefix)
+	}
+	// Identical query again: same shard (placement is deterministic).
+	job2, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(job2.ID(), wantPrefix) {
+		t.Errorf("repeat query moved shards: %s vs prefix %s", job2.ID(), wantPrefix)
+	}
+
+	// Fan-out: one job per shard, every answer bit-identical.
+	jobs, err := f.SubmitAll(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("SubmitAll admitted %d jobs, want 3", len(jobs))
+	}
+	for _, j := range jobs {
+		got, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("fanout job %s: %v", j.ID(), err)
+		}
+		if got != want {
+			t.Fatalf("fanout job %s diverged: %+v != %+v", j.ID(), got, want)
+		}
+	}
+
+	// Explicit seed 0 is serveable and distinct from the template stream.
+	zero, err := dep0Answer(cfg.Station.Deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zjob, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum, Seed: 0, SeedSet: true})
+	if err != nil {
+		t.Fatalf("explicit seed-0 query unserveable: %v", err)
+	}
+	zans, err := zjob.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zans != zero {
+		t.Fatalf("seed-0 answer diverged from offline seed-0: %+v != %+v", zans, zero)
+	}
+	if zans == want {
+		t.Fatal("seed-0 answer identical to template-seed answer; explicit 0 still aliases the template")
+	}
+	if zjob.Seed() != 0 || zjob.Status().Seed != 0 {
+		t.Errorf("seed-0 job reports seed %d / status seed %d, want 0", zjob.Seed(), zjob.Status().Seed)
+	}
+
+	// Job handles resolve through the coordinator.
+	if f.Job(job.ID()) != job {
+		t.Error("fleet failed to resolve a shard-prefixed job ID")
+	}
+	if f.Job("s9-job-1") != nil || f.Job("nope") != nil {
+		t.Error("fleet resolved a nonexistent job ID")
+	}
+
+	stats := f.Stats()
+	if stats.Shards != 3 || stats.Merged.Workers != 3 {
+		t.Errorf("fleet stats shape: %d shards, %d merged workers", stats.Shards, stats.Merged.Workers)
+	}
+	if stats.Merged.Completed < 6 {
+		t.Errorf("merged completed = %d, want >= 6", stats.Merged.Completed)
+	}
+	if stats.Traffic.TxBytes == 0 {
+		t.Error("merged fleet traffic is zero after served epochs")
+	}
+}
+
+func dep0Answer(o repro.Options) (repro.QueryAnswer, error) {
+	dep, err := repro.NewDeployment(o)
+	if err != nil {
+		return repro.QueryAnswer{}, err
+	}
+	if err := dep.Reset(0); err != nil {
+		return repro.QueryAnswer{}, err
+	}
+	return dep.RunQuery(repro.QuerySum, repro.ClusterOptions{})
+}
+
+// TestFleetShedsToNextOwnerOnDrain: a draining ring owner must shed the
+// query to its clockwise successor, not surface 503.
+func TestFleetShedsToNextOwnerOnDrain(t *testing.T) {
+	f := newFleet(t, testConfig(3, 1, 8))
+	spec := station.QuerySpec{Kind: repro.QuerySum}
+	owner := f.Owner(spec)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.Shard(owner).Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	job, err := f.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit with draining owner: %v", err)
+	}
+	if strings.HasPrefix(job.ID(), fmt.Sprintf("s%d-", owner)) {
+		t.Fatalf("job %s landed on the draining owner", job.ID())
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Shed; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+// TestFleetComposesBackpressure: when every shard is full the fleet
+// surfaces exactly ONE ErrQueueFull (one 503, one Retry-After over HTTP)
+// instead of stacking per-shard rejections.
+func TestFleetComposesBackpressure(t *testing.T) {
+	cfg := testConfig(2, 1, 1)
+	release := make(chan struct{})
+	var parked atomic.Int64
+	cfg.Station.RunningHook = func(*station.Job) {
+		parked.Add(1)
+		<-release
+	}
+	f := newFleet(t, cfg)
+	defer close(release)
+
+	// Two jobs park the two workers; two more fill both depth-1 queues
+	// (the walk spreads them); the fifth must be the composed rejection.
+	deadline := time.Now().Add(30 * time.Second)
+	admitted := 0
+	for admitted < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only admitted %d/4 jobs", admitted)
+		}
+		if _, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum, Seed: int64(admitted + 1)}); err == nil {
+			admitted++
+		} else if !errors.Is(err, station.ErrQueueFull) {
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+		// A submit can race a worker that hasn't parked yet; retry.
+	}
+	for parked.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum, Seed: 99})
+	if !errors.Is(err, station.ErrQueueFull) {
+		t.Fatalf("fleet-full submit = %v, want ErrQueueFull", err)
+	}
+	if got := f.Stats().Rejected; got < 1 {
+		t.Errorf("composed rejections = %d, want >= 1", got)
+	}
+}
+
+// TestFleetDrainSubmitCancelRace is the -race interleaving gate at the
+// coordinator boundary: submitters, cancellers, and a drain all race, and
+// afterwards every admitted job must still reach a terminal state with the
+// fleet refusing new work.
+func TestFleetDrainSubmitCancelRace(t *testing.T) {
+	f, err := New(testConfig(2, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		jobs []*station.Job
+	)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				job, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum, Seed: int64(g*1000 + i)})
+				if err != nil {
+					if errors.Is(err, station.ErrQueueFull) || errors.Is(err, station.ErrDraining) {
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				jobs = append(jobs, job)
+				mu.Unlock()
+				if i%3 == 0 {
+					job.Cancel()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	drainErr := f.Drain(ctx)
+	close(stop)
+	wg.Wait()
+	if drainErr != nil {
+		t.Fatalf("Drain: %v", drainErr)
+	}
+	if _, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum}); !errors.Is(err, station.ErrDraining) {
+		t.Errorf("submit after drain = %v, want ErrDraining", err)
+	}
+	if _, err := f.SubmitAll(station.QuerySpec{Kind: repro.QuerySum}); !errors.Is(err, station.ErrDraining) {
+		t.Errorf("SubmitAll after drain = %v, want ErrDraining", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, job := range jobs {
+		select {
+		case <-job.Done():
+		default:
+			t.Fatalf("job %s not terminal after drain", job.ID())
+		}
+	}
+}
+
+// TestFleetSchedulesSpreadAndResolve: schedule registration fans out
+// across shards, and handles resolve/remove through the coordinator.
+func TestFleetSchedulesSpreadAndResolve(t *testing.T) {
+	f := newFleet(t, testConfig(3, 1, 16))
+	owners := map[string]bool{}
+	ids := make([]string, 0, 9)
+	for i := 0; i < 9; i++ {
+		sc, err := f.AddSchedule(station.ScheduleSpec{Kind: repro.QuerySum, Period: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sc.ID())
+		owners[sc.ID()[:3]] = true
+		if f.Schedule(sc.ID()) != sc {
+			t.Errorf("schedule %s does not resolve through the fleet", sc.ID())
+		}
+	}
+	if len(owners) < 2 {
+		t.Errorf("9 schedules all landed on one shard: %v", ids)
+	}
+	if got := len(f.ScheduleStatuses()); got != 9 {
+		t.Errorf("fleet lists %d schedules, want 9", got)
+	}
+	for _, id := range ids {
+		if !f.RemoveSchedule(id) {
+			t.Errorf("RemoveSchedule(%s) = false", id)
+		}
+	}
+	if got := len(f.ScheduleStatuses()); got != 0 {
+		t.Errorf("%d schedules survive removal", got)
+	}
+}
+
+// TestFleetSameKindSchedulesDistinctAcrossShards is the fleet-level
+// seed-aliasing gate. Within one station, schedule ordinals keep same-kind
+// schedules on disjoint epoch-seed streams (TestSameKindSchedulesServe-
+// DistinctEpochs in internal/station) — but each shard's local ordinals
+// restart at 1, so two same-kind schedules placed on DIFFERENT shards both
+// drew ordinal 1 and served byte-identical epochs. The fleet must stamp a
+// disjoint ScheduleOrdinalBase per shard so cross-shard pairs diverge too.
+func TestFleetSameKindSchedulesDistinctAcrossShards(t *testing.T) {
+	f := newFleet(t, testConfig(2, 1, 16))
+	// Register same-kind schedules until two land on different shards
+	// (ring placement spreads within a handful of ordinals); drop extras.
+	byShard := map[string]*station.Schedule{}
+	for i := 0; i < 32 && len(byShard) < 2; i++ {
+		sc, err := f.AddSchedule(station.ScheduleSpec{Kind: repro.QuerySum, Period: 3 * time.Millisecond, Jitter: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := sc.ID()[:3] // "s0-", "s1-"
+		if byShard[shard] != nil {
+			f.RemoveSchedule(sc.ID())
+			continue
+		}
+		byShard[shard] = sc
+	}
+	if len(byShard) < 2 {
+		t.Fatal("32 schedules never spread across 2 shards")
+	}
+	firstAnswer := func(sc *station.Schedule) *repro.QueryAnswer {
+		for _, r := range sc.Results() {
+			if r.Epoch == 1 && r.Answer != nil {
+				return r.Answer
+			}
+		}
+		return nil
+	}
+	var pair []*station.Schedule
+	for _, sc := range byShard {
+		pair = append(pair, sc)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var ansA, ansB *repro.QueryAnswer
+	for ansA == nil || ansB == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("schedules never served epoch 1: %v %v", ansA, ansB)
+		}
+		ansA, ansB = firstAnswer(pair[0]), firstAnswer(pair[1])
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.RemoveSchedule(pair[0].ID())
+	f.RemoveSchedule(pair[1].ID())
+	if *ansA == *ansB {
+		t.Errorf("same-kind schedules on %s and %s served byte-identical epoch 1 (%v) — shard ordinal bases not disjoint",
+			pair[0].ID(), pair[1].ID(), *ansA)
+	}
+}
+
+// TestFleetHTTP drives the fleet through the stock station.API handler:
+// the wire surface must be indistinguishable from a single station, and a
+// fanout query must report cross-shard agreement.
+func TestFleetHTTP(t *testing.T) {
+	f := newFleet(t, testConfig(2, 1, 8))
+	srv := httptest.NewServer(station.NewAPI(f).Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"kind":"sum"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js station.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || js.State != "done" || js.Answer == nil {
+		t.Fatalf("sync fleet query: %d %+v", resp.StatusCode, js)
+	}
+	if !strings.HasPrefix(js.ID, "s") {
+		t.Errorf("fleet job ID %q not shard-prefixed", js.ID)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"kind":"sum","fanout":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fan struct {
+		Jobs  []station.JobStatus `json:"jobs"`
+		Agree bool                `json:"agree"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fanout status = %d", resp.StatusCode)
+	}
+	if len(fan.Jobs) != 2 || !fan.Agree {
+		t.Fatalf("fanout = %d jobs, agree=%v; want 2 jobs agreeing", len(fan.Jobs), fan.Agree)
+	}
+	if fan.Jobs[0].Answer == nil || *fan.Jobs[0].Answer != *fan.Jobs[1].Answer {
+		t.Fatal("fanout answers not bit-identical across shards")
+	}
+
+	var stats Stats
+	resp, err = http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Shards != 2 || len(stats.PerShard) != 2 {
+		t.Errorf("fleet statsz: %d shards, %d per-shard entries", stats.Shards, len(stats.PerShard))
+	}
+	if stats.Merged.Completed < 3 {
+		t.Errorf("merged completed = %d, want >= 3 (1 sync + 2 fanout)", stats.Merged.Completed)
+	}
+}
+
+// TestRing covers the consistent-hash layer: total coverage of the walk,
+// deterministic ownership, and a sane key spread.
+func TestRing(t *testing.T) {
+	r := newRing(4)
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		key := queryKey(int64(i%7+1), int64(i))
+		owner := r.owner(key)
+		counts[owner]++
+		if again := r.owner(key); again != owner {
+			t.Fatalf("owner(%d) flapped: %d then %d", key, owner, again)
+		}
+		walk := r.walk(key)
+		if len(walk) != 4 || walk[0] != owner {
+			t.Fatalf("walk = %v, want 4 shards led by owner %d", walk, owner)
+		}
+		seen := map[int]bool{}
+		for _, s := range walk {
+			if seen[s] {
+				t.Fatalf("walk %v repeats shard %d", walk, s)
+			}
+			seen[s] = true
+		}
+	}
+	for s, n := range counts {
+		if n < 4096/4/4 {
+			t.Errorf("shard %d owns only %d/4096 keys — ring badly unbalanced", s, n)
+		}
+	}
+}
+
+// TestMergeStats: counters sum, schedules concatenate sorted, trace maps
+// fold key-wise.
+func TestMergeStats(t *testing.T) {
+	a := station.Stats{Workers: 2, QueueCap: 8, Accepted: 10, Completed: 9, Failed: 1,
+		Trace:     map[string]int64{"events_total": 5},
+		Schedules: []station.ScheduleStatus{{ID: "s1-sched-2"}}}
+	b := station.Stats{Workers: 3, QueueCap: 8, Accepted: 7, Completed: 7,
+		Trace:     map[string]int64{"events_total": 3, "drops": 1},
+		Schedules: []station.ScheduleStatus{{ID: "s0-sched-1"}}}
+	m := MergeStats(a, b)
+	if m.Workers != 5 || m.QueueCap != 16 || m.Accepted != 17 || m.Completed != 16 || m.Failed != 1 {
+		t.Errorf("merged counters wrong: %+v", m)
+	}
+	if m.Trace["events_total"] != 8 || m.Trace["drops"] != 1 {
+		t.Errorf("merged trace wrong: %v", m.Trace)
+	}
+	if len(m.Schedules) != 2 || m.Schedules[0].ID != "s0-sched-1" {
+		t.Errorf("merged schedules wrong: %+v", m.Schedules)
+	}
+}

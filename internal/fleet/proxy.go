@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/station"
+)
+
+// Proxy is the -join coordinator: the same consistent-hash routing as an
+// in-process Fleet, but over remote aggd shard listeners. It terminates
+// no queries itself — POST /v1/query is decoded just far enough to derive
+// the ring key, then the raw body is forwarded to the owning shard, with
+// the identical shed-on-503/draining walk a local fleet performs. Job and
+// schedule handles are resolved by asking shards in order (shards stamp
+// globally-unique IDs, so at most one answers), /statsz fans out and
+// merges through MergeStats, and /healthz is healthy while any shard is.
+type Proxy struct {
+	targets []string // shard base URLs, index = ring ordinal
+	ring    *ring
+	client  *http.Client
+}
+
+// NewProxy validates the shard URLs and builds the ring over them.
+func NewProxy(targets []string, timeout time.Duration) (*Proxy, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fleet: proxy needs at least one shard URL")
+	}
+	clean := make([]string, 0, len(targets))
+	for _, t := range targets {
+		u, err := url.Parse(strings.TrimRight(t, "/"))
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("fleet: shard URL %q must be http(s)://host:port", t)
+		}
+		clean = append(clean, strings.TrimRight(t, "/"))
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	return &Proxy{
+		targets: clean,
+		ring:    newRing(len(clean)),
+		client:  &http.Client{Timeout: timeout},
+	}, nil
+}
+
+// Shards returns the remote shard count.
+func (p *Proxy) Shards() int { return len(p.targets) }
+
+// Handler builds the proxy's route table — the same surface station.API
+// serves, so clients cannot tell a proxy from a shard.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", p.handleQuery)
+	mux.HandleFunc("GET /v1/jobs/{id}", p.forwardByID("/v1/jobs/"))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", p.forwardByID("/v1/jobs/"))
+	mux.HandleFunc("POST /v1/schedules", p.handleScheduleAdd)
+	mux.HandleFunc("GET /v1/schedules", p.handleScheduleList)
+	mux.HandleFunc("GET /v1/schedules/{id}/results", p.forwardByID("/v1/schedules/", "/results"))
+	mux.HandleFunc("DELETE /v1/schedules/{id}", p.forwardByID("/v1/schedules/"))
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /statsz", p.handleStatsz)
+	return mux
+}
+
+// routeRequest is the slice of the query body the proxy must understand to
+// route: the ring key fields plus fanout. Unknown fields are left for the
+// shard to validate — the proxy forwards the original bytes untouched.
+type routeRequest struct {
+	Kind   string `json:"kind"`
+	Seed   *int64 `json:"seed"`
+	Fanout bool   `json:"fanout"`
+}
+
+func (p *Proxy) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var route routeRequest
+	if err := json.Unmarshal(body, &route); err != nil {
+		writeProxyError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if route.Fanout {
+		p.handleFanout(w, body)
+		return
+	}
+	kind, err := repro.ParseQueryKind(route.Kind)
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The proxy cannot know a remote shard's template seed, so unseeded
+	// queries hash on a fixed sentinel: they still stick to one shard.
+	seed := int64(0)
+	seedSet := false
+	if route.Seed != nil {
+		seed, seedSet = *route.Seed, true
+	}
+	key := queryKey(int64(kind), seed)
+	if !seedSet {
+		key = queryKey(int64(kind), -1<<62)
+	}
+	// Walk the ring exactly like the in-process coordinator: forward to
+	// the owner, shed past 503s, surface the LAST response when every
+	// shard refuses — one composed rejection, one Retry-After.
+	var last *shardResponse
+	for _, idx := range p.ring.walk(key) {
+		resp, err := p.do(http.MethodPost, p.targets[idx]+"/v1/query", body)
+		if err != nil {
+			last = unreachable(err)
+			continue
+		}
+		if resp.status != http.StatusServiceUnavailable {
+			resp.write(w)
+			return
+		}
+		last = resp
+	}
+	last.write(w)
+}
+
+// handleFanout broadcasts the body to every shard and fans the responses
+// in: each shard answers its own fanoutResponse (one job for a station,
+// N for a nested fleet); the proxy concatenates the job lists and reports
+// fleet-wide agreement.
+func (p *Proxy) handleFanout(w http.ResponseWriter, body []byte) {
+	type fanPayload struct {
+		Jobs  []station.JobStatus `json:"jobs"`
+		Agree bool                `json:"agree"`
+	}
+	out := fanPayload{Agree: true}
+	for _, t := range p.targets {
+		resp, err := p.do(http.MethodPost, t+"/v1/query", body)
+		if err != nil {
+			writeProxyError(w, http.StatusBadGateway, "shard "+t+": "+err.Error())
+			return
+		}
+		if resp.status != http.StatusOK {
+			resp.write(w)
+			return
+		}
+		var part fanPayload
+		if err := json.Unmarshal(resp.body, &part); err != nil {
+			writeProxyError(w, http.StatusBadGateway, "shard "+t+": bad fanout payload")
+			return
+		}
+		out.Jobs = append(out.Jobs, part.Jobs...)
+		out.Agree = out.Agree && part.Agree
+	}
+	// Shard-local agreement is necessary but not sufficient: the answers
+	// must also agree ACROSS shards.
+	for i := 1; i < len(out.Jobs); i++ {
+		a, b := out.Jobs[0].Answer, out.Jobs[i].Answer
+		if a == nil || b == nil || *a != *b {
+			out.Agree = false
+			break
+		}
+	}
+	writeProxyJSON(w, http.StatusOK, out)
+}
+
+// forwardByID forwards a handle-addressed request to whichever shard knows
+// the ID — shards stamp globally-unique prefixes, so the first non-404
+// answer is authoritative.
+func (p *Proxy) forwardByID(prefix string, suffix ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		path := prefix + r.PathValue("id")
+		for _, s := range suffix {
+			path += s
+		}
+		var last *shardResponse
+		for _, t := range p.targets {
+			resp, err := p.do(r.Method, t+path, nil)
+			if err != nil {
+				last = unreachable(err)
+				continue
+			}
+			if resp.status != http.StatusNotFound {
+				resp.write(w)
+				return
+			}
+			last = resp
+		}
+		last.write(w)
+	}
+}
+
+func (p *Proxy) handleScheduleAdd(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	// Spread schedules over shards by hashing the body (stable for a given
+	// registration) and shed past refusing shards like a query.
+	var last *shardResponse
+	for _, idx := range p.ring.walk(hash64(body)) {
+		resp, err := p.do(http.MethodPost, p.targets[idx]+"/v1/schedules", body)
+		if err != nil {
+			last = unreachable(err)
+			continue
+		}
+		if resp.status != http.StatusServiceUnavailable {
+			resp.write(w)
+			return
+		}
+		last = resp
+	}
+	last.write(w)
+}
+
+func (p *Proxy) handleScheduleList(w http.ResponseWriter, _ *http.Request) {
+	var out []station.ScheduleStatus
+	for _, t := range p.targets {
+		resp, err := p.do(http.MethodGet, t+"/v1/schedules", nil)
+		if err != nil || resp.status != http.StatusOK {
+			continue // a dead shard hides its schedules, it doesn't kill the list
+		}
+		var part []station.ScheduleStatus
+		if json.Unmarshal(resp.body, &part) == nil {
+			out = append(out, part...)
+		}
+	}
+	writeProxyJSON(w, http.StatusOK, out)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := 0
+	for _, t := range p.targets {
+		if resp, err := p.do(http.MethodGet, t+"/healthz", nil); err == nil && resp.status == http.StatusOK {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		writeProxyJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "unavailable", "shards_healthy": 0, "shards": len(p.targets)})
+		return
+	}
+	writeProxyJSON(w, http.StatusOK,
+		map[string]any{"status": "ok", "shards_healthy": healthy, "shards": len(p.targets)})
+}
+
+// proxyStats is the proxy's /statsz payload: the same merged-plus-detail
+// shape an in-process fleet serves, built from payloads fetched off the
+// remote shards.
+type proxyStats struct {
+	Shards      int           `json:"shards"`
+	Unreachable int           `json:"unreachable,omitempty"`
+	Merged      station.Stats `json:"merged"`
+	Traffic     repro.Traffic `json:"traffic"`
+	PerShard    []ShardStats  `json:"per_shard"`
+}
+
+func (p *Proxy) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	out := proxyStats{Shards: len(p.targets)}
+	var per []station.Stats
+	for i, t := range p.targets {
+		resp, err := p.do(http.MethodGet, t+"/statsz", nil)
+		if err != nil || resp.status != http.StatusOK {
+			out.Unreachable++
+			continue
+		}
+		var s station.Stats
+		if err := json.Unmarshal(resp.body, &s); err != nil {
+			out.Unreachable++
+			continue
+		}
+		per = append(per, s)
+		out.PerShard = append(out.PerShard, ShardStats{Shard: i, Stats: s})
+	}
+	out.Merged = MergeStats(per...)
+	for _, s := range per {
+		for _, ws := range s.WorkerStats {
+			out.Traffic.Add(ws.Traffic)
+		}
+	}
+	writeProxyJSON(w, http.StatusOK, out)
+}
+
+// shardResponse is one forwarded exchange, replayed to the client.
+type shardResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (r *shardResponse) write(w http.ResponseWriter) {
+	for _, h := range []string{"Content-Type", "Retry-After", "Location"} {
+		if v := r.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(r.status)
+	_, _ = w.Write(r.body)
+}
+
+func unreachable(err error) *shardResponse {
+	body, _ := json.Marshal(map[string]string{"error": "shard unreachable: " + err.Error()})
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	return &shardResponse{status: http.StatusBadGateway, header: h, body: body}
+}
+
+func (p *Proxy) do(method, url string, body []byte) (*shardResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &shardResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+func writeProxyError(w http.ResponseWriter, code int, msg string) {
+	writeProxyJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeProxyJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,16 +1,33 @@
 package station
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
 )
 
-// API is the HTTP JSON frontend over a Station — the handler cmd/aggd
+// Backend is what the HTTP frontend serves: a single Station or a fleet
+// coordinator (internal/fleet) — same wire API either way, so clients and
+// the load driver cannot tell one shard from N.
+type Backend interface {
+	Submit(QuerySpec) (*Job, error)
+	SubmitAll(QuerySpec) ([]*Job, error)
+	Job(id string) *Job
+	AddSchedule(ScheduleSpec) (*Schedule, error)
+	Schedule(id string) *Schedule
+	RemoveSchedule(id string) bool
+	ScheduleStatuses() []ScheduleStatus
+	Draining() bool
+	StatsPayload() any
+}
+
+// API is the HTTP JSON frontend over a Backend — the handler cmd/aggd
 // serves. Endpoints:
 //
 //	POST   /v1/query                  one-shot query, sync (default) or async
@@ -23,20 +40,37 @@ import (
 //	GET    /healthz                   liveness (503 while draining)
 //	GET    /statsz                    pool/queue/scheduler/protocol counters
 //
-// Backpressure contract: when the admission queue is full the API answers
-// 503 with a Retry-After header and a retry_after_ms JSON hint; it never
-// blocks the accept loop waiting for a pool slot.
+// Backpressure contract: when admission is full the API answers 503 with a
+// retry_after_ms JSON hint and a Retry-After header derived from the same
+// constant (the header is the hint rounded up to whole seconds — HTTP
+// cannot express sub-second Retry-After); it never blocks the accept loop
+// waiting for a pool slot. A fleet backend sheds to sibling shards first
+// and surfaces exactly one such rejection when the whole fleet is full.
+//
+// A sync query whose job fails on its own (per-job timeout, deployment
+// error) is answered with the job's terminal status — 504 for a timeout,
+// 500 otherwise — not misreported as a client abort; "request aborted" 503s
+// are reserved for requests whose client actually went away mid-epoch.
 type API struct {
-	st *Station
+	st Backend
 }
 
-// NewAPI wraps a station.
-func NewAPI(st *Station) *API { return &API{st: st} }
+// NewAPI wraps a backend (a *Station or a fleet coordinator).
+func NewAPI(st Backend) *API { return &API{st: st} }
 
-// retryAfterMs is the backoff hint handed to rejected clients. The queue
-// drains at pool speed (tens of ms per epoch), so a small hint keeps
-// closed-loop clients live without hammering the accept loop.
-const retryAfterMs = 25
+// retryAfter is the single source of the backpressure backoff hint handed
+// to rejected clients. The queue drains at pool speed (tens of ms per
+// epoch), so a small hint keeps closed-loop clients live without hammering
+// the accept loop. Both wire forms derive from this constant so they can
+// never contradict each other.
+const retryAfter = 25 * time.Millisecond
+
+// retryAfterMs is the JSON hint (precise milliseconds).
+const retryAfterMs = int64(retryAfter / time.Millisecond)
+
+// retryAfterHeader is the Retry-After header value: the same hint rounded
+// UP to whole seconds, the finest granularity the header supports.
+var retryAfterHeader = strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10)
 
 // Handler builds the route table.
 func (a *API) Handler() http.Handler {
@@ -54,15 +88,38 @@ func (a *API) Handler() http.Handler {
 }
 
 type queryRequest struct {
-	Kind      string `json:"kind"`
-	Seed      int64  `json:"seed,omitempty"`
+	Kind string `json:"kind"`
+	// Seed is a pointer so the wire can distinguish "no seed given" (nil,
+	// template seed) from an explicit seed 0, which is a valid stream.
+	Seed      *int64 `json:"seed,omitempty"`
 	Async     bool   `json:"async,omitempty"`
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	// Fanout submits the query to every shard of a fleet backend (one job
+	// on a single station) and fans the answers back in.
+	Fanout bool `json:"fanout,omitempty"`
+}
+
+// spec converts the wire request into an admission spec.
+func (req queryRequest) spec(kind repro.QueryKind) QuerySpec {
+	spec := QuerySpec{Kind: kind, Timeout: time.Duration(req.TimeoutMs) * time.Millisecond}
+	if req.Seed != nil {
+		spec.Seed, spec.SeedSet = *req.Seed, true
+	}
+	return spec
 }
 
 type apiError struct {
 	Error        string `json:"error"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// fanoutResponse is the POST /v1/query payload when fanout is requested:
+// one job per shard, plus whether every finished answer is bit-identical —
+// the fleet's serving-correctness invariant (same seed, same template,
+// same answer on every shard).
+type fanoutResponse struct {
+	Jobs  []JobStatus `json:"jobs"`
+	Agree bool        `json:"agree"`
 }
 
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -80,11 +137,11 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "timeout_ms must be non-negative"})
 		return
 	}
-	job, err := a.st.Submit(QuerySpec{
-		Kind:    kind,
-		Seed:    req.Seed,
-		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
-	})
+	if req.Fanout {
+		a.handleFanout(w, r, req.spec(kind))
+		return
+	}
+	job, err := a.st.Submit(req.spec(kind))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -94,20 +151,83 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, job.Status())
 		return
 	}
-	if _, err := job.Wait(r.Context()); err != nil {
+	if _, err := job.Wait(r.Context()); err != nil && !job.Finished() {
 		// The client went away mid-epoch: release the pool slot's result
 		// and report the cancellation (the write usually goes nowhere).
 		job.Cancel()
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "request aborted: " + err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	// The job reached a terminal state on its own — done, or failed from a
+	// per-job timeout or a deployment error. That outcome belongs to the
+	// job, not the transport: answer with its status, never a fabricated
+	// "request aborted".
+	writeJSON(w, jobStatusCode(job), job.Status())
+}
+
+// jobStatusCode maps a finished job's state to the sync-response code.
+func jobStatusCode(job *Job) int {
+	switch job.State() {
+	case JobFailed:
+		if errors.Is(job.Err(), context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout // per-job timeout expired
+		}
+		return http.StatusInternalServerError
+	case JobCanceled:
+		return http.StatusConflict // canceled out from under the waiter
+	default:
+		return http.StatusOK
+	}
+}
+
+// handleFanout submits one job per shard and (synchronously) fans the
+// answers back in, reporting whether they agree bit-for-bit.
+func (a *API) handleFanout(w http.ResponseWriter, r *http.Request, spec QuerySpec) {
+	jobs, err := a.st.SubmitAll(spec)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	out := fanoutResponse{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, job := range jobs {
+		if _, err := job.Wait(r.Context()); err != nil && !job.Finished() {
+			job.Cancel()
+		}
+	}
+	for _, job := range jobs {
+		out.Jobs = append(out.Jobs, job.Status())
+	}
+	out.Agree = answersAgree(jobs)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// answersAgree reports whether every job finished done with the same
+// answer — the cross-shard determinism check fanout exists for.
+func answersAgree(jobs []*Job) bool {
+	if len(jobs) == 0 {
+		return false
+	}
+	var first repro.QueryAnswer
+	for i, job := range jobs {
+		ans, err, ok := job.Answer()
+		if !ok || err != nil {
+			return false
+		}
+		if i == 0 {
+			first = ans
+			continue
+		}
+		if ans != first {
+			return false
+		}
+	}
+	return true
 }
 
 func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHeader)
 		writeJSON(w, http.StatusServiceUnavailable,
 			apiError{Error: err.Error(), RetryAfterMs: retryAfterMs})
 	case errors.Is(err, ErrDraining):
@@ -177,7 +297,7 @@ func (a *API) handleScheduleAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleScheduleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.st.Stats().Schedules)
+	writeJSON(w, http.StatusOK, a.st.ScheduleStatuses())
 }
 
 // scheduleResults is the GET /v1/schedules/{id}/results payload.
@@ -212,7 +332,7 @@ func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (a *API) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.st.Stats())
+	writeJSON(w, http.StatusOK, a.st.StatsPayload())
 }
 
 // decodeBody parses a small JSON request body strictly: unknown fields and

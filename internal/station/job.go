@@ -44,6 +44,7 @@ func (s JobState) String() string {
 type Job struct {
 	id        string
 	spec      QuerySpec
+	seed      int64 // effective seed (template resolved at Submit)
 	st        *Station
 	ctx       context.Context
 	cancel    context.CancelCauseFunc
@@ -66,6 +67,18 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns what was admitted.
 func (j *Job) Spec() QuerySpec { return j.spec }
+
+// Seed returns the effective seed the job runs under: the spec's explicit
+// seed when one was given (including an explicit 0), else the deployment
+// template's.
+func (j *Job) Seed() int64 { return j.seed }
+
+// Err returns the job's terminal error (nil while unfinished or done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 // State returns the current lifecycle state.
 func (j *Job) State() JobState {
@@ -159,9 +172,12 @@ func (j *Job) finish(ans repro.QueryAnswer, err error) bool {
 // JobStatus is the wire view of a job — what GET /v1/jobs/{id} returns and
 // what a sync POST /v1/query responds with once the job finishes.
 type JobStatus struct {
-	ID          string             `json:"id"`
-	Kind        string             `json:"kind"`
-	Seed        int64              `json:"seed,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Seed is the effective seed the job runs under. It is always present:
+	// an explicit seed 0 is a valid, distinct epoch stream and must not be
+	// dropped from the wire view.
+	Seed        int64              `json:"seed"`
 	State       string             `json:"state"`
 	Worker      int                `json:"worker"` // -1 until running
 	SubmittedAt time.Time          `json:"submitted_at"`
@@ -179,7 +195,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:          j.id,
 		Kind:        j.spec.Kind.String(),
-		Seed:        j.spec.Seed,
+		Seed:        j.seed,
 		State:       j.state.String(),
 		Worker:      j.worker,
 		SubmittedAt: j.submitted,

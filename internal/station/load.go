@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -260,10 +261,15 @@ func loadAttempt(ctx context.Context, client *http.Client, baseURL string, body 
 	lat := time.Since(start)
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Honor whichever backpressure hint survives, most precise first:
+		// the retry_after_ms JSON hint, then the whole-second Retry-After
+		// header, then the protocol's documented default.
 		var e apiError
 		backoff := time.Duration(retryAfterMs) * time.Millisecond
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.RetryAfterMs > 0 {
 			backoff = time.Duration(e.RetryAfterMs) * time.Millisecond
+		} else if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			backoff = time.Duration(s) * time.Second
 		}
 		return 0, backoff, nil
 	case resp.StatusCode != http.StatusOK:

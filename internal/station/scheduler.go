@@ -70,7 +70,7 @@ func (s *Station) AddSchedule(spec ScheduleSpec) (*Schedule, error) {
 	n := s.nextSched.Add(1)
 	ctx, cancel := context.WithCancel(context.Background())
 	sc := &Schedule{
-		id:      fmt.Sprintf("sched-%d", n),
+		id:      fmt.Sprintf("%ssched-%d", s.cfg.IDPrefix, n),
 		spec:    spec,
 		cancel:  cancel,
 		stopped: make(chan struct{}),
@@ -83,7 +83,7 @@ func (s *Station) AddSchedule(spec ScheduleSpec) (*Schedule, error) {
 	}
 	s.schedules[sc.id] = sc
 	s.mu.Unlock()
-	go s.runSchedule(ctx, sc, n)
+	go s.runSchedule(ctx, sc, s.cfg.ScheduleOrdinalBase+n)
 	return sc, nil
 }
 
@@ -110,8 +110,10 @@ func (s *Station) RemoveSchedule(id string) bool {
 
 // runSchedule is one schedule's epoch loop. The jitter RNG is seeded from
 // the schedule's ordinal so runs are reproducible given a fixed submission
-// order; each epoch re-seeds the worker deployment (template seed + epoch)
-// so readings re-draw between epochs.
+// order; each epoch re-seeds the worker deployment with a seed that folds
+// in both the epoch number and the schedule's ordinal, so readings re-draw
+// between epochs AND two same-kind schedules draw distinct streams instead
+// of serving byte-identical answers every epoch.
 //
 // The loop never waits for an epoch before arming the next tick: epochs
 // overlap when the pool is slower than the period, and the admission queue
@@ -129,7 +131,7 @@ func (s *Station) runSchedule(ctx context.Context, sc *Schedule, ordinal int64) 
 		case <-timer.C:
 		}
 		start := time.Now()
-		job, err := s.Submit(QuerySpec{Kind: sc.spec.Kind, Seed: s.cfg.Deploy.Seed + epoch})
+		job, err := s.Submit(QuerySpec{Kind: sc.spec.Kind, Seed: epochSeed(s.cfg.Deploy.Seed, ordinal, epoch), SeedSet: true})
 		if err != nil {
 			sc.record(EpochResult{Epoch: epoch, At: start, Error: err.Error()},
 				errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining))
@@ -150,6 +152,16 @@ func (s *Station) runSchedule(ctx context.Context, sc *Schedule, ordinal int64) 
 		}
 		timer.Reset(sc.jittered(rng))
 	}
+}
+
+// epochSeed derives one schedule epoch's deployment seed. The ordinal is
+// folded into the high half so every schedule owns a disjoint 2^32-epoch
+// stream off the template seed: distinct schedules never collide, and a
+// given (schedule, epoch) pair replays bit-identically. The ordinal is
+// Config.ScheduleOrdinalBase plus the station-local counter, so schedules
+// on different shards of a fleet stay disjoint too.
+func epochSeed(template, ordinal, epoch int64) int64 {
+	return template + ordinal<<32 + epoch
 }
 
 // jittered draws the next epoch's period.

@@ -47,6 +47,21 @@ type Config struct {
 	// costs a worker; one that fires mid-epoch fails it on completion.
 	JobTimeout time.Duration
 
+	// IDPrefix prefixes every job and schedule ID ("s2-job-17"). A fleet
+	// coordinator gives each shard a distinct prefix so handles stay
+	// globally unique and route back to their owning shard.
+	IDPrefix string
+
+	// ScheduleOrdinalBase offsets the ordinals folded into schedule epoch
+	// seeds. Within one station the per-schedule ordinal already keeps
+	// same-kind schedules on distinct seed streams; when stations serve as
+	// shards of one fleet, each shard's local ordinals restart at 1 and
+	// same-kind schedules placed on different shards would alias back onto
+	// identical streams. The coordinator stamps a disjoint base per shard
+	// (and cmd/aggd derives one from -idprefix for -join deployments) so
+	// the streams stay disjoint fleet-wide. Zero for standalone stations.
+	ScheduleOrdinalBase int64
+
 	Deploy  repro.Options        // deployment template, one instance per worker
 	Cluster repro.ClusterOptions // protocol options applied to every query
 
@@ -59,6 +74,12 @@ type Config struct {
 	// it serves (e.g. to attach a TraceTo JSONL stream). A non-nil return
 	// is a flush function invoked during Drain.
 	AttachSinks func(worker int, d *repro.Deployment) func() error
+
+	// RunningHook, when non-nil, fires after a job transitions to Running
+	// and before its epoch executes — the seam deterministic
+	// backpressure/cancellation interleaving tests (including the fleet
+	// coordinator's) park workers on. Leave nil in production.
+	RunningHook func(*Job)
 }
 
 // Sentinel errors the HTTP layer translates into status codes.
@@ -70,12 +91,26 @@ var (
 // QuerySpec is one unit of admitted work.
 type QuerySpec struct {
 	Kind repro.QueryKind
-	// Seed re-seeds the worker's deployment for this epoch; 0 uses the
-	// deployment template's seed, so identical specs yield bit-identical
-	// answers regardless of which worker serves them.
-	Seed int64
+	// Seed re-seeds the worker's deployment for this epoch. A zero Seed
+	// with SeedSet false inherits the deployment template's seed; SeedSet
+	// marks the value as explicit, so seed 0 — a perfectly valid deployment
+	// seed — is serveable rather than silently aliasing the template.
+	// Identical specs yield bit-identical answers regardless of which
+	// worker (or which fleet shard) serves them.
+	Seed    int64
+	SeedSet bool
 	// Timeout overrides Config.JobTimeout for this job; 0 inherits it.
 	Timeout time.Duration
+}
+
+// EffectiveSeed resolves the seed this spec runs under given the
+// deployment template's seed. Submit pins the result on the job, so the
+// wire status always reports the seed that actually ran.
+func (q QuerySpec) EffectiveSeed(template int64) int64 {
+	if q.SeedSet || q.Seed != 0 {
+		return q.Seed
+	}
+	return template
 }
 
 // Station is the serving layer: pool + queue + scheduler + counters.
@@ -139,6 +174,7 @@ func New(cfg Config) (*Station, error) {
 		jobs:      make(map[string]*Job),
 		schedules: make(map[string]*Schedule),
 	}
+	st.testHookRunning = cfg.RunningHook
 	for i := 0; i < cfg.Workers; i++ {
 		dep, err := repro.NewDeployment(cfg.Deploy)
 		if err != nil {
@@ -181,6 +217,7 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 	ctx, cancelCause := context.WithCancelCause(ctx)
 	job := &Job{
 		spec:      spec,
+		seed:      spec.EffectiveSeed(s.cfg.Deploy.Seed),
 		st:        s,
 		ctx:       ctx,
 		cancel:    cancelCause,
@@ -199,7 +236,7 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 	}
 	select {
 	case s.queue <- job:
-		job.id = fmt.Sprintf("job-%d", s.nextJob.Add(1))
+		job.id = fmt.Sprintf("%sjob-%d", s.cfg.IDPrefix, s.nextJob.Add(1))
 		s.jobs[job.id] = job
 		s.accepted.Add(1)
 		return job, nil
@@ -208,6 +245,17 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 		s.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+}
+
+// SubmitAll is the fan-out form of Submit. On a single station it admits
+// exactly one job; a fleet coordinator admits one per shard, which is how
+// fleet-spanning queries (and the bit-identical fleet smoke) fan out.
+func (s *Station) SubmitAll(spec QuerySpec) ([]*Job, error) {
+	job, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return []*Job{job}, nil
 }
 
 // Job returns a submitted job by ID (nil if unknown or evicted).
@@ -238,12 +286,8 @@ func (s *Station) execute(w *worker, job *Job) {
 	if h := s.runningHook(); h != nil {
 		h(job)
 	}
-	seed := job.spec.Seed
-	if seed == 0 {
-		seed = s.cfg.Deploy.Seed
-	}
 	var ans repro.QueryAnswer
-	err := w.dep.Reset(seed)
+	err := w.dep.Reset(job.seed)
 	if err == nil {
 		ans, err = w.dep.RunQuery(job.spec.Kind, s.cfg.Cluster)
 	}
@@ -453,3 +497,19 @@ func (s *Station) Stats() Stats {
 	sort.Slice(st.Schedules, func(i, j int) bool { return st.Schedules[i].ID < st.Schedules[j].ID })
 	return st
 }
+
+// ScheduleStatuses lists the registered schedules, sorted by ID.
+func (s *Station) ScheduleStatuses() []ScheduleStatus {
+	s.mu.Lock()
+	out := make([]ScheduleStatus, 0, len(s.schedules))
+	for _, sc := range s.schedules {
+		out = append(out, sc.Status())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StatsPayload is the /statsz body — Stats for a single station; a fleet
+// backend substitutes its merged fleet-wide view here.
+func (s *Station) StatsPayload() any { return s.Stats() }
