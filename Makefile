@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke chaos-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
 ## experiment smokes, a traced-failover forensics smoke, the base-station
-## service smoke, the fleet-coordinator smoke, the parallel-determinism
-## smoke, a one-iteration benchmark smoke through the trend harness, and
-## the deterministic allocation gate on the tracing-disabled hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke par-smoke bench-smoke bench-gate
+## service smoke, the fleet-coordinator smoke, the chaos availability
+## drill, the parallel-determinism smoke, a one-iteration benchmark smoke
+## through the trend harness, and the deterministic allocation gate on the
+## tracing-disabled hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke chaos-smoke par-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +62,18 @@ service-smoke:
 fleet-smoke:
 	$(GO) test -race -count=1 -run 'TestFleetSmoke|TestFleetDrainSubmitCancelRace' ./internal/fleet/
 	@echo "fleet-smoke OK: fleet == station == offline, coordinator races clean"
+
+## chaos-smoke: the self-healing gate — a seeded plan kills one of three
+## shards mid-burst and the fleet must hold 99%+ availability, never serve
+## an answer that differs from the offline reference, re-admit the shard,
+## and leave a trace from which aggtrace -why outage rebuilds the
+## crash → breaker-open → restart → half-open → closed incident; the -join
+## proxy must ride the same window through its circuit breaker with
+## degraded fan-outs. All under the race detector.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestProxyBreakerChaos|TestFleetDrainSubmitAllRace' ./internal/fleet/
+	$(GO) run ./cmd/experiments -quick -run F19-availability
+	@echo "chaos-smoke OK: 99%+ availability through a shard kill, breaker chain reconstructed"
 
 ## par-smoke: the round engine's determinism gate — a parallel multi-round
 ## failover simulation (lossy radio, head crashes, churn repair) must report

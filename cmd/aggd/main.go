@@ -10,8 +10,17 @@
 //	aggd -addr :8080 -workers 4 -nodes 400 -seed 7
 //	aggd -addr :8080 -shards 4 -workers 2            # in-process fleet
 //	aggd -addr :8080 -join http://s0:8081,http://s1:8082
+//	aggd -addr :8080 -shards 3 -chaos plan.json -traceout fleet.jsonl
 //	curl -d '{"kind":"sum"}' http://localhost:8080/v1/query
+//	curl -d '{"kind":"sum","fanout":true}' 'http://localhost:8080/v1/query?partial=1'
 //	curl http://localhost:8080/statsz
+//
+// -chaos arms a deterministic fault-injection plan (internal/chaos JSON:
+// seed + per-shard crash/latency/errors/queue-full windows) against the
+// shard backends and, under -join, the proxy transport; -traceout streams
+// fleet events (faults, shard states, breaker transitions, degraded
+// answers) as JSONL for aggtrace -why outage. ?partial=1 lets a fan-out
+// degrade to the surviving shards instead of failing.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // queued and in-flight epochs finish (bounded by -draintimeout), schedules
@@ -28,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof on the -observe endpoint
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,9 +46,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/fleet"
 	"repro/internal/station"
+	"repro/internal/trace"
 )
 
 // listening, when non-nil, receives the bound listen address once the
@@ -84,6 +96,8 @@ func run(args []string) (*flag.FlagSet, error) {
 		draintmo   = fs.Duration("draintimeout", 30*time.Second, "graceful-drain bound on shutdown")
 		tracestats = fs.Bool("tracestats", false, "attach flight-recorder counters to every worker (merged into /statsz)")
 		observe    = fs.String("observe", "", "serve live station stats (expvar) and pprof on this second address, e.g. :6060")
+		chaosPlan  = fs.String("chaos", "", "arm a fault-injection plan from this JSON file (see internal/chaos)")
+		traceout   = fs.String("traceout", "", "append fleet events (faults, shard health, breakers) to this JSONL file for aggtrace -why outage")
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return fs, err
@@ -142,9 +156,43 @@ func run(args []string) (*flag.FlagSet, error) {
 		},
 	}
 
+	// Fault-injection wiring, shared by every topology: a controller armed
+	// from the plan file, and a JSONL sink for the fleet's incident events.
+	var (
+		ctl        *chaos.Controller
+		sink       trace.Sink
+		traceFlush func() error
+	)
+	if *traceout != "" {
+		f, err := os.Create(*traceout)
+		if err != nil {
+			return fs, fmt.Errorf("-traceout: %w", err)
+		}
+		jl := trace.NewJSONL(f)
+		sink = trace.NewLocked(jl)
+		traceFlush = func() error { return jl.Close() } // flushes and closes f
+		defer func() {
+			if traceFlush != nil {
+				_ = traceFlush()
+			}
+		}()
+	}
+	if *chaosPlan != "" {
+		plan, err := chaos.LoadPlan(*chaosPlan)
+		if err != nil {
+			return fs, err
+		}
+		if ctl, err = chaos.NewController(plan); err != nil {
+			return fs, err
+		}
+		ctl.Trace(sink)
+	}
+
 	// Build whichever coordinator topology was asked for. All three serve
 	// the identical HTTP surface; only drain semantics and /statsz payloads
-	// differ, and both are behind small interfaces.
+	// differ, and both are behind small interfaces. The chaos controller
+	// attaches at each topology's natural seam: the proxy's transport, the
+	// fleet's shard gate, or a wrapper around the single station.
 	var (
 		handler http.Handler
 		drainer interface{ Drain(context.Context) error }
@@ -154,14 +202,18 @@ func run(args []string) (*flag.FlagSet, error) {
 	switch {
 	case *join != "":
 		targets := strings.Split(*join, ",")
-		p, err := fleet.NewProxy(targets, *draintmo)
+		opts := fleet.ProxyOptions{Timeout: *draintmo, Trace: sink}
+		if ctl != nil {
+			opts.Transport = chaos.NewTransport(nil, ctl, targetHosts(targets))
+		}
+		p, err := fleet.NewProxyWith(targets, opts)
 		if err != nil {
 			return fs, err
 		}
 		handler = p.Handler()
 		banner = fmt.Sprintf("coordinating %d remote shard(s)", p.Shards())
 	case *shards > 1:
-		fl, err := fleet.New(fleet.Config{Shards: *shards, Station: stCfg})
+		fl, err := fleet.New(fleet.Config{Shards: *shards, Station: stCfg, Chaos: ctl, Trace: sink})
 		if err != nil {
 			return fs, err
 		}
@@ -175,11 +227,14 @@ func run(args []string) (*flag.FlagSet, error) {
 		if err != nil {
 			return fs, err
 		}
-		handler = station.NewAPI(st).Handler()
+		handler = station.NewAPI(chaos.Wrap(st, ctl)).Handler()
 		drainer = st
 		stats = func() any { return st.Stats() }
 		banner = fmt.Sprintf("%d workers, queue %d, %d-node deployments, seed %d",
 			*workers, *queue, *nodes, *seed)
+	}
+	if ctl != nil {
+		banner += fmt.Sprintf(", chaos plan armed (%d fault windows)", len(ctl.Plan().Faults))
 	}
 
 	if *observe != "" && stats != nil {
@@ -194,6 +249,7 @@ func run(args []string) (*flag.FlagSet, error) {
 	}
 	srv := &http.Server{Handler: handler}
 	fmt.Printf("aggd: serving on http://%s (%s)\n", ln.Addr(), banner)
+	ctl.Start() // arm the fault windows the instant traffic can arrive
 	if listening != nil {
 		listening(ln.Addr().String())
 	}
@@ -226,6 +282,19 @@ func run(args []string) (*flag.FlagSet, error) {
 	}
 	fmt.Fprintln(os.Stderr, "aggd: drained cleanly")
 	return fs, nil
+}
+
+// targetHosts maps each -join target's URL host to its ring ordinal — the
+// table chaos.NewTransport keys per-shard fault windows on. Unparseable
+// targets are skipped here; NewProxyWith rejects them with a real error.
+func targetHosts(targets []string) map[string]int {
+	out := make(map[string]int, len(targets))
+	for i, t := range targets {
+		if u, err := url.Parse(strings.TrimRight(t, "/")); err == nil && u.Host != "" {
+			out[u.Host] = i
+		}
+	}
+	return out
 }
 
 // observed lets a process that runs the server more than once (tests)

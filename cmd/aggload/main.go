@@ -10,6 +10,16 @@
 //	aggload -addr http://localhost:8080 -c 8 -n 500
 //	aggload -addr http://localhost:8080 -c 16 -d 30s -kinds sum,min,max -out load.json
 //	aggload -shards 1,2,4 -c 4 -n 400 -nodes 80 -ideal -seed 7
+//	aggload -chaos auto -seed 7 -nodes 80 -ideal -traceout fleet.jsonl
+//
+// -chaos runs an availability drill instead: it boots an in-process
+// fleet, arms a fault plan ("auto" = kill one of three shards mid-burst;
+// otherwise a plan file), verifies every served answer against the
+// offline reference, and reports availability, down->healthy recovery
+// time, and retry counts (snapshot metrics BenchmarkServeRecovery and
+// BenchmarkServeAvailability). Transport-level dial/reset failures are
+// retried with capped backoff in every mode; -traceout writes the fleet
+// events for aggtrace -why outage.
 //
 // The human-readable summary goes to stderr; a benchio-compatible JSON
 // snapshot (BenchmarkServeLatency/{mean,p50,p95,p99}, BenchmarkServeThroughput,
@@ -17,7 +27,9 @@
 // -out, so benchtrend can track serving latency the same way it tracks
 // simulator benchmarks.
 //
-// Exit status: 0 on a clean run, 1 if any request errored, 2 on bad flags.
+// Exit status: 0 on a clean run, 1 if any request errored (in -chaos mode
+// only a wrong answer fails — injected-fault errors are the experiment),
+// 2 on bad flags.
 package main
 
 import (
@@ -36,9 +48,11 @@ import (
 
 	"repro"
 	"repro/internal/benchio"
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/fleet"
 	"repro/internal/station"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -67,6 +81,11 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 		nodes   = fs.Int("nodes", 400, "sweep: nodes per worker deployment")
 		seed    = fs.Int64("seed", 1, "sweep: deployment template seed")
 		ideal   = fs.Bool("ideal", false, "sweep: error-free channel")
+
+		// Chaos mode: availability drill over an in-process fleet under a
+		// fault plan, with every served answer verified offline.
+		chaosArg = fs.String("chaos", "", "run an availability drill: a fault-plan JSON file, or 'auto' for the canonical crash-one-shard plan")
+		traceout = fs.String("traceout", "", "chaos: also write the fleet's incident events to this JSONL file for aggtrace -why outage")
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return fs, err
@@ -89,7 +108,11 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 		return fs, cliutil.Usagef("-d must not be negative, got %v", *dur)
 	}
 	if *reqs == 0 && *dur == 0 {
-		*reqs = 100
+		if *chaosArg != "" {
+			*dur = 10 * time.Second // a drill needs a time axis for its fault windows
+		} else {
+			*reqs = 100
+		}
 	}
 	if *timeout <= 0 {
 		return fs, cliutil.Usagef("-timeout must be positive, got %v", *timeout)
@@ -134,7 +157,49 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 		failed  error
 	)
 	date := time.Now().UTC().Format("2006-01-02")
-	if len(shardCounts) > 0 {
+	if *chaosArg != "" {
+		n := 3
+		if len(shardCounts) > 0 {
+			n = shardCounts[0]
+		}
+		var plan chaos.Plan
+		if *chaosArg == "auto" {
+			run := *dur
+			if run == 0 {
+				run = 10 * time.Second // -n mode: anchor the windows anyway
+			}
+			plan = chaos.CrashOnePlan(*seed, n-1, run)
+		} else {
+			var err error
+			if plan, err = chaos.LoadPlan(*chaosArg); err != nil {
+				return fs, err
+			}
+		}
+		cfg := fleet.Config{Shards: n, Station: station.Config{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			Deploy: repro.Options{
+				Nodes: *nodes,
+				Seed:  *seed,
+				Ideal: *ideal,
+			},
+		}}
+		rep, err := fleet.RunChaos(ctx, cfg, plan, load)
+		if err != nil {
+			return fs, err
+		}
+		snap = fleet.ChaosSnapshot(rep, date, runtime.Version(), hostname())
+		summary = fleet.ChaosSummary(rep)
+		if *traceout != "" {
+			if err := writeEvents(*traceout, rep.Events); err != nil {
+				return fs, err
+			}
+		}
+		if rep.Load.Wrong > 0 {
+			failed = fmt.Errorf("%w: %d served answers diverged from the offline reference",
+				errRequestsFailed, rep.Load.Wrong)
+		}
+	} else if len(shardCounts) > 0 {
 		base := fleet.Config{Station: station.Config{
 			Workers:    *workers,
 			QueueDepth: *queue,
@@ -185,6 +250,20 @@ func run(args []string, stdout io.Writer) (*flag.FlagSet, error) {
 		return fs, err
 	}
 	return fs, failed
+}
+
+// writeEvents persists a drill's incident events as JSONL so aggtrace
+// -why outage can reconstruct the crash → breaker → restart chain offline.
+func writeEvents(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	jl := trace.NewJSONL(f)
+	for _, ev := range events {
+		jl.Emit(ev)
+	}
+	return jl.Close() // flushes and closes f
 }
 
 func hostname() string {

@@ -10,6 +10,7 @@
 //	aggtrace -round 3 -why alarm trace.jsonl      # causal chain per alarm
 //	aggtrace -why takeover trace.jsonl            # reconstructed takeovers
 //	aggtrace -why drop trace.jsonl                # drops grouped by cause
+//	aggtrace -why outage fleet.jsonl              # serving-fleet incidents
 //	aggtrace -expect takeover trace.jsonl         # exit 1 unless present
 package main
 
@@ -39,7 +40,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		summary   = fs.Bool("summary", false, "print event counts by type/phase/state")
 		timeline  = fs.Bool("timeline", false, "print phase windows with durations")
 		lifecycle = fs.Bool("lifecycle", false, "print per-cluster state-machine chains")
-		why       = fs.String("why", "", "causal forensics: alarm, takeover, or drop")
+		why       = fs.String("why", "", "causal forensics: alarm, takeover, drop, or outage")
 		expect    = fs.String("expect", "", "exit nonzero unless a matching event of this type exists")
 		maxCtx    = fs.Int("context", 40, "max context lines per -why chain (0 = unlimited)")
 	)
@@ -47,9 +48,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch *why {
-	case "", "alarm", "takeover", "drop":
+	case "", "alarm", "takeover", "drop", "outage":
 	default:
-		fmt.Fprintf(stderr, "aggtrace: -why wants alarm, takeover, or drop (got %q)\n", *why)
+		fmt.Fprintf(stderr, "aggtrace: -why wants alarm, takeover, drop, or outage (got %q)\n", *why)
 		return 2
 	}
 
@@ -102,6 +103,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			chains = trace.TakeoverChains(events, q)
 		case "drop":
 			chains = trace.DropChains(events, q)
+		case "outage":
+			chains = trace.OutageChains(events, q)
 		}
 		if len(chains) == 0 {
 			fmt.Fprintf(stdout, "no %s events match\n", *why)

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/station"
+)
+
+// Backend wraps a station.Backend with a chaos controller — the injection
+// seam for a single-station aggd (-chaos without -shards/-join). The
+// wrapped backend behaves as shard 0. A fleet injects at its own shard
+// seam instead (fleet.Config.Chaos), where per-shard windows are
+// meaningful; the proxy injects at the transport (Transport).
+type Backend struct {
+	station.Backend
+	ctl *Controller
+}
+
+// Wrap attaches a controller to a backend. A nil controller returns the
+// backend unwrapped, so the disabled path has no indirection at all.
+func Wrap(b station.Backend, c *Controller) station.Backend {
+	if c == nil {
+		return b
+	}
+	return &Backend{Backend: b, ctl: c}
+}
+
+// gate applies the shard-0 verdict to one admission.
+func (b *Backend) gate() error {
+	d := b.ctl.Decide(0)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	switch {
+	case d.Crash:
+		return fmt.Errorf("%w: %w", station.ErrUnavailable, ErrCrashed)
+	case d.QueueFull:
+		return fmt.Errorf("%w: injected storm", station.ErrQueueFull)
+	case d.Err:
+		return ErrInjected
+	}
+	return nil
+}
+
+// Submit applies the fault verdict before admitting.
+func (b *Backend) Submit(spec station.QuerySpec) (*station.Job, error) {
+	if err := b.gate(); err != nil {
+		return nil, err
+	}
+	return b.Backend.Submit(spec)
+}
+
+// SubmitAll applies the fault verdict before fanning out.
+func (b *Backend) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job, []int, error) {
+	if err := b.gate(); err != nil {
+		return nil, nil, err
+	}
+	return b.Backend.SubmitAll(spec, partial)
+}
+
+// Health reports the wrapped backend's health, overridden to down while a
+// crash window covers shard 0 — so supervising probes see the outage.
+func (b *Backend) Health() station.Health {
+	if active, _ := b.ctl.CrashActive(0); active {
+		return station.Health{Status: "down", Shards: []station.ShardHealth{{ID: 0, State: "down"}}}
+	}
+	return b.Backend.Health()
+}
+
+// Transport wraps an http.RoundTripper with a chaos controller — the
+// injection seam for the -join proxy, where shards are remote processes
+// the controller cannot reach. Shard identity is derived from the request
+// host via the target table handed to NewTransport.
+type Transport struct {
+	inner  http.RoundTripper
+	ctl    *Controller
+	shards map[string]int // URL host → shard ordinal
+}
+
+// NewTransport wraps inner (nil = http.DefaultTransport). targets maps
+// each shard's URL host (as it will appear in request URLs) to its
+// ordinal. A nil controller returns inner unwrapped.
+func NewTransport(inner http.RoundTripper, c *Controller, targets map[string]int) http.RoundTripper {
+	if c == nil {
+		return inner
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, ctl: c, shards: targets}
+}
+
+// RoundTrip applies the target shard's fault verdict: crashes and error
+// bursts surface as transport errors (what a dead process looks like from
+// outside — the breaker's food), queue-full storms as synthesized 503s
+// with Retry-After (backpressure, which must NOT trip the breaker), and
+// latency as a delay before the real round trip.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	shard, known := t.shards[req.URL.Host]
+	if !known {
+		return t.inner.RoundTrip(req)
+	}
+	d := t.ctl.Decide(shard)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	switch {
+	case d.Crash:
+		return nil, fmt.Errorf("dial tcp %s: %w", req.URL.Host, ErrCrashed)
+	case d.Err:
+		return nil, fmt.Errorf("read tcp %s: %w", req.URL.Host, ErrInjected)
+	case d.QueueFull:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := `{"error":"station: admission queue full (injected storm)","retry_after_ms":25}`
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: http.Header{
+				"Content-Type": {"application/json"},
+				"Retry-After":  {"1"},
+			},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	return t.inner.RoundTrip(req)
+}

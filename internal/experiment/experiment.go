@@ -115,6 +115,12 @@ func register(e Experiment) Experiment {
 	return e
 }
 
+// Register adds an experiment defined outside this package. The serving
+// layer uses it for drills that drive the fleet — packages this one cannot
+// import without a cycle (fleet depends on repro, which depends here).
+// Such experiments exist only in binaries that import their home package.
+func Register(e Experiment) Experiment { return register(e) }
+
 // Lookup fetches an experiment by ID.
 func Lookup(id string) (Experiment, bool) {
 	e, ok := registry[id]

@@ -12,18 +12,25 @@
 //     land on the same shard. Because every shard is built from the same
 //     deployment template, any shard can serve any query with an answer
 //     bit-identical to a single station's (make fleet-smoke proves it).
-//   - Shedding: a draining or queue-full owner sheds the query to the next
-//     shard clockwise on the ring. Clients see a 503 only when the whole
-//     fleet refuses.
+//   - Shedding: a draining, full, or down owner sheds the query to the
+//     next shard clockwise on the ring. Clients see a 503 only when the
+//     whole fleet refuses.
 //   - Composed admission: backpressure hints do not multiply across
 //     shards. One walk, one rejection, one Retry-After — coordinator-level
 //     admission, not N stacked 503s.
 //   - Fan-out: SubmitAll places one job on every shard (fleet-spanning
 //     queries); schedule registration fans out by hashing each schedule to
 //     one owner shard so recurring load spreads across pools.
+//   - Self-healing: each shard sits in a supervised slot with a health
+//     state machine (healthy/suspect/down/restarting) driven by active
+//     probes and passive request outcomes; down shards leave the rotation,
+//     are restarted with exponential backoff + jitter, and re-admitted
+//     only after K consecutive healthy probes (supervisor.go). Faults are
+//     injected on purpose through Config.Chaos (internal/chaos).
 //   - Observation: Stats() merges every shard's counters into one
 //     fleet-wide view via trace.MergeSnapshots and repro.Traffic folding,
-//     with the per-shard breakdown preserved.
+//     with the per-shard breakdown preserved; health and fault transitions
+//     are emitted as typed trace events for aggtrace -why outage.
 package fleet
 
 import (
@@ -34,9 +41,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/station"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -48,22 +58,71 @@ type Config struct {
 	Shards int
 	// Station is the per-shard template. IDPrefix is managed by the fleet.
 	Station station.Config
+
+	// Chaos, when non-nil, injects the controller's fault plan at the
+	// shard seam: every admission consults the target shard's verdict
+	// before touching it. Nil costs one pointer check per shard visited.
+	Chaos *chaos.Controller
+
+	// Supervise configures the shard supervisor. The supervisor runs when
+	// this is non-nil or Chaos is set (self-healing is pointless without a
+	// way for shards to get hurt, and keeping it off otherwise leaves the
+	// no-chaos fleet exactly as cheap as before).
+	Supervise *SupervisorConfig
+
+	// Trace receives fleet-level events (fault edges, shard health
+	// transitions, degraded answers). Must be safe for concurrent use —
+	// wrap single-threaded sinks with trace.NewLocked.
+	Trace trace.Sink
+}
+
+// slot is one supervised shard position: the station (nil while killed)
+// plus its health state. Routing reads state lock-free via the atomics;
+// the supervisor owns transitions.
+type slot struct {
+	id    int
+	st    atomic.Pointer[station.Station]
+	state atomic.Pointer[string]
+	// passive counts request-path failures (injected crashes observed at
+	// the seam) since the last supervisor tick — the passive half of the
+	// health signal.
+	passive atomic.Int64
+}
+
+// State returns the slot's current health state (a trace.Shard* constant).
+func (s *slot) State() string { return *s.state.Load() }
+
+func (s *slot) setState(state string) { s.state.Store(&state) }
+
+// serving reports whether routing may send work to the slot: healthy or
+// suspect (suspect is failing probes but not yet evicted). Down and
+// restarting (probation) slots receive no traffic.
+func (s *slot) serving() bool {
+	st := s.State()
+	return st == trace.ShardHealthy || st == trace.ShardSuspect
 }
 
 // Fleet is the coordinator. It implements station.Backend.
 type Fleet struct {
-	cfg    Config
-	shards []*station.Station
-	ring   *ring
+	cfg     Config
+	slots   []*slot
+	ring    *ring
+	started time.Time
 
 	draining  atomic.Bool
 	nextSched atomic.Int64
 
+	supStop chan struct{}
+	supDone chan struct{}
+
 	shed     atomic.Int64 // admissions served by a non-owner shard
 	rejected atomic.Int64 // admissions rejected by the whole fleet
+	restarts atomic.Int64 // supervisor-initiated shard restarts
+	degraded atomic.Int64 // fan-outs answered partially
 }
 
-// New builds Shards stations and the hash ring over them.
+// New builds Shards stations and the hash ring over them, and starts the
+// supervisor when chaos or an explicit supervisor config asks for it.
 func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 2
@@ -71,32 +130,72 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("fleet: shards must be positive, got %d", cfg.Shards)
 	}
-	f := &Fleet{cfg: cfg, ring: newRing(cfg.Shards)}
+	f := &Fleet{cfg: cfg, ring: newRing(cfg.Shards), started: time.Now()}
 	for i := 0; i < cfg.Shards; i++ {
-		scfg := cfg.Station
-		scfg.IDPrefix = fmt.Sprintf("s%d-%s", i, cfg.Station.IDPrefix)
-		// Each shard's scheduler draws ordinals from a disjoint window so
-		// same-kind schedules placed on different shards never alias onto
-		// the same epoch-seed stream (they would both start at ordinal 1).
-		scfg.ScheduleOrdinalBase = cfg.Station.ScheduleOrdinalBase + int64(i)<<16
-		st, err := station.New(scfg)
+		st, err := station.New(f.shardConfig(i))
 		if err != nil {
 			// Unwind the shards already serving.
-			for _, prev := range f.shards {
-				_ = prev.Drain(context.Background())
+			for _, prev := range f.slots {
+				if s := prev.st.Load(); s != nil {
+					_ = s.Drain(context.Background())
+				}
 			}
 			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
 		}
-		f.shards = append(f.shards, st)
+		sl := &slot{id: i}
+		sl.st.Store(st)
+		sl.setState(trace.ShardHealthy)
+		f.slots = append(f.slots, sl)
+	}
+	if cfg.Chaos != nil && cfg.Trace != nil {
+		cfg.Chaos.Trace(cfg.Trace)
+	}
+	if cfg.Supervise != nil || cfg.Chaos != nil {
+		sc := SupervisorConfig{}
+		if cfg.Supervise != nil {
+			sc = *cfg.Supervise
+		}
+		f.startSupervisor(sc.withDefaults())
 	}
 	return f, nil
 }
 
-// Shards returns the shard count.
-func (f *Fleet) Shards() int { return len(f.shards) }
+// shardConfig is the station config for shard i — also what a supervisor
+// restart rebuilds from, so restarted shards are indistinguishable from
+// the originals (same prefix, same ordinal window, same template).
+func (f *Fleet) shardConfig(i int) station.Config {
+	scfg := f.cfg.Station
+	scfg.IDPrefix = fmt.Sprintf("s%d-%s", i, f.cfg.Station.IDPrefix)
+	// Each shard's scheduler draws ordinals from a disjoint window so
+	// same-kind schedules placed on different shards never alias onto
+	// the same epoch-seed stream (they would both start at ordinal 1).
+	scfg.ScheduleOrdinalBase = f.cfg.Station.ScheduleOrdinalBase + int64(i)<<16
+	return scfg
+}
 
-// Shard exposes one shard for tests and the daemon's observe hook.
-func (f *Fleet) Shard(i int) *station.Station { return f.shards[i] }
+// emit sends one fleet event if a sink is attached. Callers nil-check via
+// this method's guard; the event is only built past it.
+func (f *Fleet) emit(shard int, typ, cause, detail string) {
+	if f.cfg.Trace == nil {
+		return
+	}
+	f.cfg.Trace.Emit(trace.Event{
+		At:      time.Since(f.started),
+		Node:    topo.NodeID(shard),
+		Cluster: trace.NoCluster,
+		Phase:   trace.PhaseFleet,
+		Type:    typ,
+		Cause:   cause,
+		Detail:  detail,
+	})
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.slots) }
+
+// Shard exposes one shard's current station for tests and the daemon's
+// observe hook (nil while the shard is killed).
+func (f *Fleet) Shard(i int) *station.Station { return f.slots[i].st.Load() }
 
 // Owner returns the ring owner for a spec — which shard the query lands on
 // when nothing is shedding.
@@ -108,18 +207,55 @@ func (f *Fleet) key(spec station.QuerySpec) uint64 {
 	return queryKey(int64(spec.Kind), spec.EffectiveSeed(f.cfg.Station.Deploy.Seed))
 }
 
+// gate applies the chaos verdict for shard idx to one admission attempt.
+// Returns the injected error (nil = proceed). Crashes count as passive
+// health failures so the supervisor sees what routing saw.
+func (f *Fleet) gate(idx int) error {
+	d := f.cfg.Chaos.Decide(idx)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	switch {
+	case d.Crash:
+		f.slots[idx].passive.Add(1)
+		return station.ErrUnavailable
+	case d.QueueFull:
+		return station.ErrQueueFull
+	case d.Err:
+		return chaos.ErrInjected
+	}
+	return nil
+}
+
 // Submit admits one query: the ring owner first, shedding clockwise past
-// draining or full shards, rejecting only when every shard refuses. Like
-// station.Submit it never blocks.
+// draining, full, or down shards, rejecting only when every shard refuses.
+// Like station.Submit it never blocks.
 func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
 	if f.draining.Load() {
 		return nil, station.ErrDraining
 	}
-	sawFull := false
+	sawFull, sawDown := false, false
 	order := f.ring.walk(f.key(spec))
 	for n, idx := range order {
-		sh := f.shards[idx]
-		if sh.Draining() {
+		sl := f.slots[idx]
+		if !sl.serving() {
+			sawDown = true
+			continue // shed past the downed shard to its ring successor
+		}
+		if err := f.gate(idx); err != nil {
+			switch {
+			case errors.Is(err, station.ErrUnavailable):
+				sawDown = true
+			case errors.Is(err, station.ErrQueueFull):
+				sawFull = true
+			default:
+				return nil, err // injected error burst: fail this request
+			}
+			continue
+		}
+		sh := sl.st.Load()
+		if sh == nil || sh.Draining() {
+			sawDown = sawDown || sh == nil
 			continue // shed to the next ring owner
 		}
 		job, err := sh.Submit(spec)
@@ -137,50 +273,98 @@ func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
 			return nil, err // invalid spec — no shard will take it
 		}
 	}
-	// The whole fleet refused: compose ONE rejection. Full beats draining
-	// because it is the retryable condition the backoff hint exists for.
+	// The whole fleet refused: compose ONE rejection. Full beats down
+	// beats draining — both leading conditions are the retryable ones the
+	// backoff hint exists for, and full implies capacity will free first.
 	f.rejected.Add(1)
-	if sawFull {
+	switch {
+	case sawFull:
 		return nil, station.ErrQueueFull
-	}
-	return nil, station.ErrDraining
-}
-
-// SubmitAll fans one query out to every accepting shard — the
-// fleet-spanning form. All shards share the deployment template, so the
-// fan-in answers must agree bit-for-bit; disagreement means a shard
-// diverged. Admission is all-or-nothing: if any shard refuses, the
-// already-admitted jobs are canceled and the error surfaces once.
-func (f *Fleet) SubmitAll(spec station.QuerySpec) ([]*station.Job, error) {
-	if f.draining.Load() {
+	case sawDown:
+		return nil, station.ErrUnavailable
+	default:
 		return nil, station.ErrDraining
 	}
-	jobs := make([]*station.Job, 0, len(f.shards))
-	for _, sh := range f.shards {
-		job, err := sh.Submit(spec)
-		if err != nil {
-			for _, j := range jobs {
-				j.Cancel()
-			}
-			if errors.Is(err, station.ErrQueueFull) {
-				f.rejected.Add(1)
-			}
-			return nil, err
-		}
-		jobs = append(jobs, job)
+}
+
+// SubmitAll fans one query out to every shard — the fleet-spanning form.
+// All shards share the deployment template, so the fan-in answers must
+// agree bit-for-bit; disagreement means a shard diverged.
+//
+// Admission is all-or-nothing by default: if any shard refuses, the
+// already-admitted jobs are canceled and the error surfaces once. With
+// partial set, unreachable or refusing shards are skipped and their
+// ordinals returned as missing — the degraded-answer contract clients opt
+// into with ?partial=1 — and only a fleet with zero reachable shards
+// errors.
+func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job, []int, error) {
+	if f.draining.Load() {
+		return nil, nil, station.ErrDraining
 	}
-	return jobs, nil
+	jobs := make([]*station.Job, 0, len(f.slots))
+	var missing []int
+	refuse := func(i int, err error) ([]*station.Job, []int, error) {
+		for _, j := range jobs {
+			j.Cancel()
+		}
+		if errors.Is(err, station.ErrQueueFull) || errors.Is(err, station.ErrUnavailable) {
+			f.rejected.Add(1)
+		}
+		return nil, nil, err
+	}
+	for i, sl := range f.slots {
+		var err error
+		switch {
+		case !sl.serving():
+			err = station.ErrUnavailable
+		default:
+			err = f.gate(i)
+		}
+		if err == nil {
+			sh := sl.st.Load()
+			if sh == nil {
+				err = station.ErrUnavailable
+			} else {
+				var job *station.Job
+				if job, err = sh.Submit(spec); err == nil {
+					jobs = append(jobs, job)
+					continue
+				}
+			}
+		}
+		if !partial {
+			return refuse(i, err)
+		}
+		missing = append(missing, i)
+	}
+	if len(jobs) == 0 {
+		// Nothing answered; a fully-missing "partial" answer is no answer.
+		return refuse(-1, station.ErrUnavailable)
+	}
+	if len(missing) > 0 {
+		f.degraded.Add(1)
+		if f.cfg.Trace != nil {
+			f.emit(missing[0], trace.TypeDegraded, "partial-fanout",
+				fmt.Sprintf("missing=%v served=%d", missing, len(jobs)))
+		}
+	}
+	return jobs, missing, nil
 }
 
 // Job resolves a job handle. Shard-prefixed IDs ("s2-job-17") route
 // directly; anything else falls back to scanning every shard.
 func (f *Fleet) Job(id string) *station.Job {
 	if i, ok := f.shardOf(id); ok {
-		return f.shards[i].Job(id)
+		if sh := f.slots[i].st.Load(); sh != nil {
+			return sh.Job(id)
+		}
+		return nil
 	}
-	for _, sh := range f.shards {
-		if job := sh.Job(id); job != nil {
-			return job
+	for _, sl := range f.slots {
+		if sh := sl.st.Load(); sh != nil {
+			if job := sh.Job(id); job != nil {
+				return job
+			}
 		}
 	}
 	return nil
@@ -197,7 +381,7 @@ func (f *Fleet) shardOf(id string) (int, bool) {
 		return 0, false
 	}
 	var i int
-	if _, err := fmt.Sscanf(rest[:cut], "%d", &i); err != nil || i < 0 || i >= len(f.shards) {
+	if _, err := fmt.Sscanf(rest[:cut], "%d", &i); err != nil || i < 0 || i >= len(f.slots) {
 		return 0, false
 	}
 	return i, true
@@ -205,7 +389,7 @@ func (f *Fleet) shardOf(id string) (int, bool) {
 
 // AddSchedule registers a recurring query on one shard, chosen by hashing
 // the schedule's fleet-wide ordinal so standing load spreads across pools;
-// a draining owner sheds registration clockwise like a query would.
+// a draining or down owner sheds registration clockwise like a query would.
 func (f *Fleet) AddSchedule(spec station.ScheduleSpec) (*station.Schedule, error) {
 	if f.draining.Load() {
 		return nil, station.ErrDraining
@@ -213,8 +397,13 @@ func (f *Fleet) AddSchedule(spec station.ScheduleSpec) (*station.Schedule, error
 	ordinal := f.nextSched.Add(1)
 	var lastErr error = station.ErrDraining
 	for _, idx := range f.ring.walk(queryKey(^int64(spec.Kind), ordinal)) {
-		sh := f.shards[idx]
-		if sh.Draining() {
+		sl := f.slots[idx]
+		if !sl.serving() {
+			lastErr = station.ErrUnavailable
+			continue
+		}
+		sh := sl.st.Load()
+		if sh == nil || sh.Draining() {
 			continue
 		}
 		sc, err := sh.AddSchedule(spec)
@@ -232,11 +421,16 @@ func (f *Fleet) AddSchedule(spec station.ScheduleSpec) (*station.Schedule, error
 // Schedule resolves a schedule handle across shards.
 func (f *Fleet) Schedule(id string) *station.Schedule {
 	if i, ok := f.shardOf(id); ok {
-		return f.shards[i].Schedule(id)
+		if sh := f.slots[i].st.Load(); sh != nil {
+			return sh.Schedule(id)
+		}
+		return nil
 	}
-	for _, sh := range f.shards {
-		if sc := sh.Schedule(id); sc != nil {
-			return sc
+	for _, sl := range f.slots {
+		if sh := sl.st.Load(); sh != nil {
+			if sc := sh.Schedule(id); sc != nil {
+				return sc
+			}
 		}
 	}
 	return nil
@@ -245,10 +439,13 @@ func (f *Fleet) Schedule(id string) *station.Schedule {
 // RemoveSchedule stops and removes a schedule wherever it lives.
 func (f *Fleet) RemoveSchedule(id string) bool {
 	if i, ok := f.shardOf(id); ok {
-		return f.shards[i].RemoveSchedule(id)
+		if sh := f.slots[i].st.Load(); sh != nil {
+			return sh.RemoveSchedule(id)
+		}
+		return false
 	}
-	for _, sh := range f.shards {
-		if sh.RemoveSchedule(id) {
+	for _, sl := range f.slots {
+		if sh := sl.st.Load(); sh != nil && sh.RemoveSchedule(id) {
 			return true
 		}
 	}
@@ -258,8 +455,10 @@ func (f *Fleet) RemoveSchedule(id string) bool {
 // ScheduleStatuses lists every shard's schedules, sorted by ID.
 func (f *Fleet) ScheduleStatuses() []station.ScheduleStatus {
 	var out []station.ScheduleStatus
-	for _, sh := range f.shards {
-		out = append(out, sh.ScheduleStatuses()...)
+	for _, sl := range f.slots {
+		if sh := sl.st.Load(); sh != nil {
+			out = append(out, sh.ScheduleStatuses()...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -268,14 +467,40 @@ func (f *Fleet) ScheduleStatuses() []station.ScheduleStatus {
 // Draining reports whether fleet-level shutdown has begun.
 func (f *Fleet) Draining() bool { return f.draining.Load() }
 
-// Drain gracefully shuts the whole fleet down: fleet admission closes,
-// then every shard drains concurrently (schedules stop, admitted epochs
+// Health reports the fleet's per-shard states: ok when every shard is
+// healthy, degraded while any is not, draining during shutdown.
+func (f *Fleet) Health() station.Health {
+	h := station.Health{Status: "ok", Shards: make([]station.ShardHealth, 0, len(f.slots))}
+	if f.draining.Load() {
+		h.Status = "draining"
+	}
+	for _, sl := range f.slots {
+		state := sl.State()
+		if sh := sl.st.Load(); state == trace.ShardHealthy && (sh == nil || sh.Draining()) {
+			state = "draining"
+		}
+		if state != trace.ShardHealthy && h.Status == "ok" {
+			h.Status = "degraded"
+		}
+		h.Shards = append(h.Shards, station.ShardHealth{ID: sl.id, State: state})
+	}
+	return h
+}
+
+// Drain gracefully shuts the whole fleet down: the supervisor stops (so
+// it cannot restart what is being stopped), fleet admission closes, then
+// every shard drains concurrently (schedules stop, admitted epochs
 // finish, sinks flush). Idempotent; the context bounds the wait.
 func (f *Fleet) Drain(ctx context.Context) error {
 	f.draining.Store(true)
-	errs := make([]error, len(f.shards))
+	f.stopSupervisor()
+	errs := make([]error, len(f.slots))
 	var wg sync.WaitGroup
-	for i, sh := range f.shards {
+	for i, sl := range f.slots {
+		sh := sl.st.Load()
+		if sh == nil {
+			continue // killed by chaos; nothing to drain
+		}
 		wg.Add(1)
 		go func(i int, sh *station.Station) {
 			defer wg.Done()
@@ -286,21 +511,24 @@ func (f *Fleet) Drain(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// ShardStats is one shard's stats tagged with its ordinal.
+// ShardStats is one shard's stats tagged with its ordinal and health.
 type ShardStats struct {
-	Shard int `json:"shard"`
+	Shard int    `json:"shard"`
+	State string `json:"state"`
 	station.Stats
 }
 
 // Stats is the fleet-wide /statsz payload: a merged roll-up (counters
 // summed, flight-recorder snapshots folded through trace.MergeSnapshots,
 // radio traffic folded through repro.Traffic) plus the per-shard detail
-// and the coordinator's own shed/reject accounting.
+// and the coordinator's own shed/reject/restart accounting.
 type Stats struct {
 	Shards   int   `json:"shards"`
 	Draining bool  `json:"draining"`
 	Shed     int64 `json:"shed"`     // admissions served off-owner
 	Rejected int64 `json:"rejected"` // fleet-wide composed rejections
+	Restarts int64 `json:"restarts"` // supervisor-initiated shard restarts
+	Degraded int64 `json:"degraded"` // fan-outs answered partially
 
 	Merged   station.Stats `json:"merged"`
 	Traffic  repro.Traffic `json:"traffic"` // radio traffic summed over every worker
@@ -310,15 +538,21 @@ type Stats struct {
 // Stats snapshots the fleet. Safe while epochs are in flight.
 func (f *Fleet) Stats() Stats {
 	out := Stats{
-		Shards:   len(f.shards),
+		Shards:   len(f.slots),
 		Draining: f.draining.Load(),
 		Shed:     f.shed.Load(),
 		Rejected: f.rejected.Load(),
+		Restarts: f.restarts.Load(),
+		Degraded: f.degraded.Load(),
 	}
-	per := make([]station.Stats, len(f.shards))
-	for i, sh := range f.shards {
-		per[i] = sh.Stats()
-		out.PerShard = append(out.PerShard, ShardStats{Shard: i, Stats: per[i]})
+	var per []station.Stats
+	for _, sl := range f.slots {
+		ss := ShardStats{Shard: sl.id, State: sl.State()}
+		if sh := sl.st.Load(); sh != nil {
+			ss.Stats = sh.Stats()
+			per = append(per, ss.Stats)
+		}
+		out.PerShard = append(out.PerShard, ss)
 	}
 	out.Merged = MergeStats(per...)
 	out.Merged.Draining = out.Draining

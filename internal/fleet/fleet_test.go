@@ -116,9 +116,12 @@ func TestFleetSmoke(t *testing.T) {
 	}
 
 	// Fan-out: one job per shard, every answer bit-identical.
-	jobs, err := f.SubmitAll(spec)
+	jobs, missing, err := f.SubmitAll(spec, false)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("healthy fan-out reported missing shards %v", missing)
 	}
 	if len(jobs) != 3 {
 		t.Fatalf("SubmitAll admitted %d jobs, want 3", len(jobs))
@@ -308,7 +311,7 @@ func TestFleetDrainSubmitCancelRace(t *testing.T) {
 	if _, err := f.Submit(station.QuerySpec{Kind: repro.QuerySum}); !errors.Is(err, station.ErrDraining) {
 		t.Errorf("submit after drain = %v, want ErrDraining", err)
 	}
-	if _, err := f.SubmitAll(station.QuerySpec{Kind: repro.QuerySum}); !errors.Is(err, station.ErrDraining) {
+	if _, _, err := f.SubmitAll(station.QuerySpec{Kind: repro.QuerySum}, false); !errors.Is(err, station.ErrDraining) {
 		t.Errorf("SubmitAll after drain = %v, want ErrDraining", err)
 	}
 	mu.Lock()

@@ -17,13 +17,17 @@ import (
 // the load driver cannot tell one shard from N.
 type Backend interface {
 	Submit(QuerySpec) (*Job, error)
-	SubmitAll(QuerySpec) ([]*Job, error)
+	// SubmitAll fans a query out to every shard. With partial set, a fleet
+	// admits what it can past down shards and returns the missing shard
+	// ordinals alongside; without it admission is all-or-nothing.
+	SubmitAll(spec QuerySpec, partial bool) ([]*Job, []int, error)
 	Job(id string) *Job
 	AddSchedule(ScheduleSpec) (*Schedule, error)
 	Schedule(id string) *Schedule
 	RemoveSchedule(id string) bool
 	ScheduleStatuses() []ScheduleStatus
 	Draining() bool
+	Health() Health
 	StatsPayload() any
 }
 
@@ -116,10 +120,14 @@ type apiError struct {
 // fanoutResponse is the POST /v1/query payload when fanout is requested:
 // one job per shard, plus whether every finished answer is bit-identical —
 // the fleet's serving-correctness invariant (same seed, same template,
-// same answer on every shard).
+// same answer on every shard). With ?partial=1 a fleet with down shards
+// answers what it has, flags Degraded, and lists the missing ordinals;
+// Agree then covers the answering shards only.
 type fanoutResponse struct {
-	Jobs  []JobStatus `json:"jobs"`
-	Agree bool        `json:"agree"`
+	Jobs     []JobStatus `json:"jobs"`
+	Agree    bool        `json:"agree"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Missing  []int       `json:"missing,omitempty"`
 }
 
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -181,14 +189,21 @@ func jobStatusCode(job *Job) int {
 }
 
 // handleFanout submits one job per shard and (synchronously) fans the
-// answers back in, reporting whether they agree bit-for-bit.
+// answers back in, reporting whether they agree bit-for-bit. All-or-
+// nothing by default; ?partial=1 opts into a degraded answer that skips
+// down shards and names them in the response.
 func (a *API) handleFanout(w http.ResponseWriter, r *http.Request, spec QuerySpec) {
-	jobs, err := a.st.SubmitAll(spec)
+	partial := r.URL.Query().Get("partial") == "1"
+	jobs, missing, err := a.st.SubmitAll(spec, partial)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
-	out := fanoutResponse{Jobs: make([]JobStatus, 0, len(jobs))}
+	out := fanoutResponse{
+		Jobs:     make([]JobStatus, 0, len(jobs)),
+		Degraded: len(missing) > 0,
+		Missing:  missing,
+	}
 	for _, job := range jobs {
 		if _, err := job.Wait(r.Context()); err != nil && !job.Finished() {
 			job.Cancel()
@@ -226,7 +241,9 @@ func answersAgree(jobs []*Job) bool {
 
 func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrUnavailable):
+		// Both are transient refusals worth retrying after a beat: a full
+		// queue drains at pool speed, a down shard is being restarted.
 		w.Header().Set("Retry-After", retryAfterHeader)
 		writeJSON(w, http.StatusServiceUnavailable,
 			apiError{Error: err.Error(), RetryAfterMs: retryAfterMs})
@@ -324,11 +341,12 @@ func (a *API) handleScheduleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if a.st.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	h := a.st.Health()
+	code := http.StatusOK
+	if !h.Healthy() {
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, h)
 }
 
 func (a *API) handleStatsz(w http.ResponseWriter, _ *http.Request) {

@@ -292,12 +292,15 @@ func TestGracefulDrainUnderTraffic(t *testing.T) {
 
 func TestHealthzAndStatsz(t *testing.T) {
 	_, srv := newTestServer(t, testConfig(2, 8))
-	var health map[string]string
+	var health Health
 	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
-	if health["status"] != "ok" {
-		t.Errorf("healthz body = %v", health)
+	if health.Status != "ok" {
+		t.Errorf("healthz body = %+v", health)
+	}
+	if len(health.Shards) != 1 || health.Shards[0].State != "healthy" {
+		t.Errorf("healthz shard detail = %+v", health.Shards)
 	}
 	if resp, data := postJSON(t, srv.URL+"/v1/query", `{"kind":"variance"}`); resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, data)

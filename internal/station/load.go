@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,14 +32,23 @@ type LoadConfig struct {
 	Duration    time.Duration
 	Kinds       []repro.QueryKind // cycled per request; default: all seven
 	Timeout     time.Duration     // per-attempt HTTP timeout (default 30s)
-	MaxRetries  int               // 503 retries per request (default 16)
+	MaxRetries  int               // 503/transport retries per request (default 16)
+
+	// VerifyAnswers, when non-nil, maps kind name → the offline reference
+	// answer; every served answer is compared against it and a mismatch
+	// counts as both an error and a wrong answer. The chaos harness uses
+	// this to prove a fleet under fault injection never serves a wrong
+	// answer, only unavailability.
+	VerifyAnswers map[string]repro.QueryAnswer
 }
 
 // LoadReport is the burst's outcome.
 type LoadReport struct {
 	Requests   int64            `json:"requests"`
 	Errors     int64            `json:"errors"`
-	Retries    int64            `json:"retries"` // 503 backpressure retries
+	Retries    int64            `json:"retries"`           // 503 backpressure retries
+	Transport  int64            `json:"transport_retries"` // dial/reset retries
+	Wrong      int64            `json:"wrong_answers"`     // served answers differing from the reference
 	Elapsed    time.Duration    `json:"elapsed_ns"`
 	Throughput float64          `json:"throughput_rps"`
 	Mean       time.Duration    `json:"mean_ns"`
@@ -53,8 +63,11 @@ type LoadReport struct {
 // String renders the human summary.
 func (r LoadReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "requests: %d  errors: %d  retries: %d  elapsed: %v\n",
-		r.Requests, r.Errors, r.Retries, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "requests: %d  errors: %d  retries: %d (+%d transport)  elapsed: %v\n",
+		r.Requests, r.Errors, r.Retries, r.Transport, r.Elapsed.Round(time.Millisecond))
+	if r.Wrong > 0 {
+		fmt.Fprintf(&b, "WRONG ANSWERS: %d\n", r.Wrong)
+	}
 	fmt.Fprintf(&b, "throughput: %.1f req/s\n", r.Throughput)
 	fmt.Fprintf(&b, "latency: mean %v  p50 %v  p95 %v  p99 %v  max %v",
 		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
@@ -137,6 +150,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		next       atomic.Int64
 		errorsN    atomic.Int64
 		retriesN   atomic.Int64
+		transportN atomic.Int64
+		wrongN     atomic.Int64
 		mu         sync.Mutex
 		latencies  []time.Duration
 		byKind     = make(map[string]int64)
@@ -159,13 +174,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					break
 				}
 				kind := cfg.Kinds[n%int64(len(cfg.Kinds))]
-				lat, retries, err := loadOne(ctx, client, cfg, kind)
+				lat, retries, transport, err := loadOne(ctx, client, cfg, kind)
 				retriesN.Add(retries)
+				transportN.Add(transport)
 				if err != nil {
 					if ctx.Err() != nil { // deadline hit mid-request, not a service error
 						break
 					}
 					errorsN.Add(1)
+					if errors.Is(err, ErrWrongAnswer) {
+						wrongN.Add(1)
+					}
 					mu.Lock()
 					if len(errSamples) < 5 {
 						errSamples = append(errSamples, err.Error())
@@ -191,6 +210,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		Requests:   int64(len(latencies)),
 		Errors:     errorsN.Load(),
 		Retries:    retriesN.Load(),
+		Transport:  transportN.Load(),
+		Wrong:      wrongN.Load(),
 		Elapsed:    elapsed,
 		ByKind:     byKind,
 		ErrSamples: errSamples,
@@ -218,36 +239,73 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[idx]
 }
 
+// ErrWrongAnswer marks a served answer that differed from the offline
+// reference (LoadConfig.VerifyAnswers) — the one failure chaos runs must
+// never see: a faulted fleet may refuse, it must not lie.
+var ErrWrongAnswer = errors.New("load: served answer differs from reference")
+
+// transportError marks a dial/reset-level failure: the server never
+// answered (or the connection died mid-exchange), so the request is safe
+// to retry — a restarting shard looks exactly like this from outside and
+// must not poison a run's error count.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// transportBackoff caps the dial-retry backoff; it starts at a tenth and
+// doubles per attempt, so a shard restart measured in hundreds of ms is
+// ridden out in a handful of retries.
+const transportBackoff = 500 * time.Millisecond
+
 // loadOne issues one sync query, honoring 503 backpressure with the
-// server's retry_after_ms hint.
-func loadOne(ctx context.Context, client *http.Client, cfg LoadConfig, kind repro.QueryKind) (time.Duration, int64, error) {
+// server's retry_after_ms hint and retrying transport-level failures
+// with capped exponential backoff.
+func loadOne(ctx context.Context, client *http.Client, cfg LoadConfig, kind repro.QueryKind) (time.Duration, int64, int64, error) {
 	body, err := json.Marshal(queryRequest{Kind: kind.String()})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	var retries int64
+	var retries, transport int64
+	tb := transportBackoff / 16
 	for attempt := 0; ; attempt++ {
-		lat, backoff, err := loadAttempt(ctx, client, cfg.BaseURL, body)
+		lat, backoff, err := loadAttempt(ctx, client, cfg, kind, body)
+		var te *transportError
+		if errors.As(err, &te) {
+			if attempt >= cfg.MaxRetries {
+				return 0, retries, transport, fmt.Errorf("load: transport failure persisted past %d retries: %w", attempt, te.err)
+			}
+			transport++
+			select {
+			case <-ctx.Done():
+				return 0, retries, transport, ctx.Err()
+			case <-time.After(tb):
+			}
+			tb = min(tb*2, transportBackoff)
+			continue
+		}
 		if backoff <= 0 {
-			return lat, retries, err
+			return lat, retries, transport, err
 		}
 		if attempt >= cfg.MaxRetries {
-			return 0, retries, fmt.Errorf("load: gave up after %d backpressure retries", attempt)
+			return 0, retries, transport, fmt.Errorf("load: gave up after %d backpressure retries", attempt)
 		}
 		retries++
 		select {
 		case <-ctx.Done():
-			return 0, retries, ctx.Err()
+			return 0, retries, transport, ctx.Err()
 		case <-time.After(backoff):
 		}
 	}
 }
 
 // loadAttempt returns a positive backoff when the server shed the request
-// (503 + retry hint) and the attempt should be retried.
-func loadAttempt(ctx context.Context, client *http.Client, baseURL string, body []byte) (time.Duration, time.Duration, error) {
+// (503 + retry hint) and the attempt should be retried; transport-level
+// failures come back wrapped in transportError so the caller can retry
+// them on its own clock.
+func loadAttempt(ctx context.Context, client *http.Client, cfg LoadConfig, kind repro.QueryKind, body []byte) (time.Duration, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		baseURL+"/v1/query", bytes.NewReader(body))
+		cfg.BaseURL+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -255,7 +313,10 @@ func loadAttempt(ctx context.Context, client *http.Client, baseURL string, body 
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		if ctx.Err() != nil {
+			return 0, 0, err
+		}
+		return 0, 0, &transportError{err}
 	}
 	defer resp.Body.Close()
 	lat := time.Since(start)
@@ -282,6 +343,12 @@ func loadAttempt(ctx context.Context, client *http.Client, baseURL string, body 
 	}
 	if st.State != JobDone.String() || st.Answer == nil {
 		return 0, 0, fmt.Errorf("load: job %s finished %q: %s", st.ID, st.State, st.Error)
+	}
+	if cfg.VerifyAnswers != nil {
+		want, known := cfg.VerifyAnswers[kind.String()]
+		if known && *st.Answer != want {
+			return 0, 0, fmt.Errorf("%w: job %s kind %s", ErrWrongAnswer, st.ID, kind)
+		}
 	}
 	return lat, 0, nil
 }

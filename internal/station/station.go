@@ -86,7 +86,29 @@ type Config struct {
 var (
 	ErrQueueFull = errors.New("station: admission queue full")
 	ErrDraining  = errors.New("station: draining, not accepting work")
+	// ErrUnavailable marks work refused because the owning shard is down or
+	// restarting (fleet supervision) — retryable, like ErrQueueFull, but a
+	// health fact rather than a backpressure fact.
+	ErrUnavailable = errors.New("station: shard unavailable")
 )
+
+// ShardHealth is one shard's health detail inside a Health payload.
+type ShardHealth struct {
+	ID    int    `json:"id"`
+	State string `json:"state"` // trace.Shard* (healthy/suspect/down/restarting) or "draining"
+}
+
+// Health is the /healthz payload: an overall status plus per-shard detail.
+// A single station reports one shard (itself); a fleet reports one entry
+// per supervised shard, and the -join proxy merges its remote targets'
+// payloads into the same shape.
+type Health struct {
+	Status string        `json:"status"` // "ok", "degraded" (some shards out), "draining"
+	Shards []ShardHealth `json:"shards"`
+}
+
+// Healthy reports whether the overall status allows serving.
+func (h Health) Healthy() bool { return h.Status == "ok" || h.Status == "degraded" }
 
 // QuerySpec is one unit of admitted work.
 type QuerySpec struct {
@@ -250,12 +272,24 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 // SubmitAll is the fan-out form of Submit. On a single station it admits
 // exactly one job; a fleet coordinator admits one per shard, which is how
 // fleet-spanning queries (and the bit-identical fleet smoke) fan out.
-func (s *Station) SubmitAll(spec QuerySpec) ([]*Job, error) {
+// With partial set a fleet admits what it can and reports the ordinals of
+// shards it could not reach (the degraded-answer contract); a single
+// station has no partial mode — one shard either admits or refuses.
+func (s *Station) SubmitAll(spec QuerySpec, partial bool) ([]*Job, []int, error) {
 	job, err := s.Submit(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return []*Job{job}, nil
+	return []*Job{job}, nil, nil
+}
+
+// Health reports the station as one shard: ok or draining.
+func (s *Station) Health() Health {
+	state, status := trace.ShardHealthy, "ok"
+	if s.Draining() {
+		state, status = "draining", "draining"
+	}
+	return Health{Status: status, Shards: []ShardHealth{{ID: 0, State: state}}}
 }
 
 // Job returns a submitted job by ID (nil if unknown or evicted).

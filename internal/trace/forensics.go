@@ -366,6 +366,59 @@ func DropChains(events []Event, q Query) []Chain {
 	return out
 }
 
+// OutageChains reconstructs serving-fleet incidents: one chain per shard
+// (or proxy target) ordinal that the trace shows going unhealthy. The
+// culprit is the event that started the outage — an injected crash fault,
+// a shard leaving healthy, or a breaker opening, whichever came first for
+// that ordinal — and the context is every fleet-phase event for the same
+// ordinal in time order: fault on/off edges, shard health transitions,
+// breaker transitions, and degraded answers that name the shard. A chain
+// whose context reaches ShardHealthy (or BreakerClosed) after the culprit
+// reads as a full incident: crash → down → restarting → … → healthy.
+func OutageChains(events []Event, q Query) []Chain {
+	fq := q
+	fq.Phase = PhaseFleet
+	byNode := make(map[topo.NodeID][]Event)
+	var order []topo.NodeID
+	for _, e := range events {
+		if !fq.Match(e) {
+			continue
+		}
+		switch e.Type {
+		case TypeFault, TypeShard, TypeBreaker, TypeDegraded:
+		default:
+			continue
+		}
+		if _, seen := byNode[e.Node]; !seen {
+			order = append(order, e.Node)
+		}
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	var out []Chain
+	for _, n := range order {
+		evs := byNode[n]
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+		culprit := -1
+		for i, e := range evs {
+			bad := e.Type == TypeFault && !strings.HasSuffix(e.Cause, "-lifted") ||
+				e.Type == TypeShard && e.Cause != ShardHealthy ||
+				e.Type == TypeBreaker && e.Cause != BreakerClosed
+			if bad {
+				culprit = i
+				break
+			}
+		}
+		if culprit < 0 {
+			continue // this ordinal never went unhealthy; not an outage
+		}
+		ctx := append([]Event{}, evs[:culprit]...)
+		ctx = append(ctx, evs[culprit+1:]...)
+		out = append(out, Chain{Culprit: evs[culprit], Context: ctx})
+	}
+	return out
+}
+
 // WriteChains renders chains: the culprit line, then its context indented.
 func WriteChains(w io.Writer, chains []Chain, maxContext int) {
 	for i, c := range chains {

@@ -38,6 +38,7 @@ const (
 	PhaseRadio     = "radio"     // medium-level events (drops and their causes)
 	PhaseMAC       = "mac"       // MAC-level events (queue drops, ARQ exhaustion)
 	PhaseEngine    = "engine"    // simulation-engine events (run lifecycle)
+	PhaseFleet     = "fleet"     // serving-fleet events (faults, shard health, breakers)
 )
 
 // Event types. Lifecycle events carry the cluster's new state in Cause;
@@ -55,6 +56,10 @@ const (
 	TypeDrop      = "drop"      // a frame was lost (cause: collision/fading/loss/queue)
 	TypeEngine    = "engine"    // engine run started/drained/hit its limit
 	TypeRound     = "round"     // per-round engine telemetry (workers, batch groups, grid)
+	TypeFault     = "fault"     // an injected chaos fault window turned on or off
+	TypeShard     = "shard"     // a supervised shard's health state advanced (state in Cause)
+	TypeBreaker   = "breaker"   // a proxy circuit breaker transitioned (state in Cause)
+	TypeDegraded  = "degraded"  // a fan-out answered partially (missing shards in Detail)
 )
 
 // Cluster lifecycle states carried in the Cause field of TypeLifecycle
@@ -79,6 +84,21 @@ const (
 	StatePromoted     = "promoted"     // deputy promoted to permanent head
 	StateOrphaned     = "orphaned"     // member re-joined after its cluster died
 	StateAdopted      = "adopted"      // head published an extended roster with orphans
+)
+
+// Serving-fleet states. Shard health (Cause of TypeShard events, fleet
+// supervisor §DESIGN "Failure domains"): healthy → suspect → down →
+// restarting → healthy. Breaker states (Cause of TypeBreaker events):
+// closed → open → half-open → closed.
+const (
+	ShardHealthy    = "healthy"    // probes pass; in the serving rotation
+	ShardSuspect    = "suspect"    // probes failing, not yet evicted
+	ShardDown       = "down"       // evicted from routing; restart pending
+	ShardRestarting = "restarting" // restarted; on probation until K healthy probes
+
+	BreakerClosed   = "closed"    // requests flow
+	BreakerOpen     = "open"      // fast-fail without touching the target
+	BreakerHalfOpen = "half-open" // one probe in flight decides reopen vs close
 )
 
 // Event is one recorded protocol action: who did what, when (virtual

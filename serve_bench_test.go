@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/station"
 )
@@ -66,4 +67,53 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.ReportMetric(rep.Throughput, "req/s")
 		})
 	}
+}
+
+// BenchmarkServeRecovery runs the canonical availability drill — crash one
+// of three shards mid-burst with a real kill, let the supervisor rebuild
+// it — and reports the down→healthy recovery span as the benchmark's
+// ns/op, so benchtrend gates on recovery-time regressions the same way it
+// gates on throughput. The wall-clock per op is the drill length, not the
+// metric; ReportMetric overrides ns/op with the recovery time.
+func BenchmarkServeRecovery(b *testing.B) {
+	cfg := fleet.Config{
+		Shards: 3,
+		Station: station.Config{
+			Workers:    1,
+			QueueDepth: 32,
+			Deploy:     repro.Options{Nodes: 80, Seed: 7, Ideal: true},
+		},
+		Supervise: &fleet.SupervisorConfig{
+			ProbeInterval:  20 * time.Millisecond,
+			RestartBackoff: 20 * time.Millisecond,
+			MaxBackoff:     200 * time.Millisecond,
+		},
+	}
+	var totalRecovery time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := chaos.Plan{Seed: 7, Faults: []chaos.Window{{
+			Shard: 2, Kind: chaos.KindCrash,
+			At: chaos.Duration(200 * time.Millisecond), Dwell: chaos.Duration(300 * time.Millisecond),
+			Kill: true,
+		}}}
+		rep, err := fleet.RunChaos(context.Background(), cfg, plan, station.LoadConfig{
+			Concurrency: 4,
+			Duration:    2500 * time.Millisecond,
+			Kinds:       []repro.QueryKind{repro.QuerySum},
+			Timeout:     time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Load.Wrong > 0 {
+			b.Fatalf("%d wrong answers under fault injection", rep.Load.Wrong)
+		}
+		if !rep.Recovered {
+			b.Fatal("crashed shard never returned to healthy within the drill")
+		}
+		totalRecovery += rep.Recovery
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalRecovery.Nanoseconds())/float64(b.N), "ns/op")
 }
