@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke chaos-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke chaos-smoke metrics-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
 ## experiment smokes, a traced-failover forensics smoke, the base-station
 ## service smoke, the fleet-coordinator smoke, the chaos availability
-## drill, the parallel-determinism smoke, a one-iteration benchmark smoke
-## through the trend harness, and the deterministic allocation gate on the
-## tracing-disabled hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke chaos-smoke par-smoke bench-smoke bench-gate
+## drill, the telemetry/exposition smoke, the parallel-determinism smoke,
+## a one-iteration benchmark smoke through the trend harness, and the
+## deterministic allocation gate on the tracing-disabled hot path.
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke chaos-smoke metrics-smoke par-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,19 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestProxyBreakerChaos|TestFleetDrainSubmitAllRace' ./internal/fleet/
 	$(GO) run ./cmd/experiments -quick -run F19-availability
 	@echo "chaos-smoke OK: 99%+ availability through a shard kill, breaker chain reconstructed"
+
+## metrics-smoke: the observability gate — a sharded daemon under a
+## mixed-kind burst must serve a /metricsz exposition that parses, with
+## per-shard series that stay monotone across scrapes and agree with
+## /statsz, and the request id returned on the wire must reconstruct into
+## a fan-out span tree (forward → admit → run → done → merge) through
+## aggtrace -why request; the telemetry record path must stay
+## allocation-free (AllocsPerRun gate). Scrape-under-load runs with -race.
+metrics-smoke:
+	$(GO) test -race -count=1 -run 'TestMetricsSmoke' ./cmd/aggd/
+	$(GO) test -count=1 -run 'TestAggtraceRequestSpanTree' ./cmd/aggtrace/
+	$(GO) test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
+	@echo "metrics-smoke OK: exposition parses, series monotone, span tree reconstructed, record path alloc-free"
 
 ## par-smoke: the round engine's determinism gate — a parallel multi-round
 ## failover simulation (lossy radio, head crashes, churn repair) must report

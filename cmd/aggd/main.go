@@ -19,8 +19,13 @@
 // seed + per-shard crash/latency/errors/queue-full windows) against the
 // shard backends and, under -join, the proxy transport; -traceout streams
 // fleet events (faults, shard states, breaker transitions, degraded
-// answers) as JSONL for aggtrace -why outage. ?partial=1 lets a fan-out
-// degrade to the surviving shards instead of failing.
+// answers) plus per-request serve spans as JSONL for aggtrace -why outage
+// and -why request <id>. ?partial=1 lets a fan-out degrade to the
+// surviving shards instead of failing.
+//
+// Every response carries an X-Agg-Request-Id header (assigned at ingress,
+// propagated by a -join proxy to its targets); /metricsz serves Prometheus
+// text-format telemetry on every topology.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // queued and in-flight epochs finish (bounded by -draintimeout), schedules
@@ -97,7 +102,7 @@ func run(args []string) (*flag.FlagSet, error) {
 		tracestats = fs.Bool("tracestats", false, "attach flight-recorder counters to every worker (merged into /statsz)")
 		observe    = fs.String("observe", "", "serve live station stats (expvar) and pprof on this second address, e.g. :6060")
 		chaosPlan  = fs.String("chaos", "", "arm a fault-injection plan from this JSON file (see internal/chaos)")
-		traceout   = fs.String("traceout", "", "append fleet events (faults, shard health, breakers) to this JSONL file for aggtrace -why outage")
+		traceout   = fs.String("traceout", "", "append fleet events (faults, shard health, breakers) and request spans to this JSONL file for aggtrace -why outage / -why request")
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return fs, err
@@ -146,6 +151,9 @@ func run(args []string) (*flag.FlagSet, error) {
 		// different shards from aliasing onto one epoch-seed stream, the
 		// same guarantee fleet.New stamps on in-process shards.
 		ScheduleOrdinalBase: ordinalBase(*idprefix),
+		// Trace is filled in below once the -traceout sink exists; every
+		// topology shares one stream so request spans interleave with
+		// fleet incident events.
 		Deploy: repro.Options{
 			Nodes:     *nodes,
 			FieldSize: *field,
@@ -177,6 +185,7 @@ func run(args []string) (*flag.FlagSet, error) {
 			}
 		}()
 	}
+	stCfg.Trace = sink
 	if *chaosPlan != "" {
 		plan, err := chaos.LoadPlan(*chaosPlan)
 		if err != nil {

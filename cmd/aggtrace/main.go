@@ -11,6 +11,7 @@
 //	aggtrace -why takeover trace.jsonl            # reconstructed takeovers
 //	aggtrace -why drop trace.jsonl                # drops grouped by cause
 //	aggtrace -why outage fleet.jsonl              # serving-fleet incidents
+//	aggtrace -why request <id> serve.jsonl        # one request's span tree
 //	aggtrace -expect takeover trace.jsonl         # exit 1 unless present
 package main
 
@@ -40,7 +41,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		summary   = fs.Bool("summary", false, "print event counts by type/phase/state")
 		timeline  = fs.Bool("timeline", false, "print phase windows with durations")
 		lifecycle = fs.Bool("lifecycle", false, "print per-cluster state-machine chains")
-		why       = fs.String("why", "", "causal forensics: alarm, takeover, drop, or outage")
+		why       = fs.String("why", "", "causal forensics: alarm, takeover, drop, outage, or request <id>")
 		expect    = fs.String("expect", "", "exit nonzero unless a matching event of this type exists")
 		maxCtx    = fs.Int("context", 40, "max context lines per -why chain (0 = unlimited)")
 	)
@@ -48,15 +49,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch *why {
-	case "", "alarm", "takeover", "drop", "outage":
+	case "", "alarm", "takeover", "drop", "outage", "request":
 	default:
-		fmt.Fprintf(stderr, "aggtrace: -why wants alarm, takeover, drop, or outage (got %q)\n", *why)
+		fmt.Fprintf(stderr, "aggtrace: -why wants alarm, takeover, drop, outage, or request (got %q)\n", *why)
 		return 2
+	}
+	// -why request consumes the first positional argument as the request
+	// id; the trace file (if any) follows it.
+	args := fs.Args()
+	reqID := ""
+	if *why == "request" {
+		if len(args) == 0 {
+			fmt.Fprintln(stderr, "aggtrace: -why request wants a request id")
+			return 2
+		}
+		reqID, args = args[0], args[1:]
 	}
 
 	in := io.Reader(os.Stdin)
-	if fs.NArg() > 0 {
-		f, err := os.Open(fs.Arg(0))
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
 		if err != nil {
 			fmt.Fprintf(stderr, "aggtrace: %v\n", err)
 			return 1
@@ -94,6 +106,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *why == "request":
+		if err := trace.WriteRequestTree(stdout, events, reqID); err != nil {
+			fmt.Fprintf(stderr, "aggtrace: %v\n", err)
+			return 1
+		}
 	case *why != "":
 		var chains []trace.Chain
 		switch *why {

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/station"
+	"repro/internal/trace"
 )
 
 // traceHeadCrashRound runs one cluster round with every head fail-stopping
@@ -124,5 +128,72 @@ func TestAggtraceBadInputs(t *testing.T) {
 	}
 	if code := run([]string{"-why", "weather", bad}, &out, &errOut); code != 2 {
 		t.Fatalf("bad -why: exit %d", code)
+	}
+}
+
+// serveTracedRequest runs one correlated query through a traced station and
+// returns the JSONL path plus the request id — the fixture for the span-tree
+// reconstruction below.
+func serveTracedRequest(t *testing.T) (string, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "serve.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := trace.NewJSONL(f)
+	st, err := station.New(station.Config{
+		Workers: 1, QueueDepth: 8, Trace: trace.NewLocked(jl),
+		Deploy: repro.Options{Nodes: 80, Seed: 7, Ideal: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rid = "req-cli-fixture"
+	job, err := st.Submit(station.QuerySpec{Kind: repro.QuerySum, RequestID: rid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := job.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rid
+}
+
+func TestAggtraceRequestSpanTree(t *testing.T) {
+	path, rid := serveTracedRequest(t)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-why", "request", rid, path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"request " + rid, "admit", "run", "done", "queue_wait="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("span tree missing %q:\n%s", want, got)
+		}
+	}
+
+	// Unknown id: a real error that names the ids the trace does hold.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-why", "request", "nope", path}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown id: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), rid) {
+		t.Errorf("unknown-id error does not list known ids: %s", errOut.String())
+	}
+
+	// Missing id operand is a usage error.
+	if code := run([]string{"-why", "request"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing id: exit %d", code)
 	}
 }

@@ -108,9 +108,15 @@ type Fleet struct {
 	slots   []*slot
 	ring    *ring
 	started time.Time
+	metrics *metrics
 
 	draining  atomic.Bool
 	nextSched atomic.Int64
+
+	// watchers tracks fan-out observer goroutines (per-shard latency plus
+	// the merge event) so Drain can wait for the last emit before the
+	// caller closes the trace sink.
+	watchers sync.WaitGroup
 
 	supStop chan struct{}
 	supDone chan struct{}
@@ -147,6 +153,7 @@ func New(cfg Config) (*Fleet, error) {
 		sl.setState(trace.ShardHealthy)
 		f.slots = append(f.slots, sl)
 	}
+	f.metrics = f.newMetrics()
 	if cfg.Chaos != nil && cfg.Trace != nil {
 		cfg.Chaos.Trace(cfg.Trace)
 	}
@@ -170,6 +177,12 @@ func (f *Fleet) shardConfig(i int) station.Config {
 	// same-kind schedules placed on different shards never alias onto
 	// the same epoch-seed stream (they would both start at ordinal 1).
 	scfg.ScheduleOrdinalBase = f.cfg.Station.ScheduleOrdinalBase + int64(i)<<16
+	// Shard stations share the fleet's sink so one request's admit/run/done
+	// stages land in the same stream as the fleet's fan-out and merge — the
+	// span tree aggtrace -why request rebuilds needs all of them together.
+	if scfg.Trace == nil {
+		scfg.Trace = f.cfg.Trace
+	}
 	return scfg
 }
 
@@ -249,6 +262,7 @@ func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
 			case errors.Is(err, station.ErrQueueFull):
 				sawFull = true
 			default:
+				f.metrics.avail.Record(false)
 				return nil, err // injected error burst: fail this request
 			}
 			continue
@@ -264,6 +278,7 @@ func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
 			if n > 0 {
 				f.shed.Add(1)
 			}
+			f.metrics.avail.Record(true)
 			return job, nil
 		case errors.Is(err, station.ErrQueueFull):
 			sawFull = true
@@ -277,6 +292,7 @@ func (f *Fleet) Submit(spec station.QuerySpec) (*station.Job, error) {
 	// beats draining — both leading conditions are the retryable ones the
 	// backoff hint exists for, and full implies capacity will free first.
 	f.rejected.Add(1)
+	f.metrics.avail.Record(false)
 	switch {
 	case sawFull:
 		return nil, station.ErrQueueFull
@@ -302,6 +318,7 @@ func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job,
 		return nil, nil, station.ErrDraining
 	}
 	jobs := make([]*station.Job, 0, len(f.slots))
+	shards := make([]int, 0, len(f.slots))
 	var missing []int
 	refuse := func(i int, err error) ([]*station.Job, []int, error) {
 		for _, j := range jobs {
@@ -309,6 +326,7 @@ func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job,
 		}
 		if errors.Is(err, station.ErrQueueFull) || errors.Is(err, station.ErrUnavailable) {
 			f.rejected.Add(1)
+			f.metrics.avail.Record(false)
 		}
 		return nil, nil, err
 	}
@@ -328,6 +346,9 @@ func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job,
 				var job *station.Job
 				if job, err = sh.Submit(spec); err == nil {
 					jobs = append(jobs, job)
+					shards = append(shards, i)
+					f.emitRequest(spec.RequestID, i, trace.StageFanout,
+						fmt.Sprintf("shard=%d", i))
 					continue
 				}
 			}
@@ -348,7 +369,53 @@ func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job,
 				fmt.Sprintf("missing=%v served=%d", missing, len(jobs)))
 		}
 	}
+	f.metrics.avail.Record(true)
+	f.watchFanout(spec.RequestID, jobs, shards)
 	return jobs, missing, nil
+}
+
+// watchFanout observes each fan-out job's completion latency into its
+// shard's histogram and emits the merge stage once every job settles —
+// the fleet-side half of the request span tree.
+func (f *Fleet) watchFanout(reqID string, jobs []*station.Job, shards []int) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(shard int, job *station.Job) {
+			defer wg.Done()
+			<-job.Done()
+			f.metrics.fanout[shard].Observe(time.Since(start))
+		}(shards[i], job)
+	}
+	f.watchers.Add(1)
+	go func() {
+		defer f.watchers.Done()
+		wg.Wait()
+		f.emitRequest(reqID, -1, trace.StageMerge, fmt.Sprintf("shards=%d", len(jobs)))
+	}()
+}
+
+// emitRequest records one fleet-side request lifecycle stage (fan-out,
+// merge). Requests with no correlation id — scheduled epochs — are
+// skipped; their per-shard jobs are still traced by the stations.
+func (f *Fleet) emitRequest(reqID string, shard int, stage, extra string) {
+	if f.cfg.Trace == nil || reqID == "" {
+		return
+	}
+	detail := "req=" + reqID
+	if extra != "" {
+		detail += " " + extra
+	}
+	f.cfg.Trace.Emit(trace.Event{
+		At:      time.Since(f.started),
+		Node:    topo.NodeID(shard),
+		Cluster: trace.NoCluster,
+		Phase:   trace.PhaseServe,
+		Type:    trace.TypeRequest,
+		Cause:   stage,
+		Detail:  detail,
+	})
 }
 
 // Job resolves a job handle. Shard-prefixed IDs ("s2-job-17") route
@@ -508,6 +575,16 @@ func (f *Fleet) Drain(ctx context.Context) error {
 		}(i, sh)
 	}
 	wg.Wait()
+	// Fan-out watchers finish once their jobs do (just drained above); wait
+	// for the last merge emit so the caller can safely close the sink, but
+	// never past the drain deadline.
+	watched := make(chan struct{})
+	go func() { f.watchers.Wait(); close(watched) }()
+	select {
+	case <-watched:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("fleet: fan-out watchers still running: %w", ctx.Err()))
+	}
 	return errors.Join(errs...)
 }
 

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/station"
+	"repro/internal/telemetry"
+)
+
+// TestProxyHedgesSlowTarget is the hedging regression gate: with the
+// p99 now read from the shared per-target histogram instead of the old
+// private sample ring, a GET to a target that suddenly stalls must still
+// fire a hedge after the learned delay and win with the fast second
+// attempt.
+func TestProxyHedgesSlowTarget(t *testing.T) {
+	const stall = 750 * time.Millisecond
+	var calls atomic.Int64
+	slowFirst := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(stall) // only the first in-flight GET stalls
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"s0-job-1","state":"done"}`)
+	}))
+	defer slowFirst.Close()
+
+	p, err := NewProxy([]string{slowFirst.URL}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the histogram has enough samples, the derived delay must be
+	// zero: hedging on thin data hedges everything.
+	if d := p.hedgeDelay(0); d != 0 {
+		t.Fatalf("hedgeDelay with empty histogram = %v, want 0", d)
+	}
+
+	// Teach the target's shared histogram a fast baseline, as a warm proxy
+	// would have learned from real traffic.
+	for i := 0; i < hedgeMinSamples; i++ {
+		p.metrics.lat[0].Observe(10 * time.Millisecond)
+	}
+	if d := p.hedgeDelay(0); d <= 0 || d > 100*time.Millisecond {
+		t.Fatalf("hedgeDelay after warm-up = %v, want a small p99-derived delay", d)
+	}
+
+	start := time.Now()
+	resp, err := p.get(0, "rid-hedge", "/v1/jobs/s0-job-1")
+	took := time.Since(start)
+	if err != nil || resp.status != http.StatusOK {
+		t.Fatalf("hedged get: %v status=%v", err, resp)
+	}
+	if took >= stall {
+		t.Fatalf("hedged get took %v, want well under the %v stall", took, stall)
+	}
+	if n := p.metrics.hedges[0].Value(); n != 1 {
+		t.Errorf("hedges counter = %d, want 1", n)
+	}
+	if n := p.metrics.attempts[0].Value(); n < 2 {
+		t.Errorf("attempts counter = %d, want both racing attempts counted", n)
+	}
+}
+
+// TestProxyMetricsExposition scrapes the proxy's /metricsz after real
+// traffic and checks the exposition parses with the per-target series a
+// dashboard keys on — and that the correlation id assigned at the proxy
+// comes back on both the response header and the job status.
+func TestProxyMetricsExposition(t *testing.T) {
+	rig := newProxyRig(t)
+
+	resp, err := http.Post(rig.proxy.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"kind":"sum"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid := resp.Header.Get(station.RequestIDHeader)
+	var js station.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid == "" {
+		t.Fatal("proxy response carries no X-Agg-Request-Id")
+	}
+	if js.RequestID != rid {
+		t.Errorf("job status request_id %q != response header id %q", js.RequestID, rid)
+	}
+
+	resp, err = http.Get(rig.proxy.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("metricsz content type = %q", ct)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("proxy exposition does not parse: %v", err)
+	}
+	attempts := samples[`agg_proxy_attempts_total{target="0"}`] +
+		samples[`agg_proxy_attempts_total{target="1"}`]
+	if attempts < 1 {
+		t.Errorf("no per-target attempts recorded: %v", samples)
+	}
+	for _, target := range []string{"0", "1"} {
+		key := fmt.Sprintf(`agg_proxy_breaker_state{target=%q,state="closed"}`, target)
+		if samples[key] != 1 {
+			t.Errorf("%s = %v, want 1 (healthy targets stay closed)", key, samples[key])
+		}
+	}
+	if samples["agg_proxy_availability_ratio"] != 1 {
+		t.Errorf("availability = %v after all-success traffic, want 1",
+			samples["agg_proxy_availability_ratio"])
+	}
+}
+
+// TestFleetMetricsShardLabels drives a fleet, renders WriteMetrics, and
+// checks that each shard's station registry appears under its own
+// shard="i" label and agrees with what /statsz reports.
+func TestFleetMetricsShardLabels(t *testing.T) {
+	f := newFleet(t, testConfig(2, 1, 8))
+
+	jobs, missing, err := f.SubmitAll(station.QuerySpec{Kind: repro.QuerySum}, false)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("SubmitAll: %v missing=%v", err, missing)
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	samples, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("fleet exposition does not parse: %v\n%s", err, buf.String())
+	}
+
+	stats := f.Stats()
+	var doneFromMetrics float64
+	for shard := 0; shard < 2; shard++ {
+		key := fmt.Sprintf(`agg_station_jobs_total{shard="%d",kind="sum",outcome="done"}`, shard)
+		if samples[key] < 1 {
+			t.Errorf("%s = %v, want at least the fan-out job", key, samples[key])
+		}
+		doneFromMetrics += samples[key]
+		state := fmt.Sprintf(`agg_fleet_shard_state{shard="%d",state="healthy"}`, shard)
+		if samples[state] != 1 {
+			t.Errorf("%s = %v, want 1", state, samples[state])
+		}
+	}
+	if want := float64(stats.Merged.Completed); doneFromMetrics != want {
+		t.Errorf("metrics count %v done jobs, /statsz reports %v", doneFromMetrics, want)
+	}
+	if samples["agg_fleet_availability_ratio"] != 1 {
+		t.Errorf("fleet availability = %v, want 1", samples["agg_fleet_availability_ratio"])
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +51,7 @@ type Proxy struct {
 	opts     ProxyOptions
 	started  time.Time
 	breakers []*breaker
+	metrics  *proxyMetrics
 }
 
 // ProxyOptions tunes the proxy. Zero values take the documented defaults.
@@ -146,6 +146,7 @@ func NewProxyWith(targets []string, opts ProxyOptions) (*Proxy, error) {
 			maxCool:   opts.MaxCooldown,
 		}
 	}
+	p.metrics = p.newMetrics()
 	return p, nil
 }
 
@@ -193,7 +194,11 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/schedules/{id}", p.forwardByID("/v1/schedules/"))
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /statsz", p.handleStatsz)
-	return mux
+	mux.HandleFunc("GET /metricsz", p.handleMetricsz)
+	// The proxy is the fleet's ingress: it mints the request id here and
+	// propagates it to every target, so one id follows the request across
+	// proxy → shard → worker.
+	return station.WithRequestID(mux)
 }
 
 // routeRequest is the slice of the query body the proxy must understand to
@@ -242,7 +247,7 @@ func (p *Proxy) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Retry-After.
 	var last *shardResponse
 	for _, idx := range p.ring.walk(key) {
-		resp, err := p.roundTrip(idx, http.MethodPost, "/v1/query", body)
+		resp, err := p.roundTrip(idx, station.RequestIDFrom(r), http.MethodPost, "/v1/query", body)
 		if err != nil {
 			last = unreachable(err)
 			continue
@@ -276,7 +281,7 @@ func (p *Proxy) handleFanout(w http.ResponseWriter, r *http.Request, body []byte
 	}
 	out := fanPayload{Agree: true}
 	for i, t := range p.targets {
-		resp, err := p.roundTrip(i, http.MethodPost, path, body)
+		resp, err := p.roundTrip(i, station.RequestIDFrom(r), http.MethodPost, path, body)
 		if err == nil && resp.status != http.StatusOK {
 			err = fmt.Errorf("status %d", resp.status)
 		}
@@ -336,9 +341,9 @@ func (p *Proxy) forwardByID(prefix string, suffix ...string) http.HandlerFunc {
 			var resp *shardResponse
 			var err error
 			if r.Method == http.MethodGet {
-				resp, err = p.get(i, path)
+				resp, err = p.get(i, station.RequestIDFrom(r), path)
 			} else {
-				resp, err = p.roundTrip(i, r.Method, path, nil)
+				resp, err = p.roundTrip(i, station.RequestIDFrom(r), r.Method, path, nil)
 			}
 			if err != nil {
 				last = unreachable(err)
@@ -364,7 +369,7 @@ func (p *Proxy) handleScheduleAdd(w http.ResponseWriter, r *http.Request) {
 	// registration) and shed past refusing shards like a query.
 	var last *shardResponse
 	for _, idx := range p.ring.walk(hash64(body)) {
-		resp, err := p.roundTrip(idx, http.MethodPost, "/v1/schedules", body)
+		resp, err := p.roundTrip(idx, station.RequestIDFrom(r), http.MethodPost, "/v1/schedules", body)
 		if err != nil {
 			last = unreachable(err)
 			continue
@@ -378,10 +383,10 @@ func (p *Proxy) handleScheduleAdd(w http.ResponseWriter, r *http.Request) {
 	last.write(w)
 }
 
-func (p *Proxy) handleScheduleList(w http.ResponseWriter, _ *http.Request) {
+func (p *Proxy) handleScheduleList(w http.ResponseWriter, r *http.Request) {
 	var out []station.ScheduleStatus
 	for i := range p.targets {
-		resp, err := p.get(i, "/v1/schedules")
+		resp, err := p.get(i, station.RequestIDFrom(r), "/v1/schedules")
 		if err != nil || resp.status != http.StatusOK {
 			continue // a dead shard hides its schedules, it doesn't kill the list
 		}
@@ -483,7 +488,8 @@ func (p *Proxy) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	var per []station.Stats
 	for i := range p.targets {
-		resp, err := p.get(i, "/statsz")
+		// Internal scrape: no correlation id, so no serve-trace stages.
+		resp, err := p.get(i, "", "/statsz")
 		if err != nil || resp.status != http.StatusOK {
 			out.Unreachable++
 			continue
@@ -534,10 +540,11 @@ func unreachable(err error) *shardResponse {
 var errBreakerOpen = errors.New("fleet: breaker open")
 
 // roundTrip is every forwarded request's path: breaker gate, the real
-// exchange, breaker verdict, latency sample. A response of any status is
-// a breaker success (the target is alive; 503 is backpressure) — only
-// transport-level failures count toward opening.
-func (p *Proxy) roundTrip(idx int, method, path string, body []byte) (*shardResponse, error) {
+// exchange, breaker verdict, latency sample into the target's shared
+// histogram. A response of any status is a breaker success (the target is
+// alive; 503 is backpressure) — only transport-level failures count
+// toward opening.
+func (p *Proxy) roundTrip(idx int, rid, method, path string, body []byte) (*shardResponse, error) {
 	br := p.breakers[idx]
 	ok, probe := br.allow()
 	if !ok {
@@ -548,23 +555,51 @@ func (p *Proxy) roundTrip(idx int, method, path string, body []byte) (*shardResp
 		// decides which way it leaves.
 		p.emit(idx, trace.TypeBreaker, trace.BreakerHalfOpen, fmt.Sprintf("target=%s", p.targets[idx]))
 	}
+	p.metrics.attempts[idx].Inc()
 	start := time.Now()
-	resp, err := p.do(method, p.targets[idx]+path, body)
-	if state, changed := br.report(err == nil, probe, time.Since(start)); changed {
+	resp, err := p.do(rid, method, p.targets[idx]+path, body)
+	took := time.Since(start)
+	p.metrics.avail.Record(err == nil)
+	if err == nil {
+		p.metrics.lat[idx].Observe(took)
+	}
+	if state, changed := br.report(err == nil, probe); changed {
 		p.emit(idx, trace.TypeBreaker, state, fmt.Sprintf("target=%s", p.targets[idx]))
 	}
+	p.emitForward(rid, idx, took, err)
 	return resp, err
+}
+
+// emitForward records the proxy's forward stage of one correlated request
+// (skipped for the proxy's own internal scrapes, which carry no id).
+func (p *Proxy) emitForward(rid string, idx int, took time.Duration, err error) {
+	if p.opts.Trace == nil || rid == "" {
+		return
+	}
+	detail := fmt.Sprintf("req=%s target=%d took=%v", rid, idx, took)
+	if err != nil {
+		detail += " error=transport"
+	}
+	p.opts.Trace.Emit(trace.Event{
+		At:      time.Since(p.started),
+		Node:    topo.NodeID(idx),
+		Cluster: trace.NoCluster,
+		Phase:   trace.PhaseServe,
+		Type:    trace.TypeRequest,
+		Cause:   trace.StageForward,
+		Detail:  detail,
+	})
 }
 
 // get is the idempotent-GET path: hedged against the target's p99 and
 // retried on transport failure with capped backoff, honoring Retry-After
 // on 503s when a retry remains.
-func (p *Proxy) get(idx int, path string) (*shardResponse, error) {
+func (p *Proxy) get(idx int, rid, path string) (*shardResponse, error) {
 	backoff := p.opts.RetryBackoff
 	var resp *shardResponse
 	var err error
 	for attempt := 0; ; attempt++ {
-		resp, err = p.getHedged(idx, path)
+		resp, err = p.getHedged(idx, rid, path)
 		if err == nil && resp.status != http.StatusServiceUnavailable {
 			return resp, nil
 		}
@@ -580,6 +615,9 @@ func (p *Proxy) get(idx int, path string) (*shardResponse, error) {
 				return resp, nil
 			}
 			wait = ra
+			p.metrics.retryBusy[idx].Inc()
+		} else {
+			p.metrics.retryXpt[idx].Inc()
 		}
 		time.Sleep(wait)
 		backoff = min(backoff*2, p.opts.MaxCooldown)
@@ -602,10 +640,10 @@ func retryAfterOf(h http.Header) time.Duration {
 // getHedged races a second identical GET against a slow first one after
 // the hedge delay. Safe only for idempotent requests; the first response
 // to arrive wins and the loser's goroutine drains in the background.
-func (p *Proxy) getHedged(idx int, path string) (*shardResponse, error) {
+func (p *Proxy) getHedged(idx int, rid, path string) (*shardResponse, error) {
 	delay := p.hedgeDelay(idx)
 	if delay <= 0 {
-		return p.roundTrip(idx, http.MethodGet, path, nil)
+		return p.roundTrip(idx, rid, http.MethodGet, path, nil)
 	}
 	type result struct {
 		resp *shardResponse
@@ -613,7 +651,7 @@ func (p *Proxy) getHedged(idx int, path string) (*shardResponse, error) {
 	}
 	ch := make(chan result, 2)
 	fire := func() {
-		r, err := p.roundTrip(idx, http.MethodGet, path, nil)
+		r, err := p.roundTrip(idx, rid, http.MethodGet, path, nil)
 		ch <- result{r, err}
 	}
 	go fire()
@@ -624,6 +662,7 @@ func (p *Proxy) getHedged(idx int, path string) (*shardResponse, error) {
 	case first = <-ch:
 		return first.resp, first.err
 	case <-timer.C:
+		p.metrics.hedges[idx].Inc()
 		go fire()
 	}
 	first = <-ch
@@ -638,15 +677,20 @@ func (p *Proxy) getHedged(idx int, path string) (*shardResponse, error) {
 }
 
 // hedgeDelay resolves the hedge wait for a target: the fixed option when
-// set, the observed p99 once enough samples exist, otherwise no hedging.
+// set, the observed p99 from the target's shared latency histogram once
+// enough samples exist, otherwise no hedging.
 func (p *Proxy) hedgeDelay(idx int) time.Duration {
 	if p.opts.HedgeDelay != 0 {
 		return p.opts.HedgeDelay // negative disables
 	}
-	return p.breakers[idx].p99()
+	h := p.metrics.lat[idx]
+	if h.Count() < hedgeMinSamples {
+		return 0
+	}
+	return h.Quantile(0.99)
 }
 
-func (p *Proxy) do(method, url string, body []byte) (*shardResponse, error) {
+func (p *Proxy) do(rid, method, url string, body []byte) (*shardResponse, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -657,6 +701,9 @@ func (p *Proxy) do(method, url string, body []byte) (*shardResponse, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if rid != "" {
+		req.Header.Set(station.RequestIDHeader, rid)
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
@@ -682,8 +729,9 @@ func writeProxyJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// breaker is one target's circuit breaker plus its latency window (the
-// hedge-delay source — both are per-target request-outcome state).
+// breaker is one target's circuit breaker. (Its former private latency
+// ring moved to the shared per-target telemetry histogram, which now
+// feeds both the hedge delay and /metricsz from one sample stream.)
 //
 //	closed ── threshold consecutive transport failures ──▶ open
 //	  ▲                                                     │ cooldown
@@ -701,9 +749,6 @@ type breaker struct {
 	threshold int
 	maxCool   time.Duration
 	baseCool  time.Duration
-
-	lats [64]time.Duration // latency ring for the hedge delay
-	nlat int
 }
 
 func (b *breaker) current() string {
@@ -741,15 +786,13 @@ func (b *breaker) allow() (ok, probe bool) {
 
 // report records a request outcome; returns the new state and whether it
 // changed (the caller emits the transition event outside the lock).
-func (b *breaker) report(success, probe bool, took time.Duration) (string, bool) {
+func (b *breaker) report(success, probe bool) (string, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if probe {
 		b.probing = false
 	}
 	if success {
-		b.lats[b.nlat%len(b.lats)] = took
-		b.nlat++
 		b.fails = 0
 		if b.state != "" && b.state != trace.BreakerClosed {
 			b.state = trace.BreakerClosed
@@ -783,20 +826,4 @@ func (b *breaker) report(success, probe bool, took time.Duration) (string, bool)
 		}
 		return trace.BreakerOpen, changed
 	}
-}
-
-// p99 returns the target's observed p99 latency, or 0 until at least a
-// quarter of the ring has filled (hedging on thin data hedges everything).
-func (b *breaker) p99() time.Duration {
-	b.mu.Lock()
-	n := min(b.nlat, len(b.lats))
-	if n < len(b.lats)/4 {
-		b.mu.Unlock()
-		return 0
-	}
-	window := make([]time.Duration, n)
-	copy(window, b.lats[:n])
-	b.mu.Unlock()
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	return window[(n-1)*99/100]
 }

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 // Backend is what the HTTP frontend serves: a single Station or a fleet
@@ -29,6 +31,10 @@ type Backend interface {
 	Draining() bool
 	Health() Health
 	StatsPayload() any
+	// WriteMetrics renders the backend's telemetry registry as Prometheus
+	// text exposition — the /metricsz body. A fleet merges its shard
+	// registries under per-shard labels.
+	WriteMetrics(io.Writer) error
 }
 
 // API is the HTTP JSON frontend over a Backend — the handler cmd/aggd
@@ -88,7 +94,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/schedules/{id}", a.handleScheduleDelete)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /statsz", a.handleStatsz)
-	return mux
+	mux.HandleFunc("GET /metricsz", a.handleMetricsz)
+	return WithRequestID(mux)
 }
 
 type queryRequest struct {
@@ -103,9 +110,14 @@ type queryRequest struct {
 	Fanout bool `json:"fanout,omitempty"`
 }
 
-// spec converts the wire request into an admission spec.
-func (req queryRequest) spec(kind repro.QueryKind) QuerySpec {
-	spec := QuerySpec{Kind: kind, Timeout: time.Duration(req.TimeoutMs) * time.Millisecond}
+// spec converts the wire request into an admission spec, carrying the
+// request's correlation id into the job lifecycle.
+func (req queryRequest) spec(kind repro.QueryKind, r *http.Request) QuerySpec {
+	spec := QuerySpec{
+		Kind:      kind,
+		Timeout:   time.Duration(req.TimeoutMs) * time.Millisecond,
+		RequestID: RequestIDFrom(r),
+	}
 	if req.Seed != nil {
 		spec.Seed, spec.SeedSet = *req.Seed, true
 	}
@@ -146,10 +158,10 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Fanout {
-		a.handleFanout(w, r, req.spec(kind))
+		a.handleFanout(w, r, req.spec(kind, r))
 		return
 	}
-	job, err := a.st.Submit(req.spec(kind))
+	job, err := a.st.Submit(req.spec(kind, r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -351,6 +363,11 @@ func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (a *API) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, a.st.StatsPayload())
+}
+
+func (a *API) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = a.st.WriteMetrics(w) // client gone; nothing useful to do
 }
 
 // decodeBody parses a small JSON request body strictly: unknown fields and

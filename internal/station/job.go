@@ -43,6 +43,7 @@ func (s JobState) String() string {
 // answer. All methods are safe for concurrent use.
 type Job struct {
 	id        string
+	requestID string // correlates with the originating HTTP request
 	spec      QuerySpec
 	seed      int64 // effective seed (template resolved at Submit)
 	st        *Station
@@ -58,6 +59,7 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	queueWait time.Duration // pinned at worker pickup; 0 while queued
 
 	done chan struct{}
 }
@@ -72,6 +74,38 @@ func (j *Job) Spec() QuerySpec { return j.spec }
 // seed when one was given (including an explicit 0), else the deployment
 // template's.
 func (j *Job) Seed() int64 { return j.seed }
+
+// RequestID returns the correlation id the job was admitted under — the
+// originating request's X-Agg-Request-Id, or the job id itself for work
+// with no HTTP origin (scheduled epochs).
+func (j *Job) RequestID() string { return j.requestID }
+
+// Worker returns the pool slot running (or having run) the job, -1 while
+// queued.
+func (j *Job) Worker() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker
+}
+
+// QueueWait returns the admission→pickup wait, pinned when a worker takes
+// the job (0 while still queued).
+func (j *Job) QueueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.queueWait
+}
+
+// RunTime returns the pickup→finish execution time (0 until finished, and
+// for jobs that never ran).
+func (j *Job) RunTime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
 
 // Err returns the job's terminal error (nil while unfinished or done).
 func (j *Job) Err() error {
@@ -144,6 +178,7 @@ func (j *Job) setRunning(worker int) {
 	j.state = JobRunning
 	j.worker = worker
 	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.submitted)
 	j.mu.Unlock()
 }
 
@@ -177,11 +212,16 @@ type JobStatus struct {
 	// Seed is the effective seed the job runs under. It is always present:
 	// an explicit seed 0 is a valid, distinct epoch stream and must not be
 	// dropped from the wire view.
-	Seed        int64              `json:"seed"`
-	State       string             `json:"state"`
-	Worker      int                `json:"worker"` // -1 until running
-	SubmittedAt time.Time          `json:"submitted_at"`
-	QueuedMs    float64            `json:"queued_ms"`
+	Seed        int64     `json:"seed"`
+	State       string    `json:"state"`
+	Worker      int       `json:"worker"` // -1 until running
+	RequestID   string    `json:"request_id,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	QueuedMs    float64   `json:"queued_ms"`
+	// QueueWaitMs is the admission→pickup wait pinned at worker pickup —
+	// unlike QueuedMs it never keeps growing for a live job, so it is the
+	// stable value the queue-wait histogram records. 0 while still queued.
+	QueueWaitMs float64            `json:"queue_wait_ms,omitempty"`
 	RanMs       float64            `json:"ran_ms,omitempty"`
 	Answer      *repro.QueryAnswer `json:"answer,omitempty"`
 	Summary     string             `json:"summary,omitempty"` // QueryAnswer.String()
@@ -198,7 +238,9 @@ func (j *Job) Status() JobStatus {
 		Seed:        j.seed,
 		State:       j.state.String(),
 		Worker:      j.worker,
+		RequestID:   j.requestID,
 		SubmittedAt: j.submitted,
+		QueueWaitMs: ms(j.queueWait),
 	}
 	switch j.state {
 	case JobQueued:

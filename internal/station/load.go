@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/benchio"
+	"repro/internal/telemetry"
 )
 
 // LoadConfig drives a closed-loop burst against a running aggd: Concurrency
@@ -153,17 +154,19 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		transportN atomic.Int64
 		wrongN     atomic.Int64
 		mu         sync.Mutex
-		latencies  []time.Duration
 		byKind     = make(map[string]int64)
 		errSamples []string
 	)
+	// Latencies go straight into the shared serving histogram — the same
+	// log-linear buckets /metricsz exposes — so aggload's percentiles and
+	// the dashboards read from one definition of p99.
+	hist := telemetry.NewHistogram()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Concurrency; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]time.Duration, 0, 64)
 			localKinds := make(map[string]int64)
 			for {
 				n := next.Add(1) - 1
@@ -192,11 +195,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 					mu.Unlock()
 					continue
 				}
-				local = append(local, lat)
+				hist.Observe(lat)
 				localKinds[kind.String()]++
 			}
 			mu.Lock()
-			latencies = append(latencies, local...)
 			for k, v := range localKinds {
 				byKind[k] += v
 			}
@@ -207,7 +209,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	elapsed := time.Since(start)
 
 	rep := LoadReport{
-		Requests:   int64(len(latencies)),
+		Requests:   hist.Count(),
 		Errors:     errorsN.Load(),
 		Retries:    retriesN.Load(),
 		Transport:  transportN.Load(),
@@ -219,24 +221,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if rep.Requests > 0 && elapsed > 0 {
 		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		var sum time.Duration
-		for _, l := range latencies {
-			sum += l
-		}
-		rep.Mean = sum / time.Duration(len(latencies))
-		rep.P50 = percentile(latencies, 0.50)
-		rep.P95 = percentile(latencies, 0.95)
-		rep.P99 = percentile(latencies, 0.99)
-		rep.Max = latencies[len(latencies)-1]
+	if rep.Requests > 0 {
+		rep.Mean = hist.Mean()
+		rep.P50 = hist.Quantile(0.50)
+		rep.P95 = hist.Quantile(0.95)
+		rep.P99 = hist.Quantile(0.99)
+		rep.Max = hist.Max()
 	}
 	return rep, nil
-}
-
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
 }
 
 // ErrWrongAnswer marks a served answer that differed from the offline

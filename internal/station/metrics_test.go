@@ -1,0 +1,158 @@
+package station
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestMetricszScrape serves real traffic and scrapes /metricsz: the
+// exposition must parse, and the series a dashboard keys on — per-kind
+// outcomes, queue-wait and run histograms, worker/queue gauges — must
+// reflect the traffic just served.
+func TestMetricszScrape(t *testing.T) {
+	_, srv := newTestServer(t, testConfig(2, 8))
+
+	resp, data := postJSON(t, srv.URL+"/v1/query", `{"kind":"sum"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, data)
+	}
+	rid := resp.Header.Get(RequestIDHeader)
+	if rid == "" {
+		t.Fatal("response carries no X-Agg-Request-Id")
+	}
+	var js JobStatus
+	if err := json.Unmarshal(data, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.RequestID != rid {
+		t.Errorf("job request_id %q != response header %q", js.RequestID, rid)
+	}
+	if js.QueueWaitMs < 0 {
+		t.Errorf("queue_wait_ms = %v, want >= 0", js.QueueWaitMs)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("content type = %q, want %q", ct, telemetry.ContentType)
+	}
+	samples, err := telemetry.ParseText(mresp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	checks := map[string]float64{
+		`agg_station_jobs_total{kind="sum",outcome="done"}`: 1,
+		`agg_station_queue_wait_seconds_count`:              1,
+		`agg_station_run_seconds_count`:                     1,
+		`agg_station_submitted_total{result="accepted"}`:    1,
+		`agg_station_workers`:                               2,
+	}
+	for key, min := range checks {
+		if samples[key] < min {
+			t.Errorf("%s = %v, want >= %v", key, samples[key], min)
+		}
+	}
+	// The histogram-recorded queue wait and the JSON field tell one story:
+	// both are pinned at pickup, so the serve-path sum must cover the job's.
+	if sum := samples["agg_station_queue_wait_seconds_sum"]; sum*1000 < js.QueueWaitMs {
+		t.Errorf("histogram queue-wait sum %vs < job's own %vms", sum, js.QueueWaitMs)
+	}
+}
+
+// TestRequestLifecycleTrace drives one correlated request through a traced
+// station and checks the serve-stage events reconstruct into a span tree
+// keyed by the id the HTTP layer assigned.
+func TestRequestLifecycleTrace(t *testing.T) {
+	sink := &trace.Collector{}
+	cfg := testConfig(2, 8)
+	cfg.Trace = sink
+	_, srv := newTestServer(t, cfg)
+
+	resp, data := postJSON(t, srv.URL+"/v1/query", `{"kind":"count"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, data)
+	}
+	rid := resp.Header.Get(RequestIDHeader)
+
+	// The done stage is emitted by the worker after the HTTP response
+	// unblocks; give the pipeline a moment to settle.
+	var events []trace.Event
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		events = trace.RequestEvents(sink.Events(), rid)
+		if len(events) >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	stages := make(map[string]bool)
+	for _, ev := range events {
+		stages[ev.Cause] = true
+		if ev.Phase != trace.PhaseServe || ev.Type != trace.TypeRequest {
+			t.Errorf("event %+v not a serve/request event", ev)
+		}
+	}
+	for _, want := range []string{trace.StageAdmit, trace.StageRun, trace.StageDone} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from trace (have %v)", want, stages)
+		}
+	}
+
+	tree := trace.RequestTree(sink.Events(), rid)
+	if len(tree) != 1 {
+		t.Fatalf("span tree has %d spans, want the single job span", len(tree))
+	}
+	if wait, ok := trace.Token(tree[0].Events[1].Detail, "queue_wait"); !ok || wait == "" {
+		t.Errorf("run stage lacks queue_wait timing: %q", tree[0].Events[1].Detail)
+	}
+}
+
+// TestKindOutcomeCounters checks the per-kind/outcome matrix: a served
+// query and a canceled one land in different cells.
+func TestKindOutcomeCounters(t *testing.T) {
+	st := newStation(t, testConfig(1, 4))
+	job, err := st.Submit(QuerySpec{Kind: repro.QueryMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	started, release := blockWorkers(st)
+	blocker, err := st.Submit(QuerySpec{Kind: repro.QuerySum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is parked on blocker
+	queued, err := st.Submit(QuerySpec{Kind: repro.QueryMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel() // canceled while still queued
+	<-queued.Done()
+	close(release)
+	if _, err := blocker.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if got := queued.State(); got != JobCanceled {
+		t.Fatalf("queued job state = %v, want canceled", got)
+	}
+
+	m := st.metrics
+	if got := m.jobs[int(repro.QueryMin)][outcomeDone].Value(); got != 1 {
+		t.Errorf("min/done = %d, want 1", got)
+	}
+	if got := m.jobs[int(repro.QueryMax)][outcomeCanceled].Value(); got != 1 {
+		t.Errorf("max/canceled = %d, want 1", got)
+	}
+}

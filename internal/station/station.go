@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -69,6 +70,13 @@ type Config struct {
 	// deployment; Stats() then carries the merged counters (the /statsz
 	// "trace" block).
 	TraceStats bool
+
+	// Trace, when non-nil, receives serving-layer request lifecycle events
+	// (PhaseServe/TypeRequest: admit → run → done/failed/canceled), each
+	// stamped with the job's request id so aggtrace -why request can
+	// reconstruct the span tree. Distinct from TraceStats, which counts
+	// protocol events inside the worker deployments.
+	Trace trace.Sink
 
 	// AttachSinks, when set, is called once per worker deployment before
 	// it serves (e.g. to attach a TraceTo JSONL stream). A non-nil return
@@ -123,6 +131,10 @@ type QuerySpec struct {
 	SeedSet bool
 	// Timeout overrides Config.JobTimeout for this job; 0 inherits it.
 	Timeout time.Duration
+	// RequestID correlates the job with the originating HTTP request
+	// (X-Agg-Request-Id). Empty — scheduled epochs, direct API use — falls
+	// back to the job id, so every job is traceable by some id.
+	RequestID string
 }
 
 // EffectiveSeed resolves the seed this spec runs under given the
@@ -137,8 +149,10 @@ func (q QuerySpec) EffectiveSeed(template int64) int64 {
 
 // Station is the serving layer: pool + queue + scheduler + counters.
 type Station struct {
-	cfg   Config
-	queue chan *Job
+	cfg     Config
+	queue   chan *Job
+	started time.Time // wall-clock epoch for serve-trace event offsets
+	metrics *metrics
 
 	mu        sync.Mutex
 	draining  bool
@@ -193,9 +207,11 @@ func New(cfg Config) (*Station, error) {
 	st := &Station{
 		cfg:       cfg,
 		queue:     make(chan *Job, cfg.QueueDepth),
+		started:   time.Now(),
 		jobs:      make(map[string]*Job),
 		schedules: make(map[string]*Schedule),
 	}
+	st.metrics = st.newMetrics()
 	st.testHookRunning = cfg.RunningHook
 	for i := 0; i < cfg.Workers; i++ {
 		dep, err := repro.NewDeployment(cfg.Deploy)
@@ -259,8 +275,13 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 	select {
 	case s.queue <- job:
 		job.id = fmt.Sprintf("%sjob-%d", s.cfg.IDPrefix, s.nextJob.Add(1))
+		job.requestID = spec.RequestID
+		if job.requestID == "" {
+			job.requestID = job.id
+		}
 		s.jobs[job.id] = job
 		s.accepted.Add(1)
+		s.emitRequest(job, trace.StageAdmit, "kind="+spec.Kind.String())
 		return job, nil
 	default:
 		job.timerStop()
@@ -317,6 +338,9 @@ func (s *Station) execute(w *worker, job *Job) {
 		return
 	}
 	job.setRunning(w.id)
+	s.metrics.queueWait.Observe(job.QueueWait())
+	s.emitRequest(job, trace.StageRun,
+		fmt.Sprintf("worker=%d queue_wait=%v", w.id, job.QueueWait()))
 	if h := s.runningHook(); h != nil {
 		h(job)
 	}
@@ -362,13 +386,20 @@ func (s *Station) finish(job *Job, ans repro.QueryAnswer, err error) {
 	if !job.finish(ans, err) {
 		return // lost the race against Cancel-while-queued
 	}
+	s.metrics.finished(job.spec.Kind, job.State())
+	if ran := job.RunTime(); ran > 0 {
+		s.metrics.run.Observe(ran)
+	}
 	switch job.State() {
 	case JobCanceled:
 		s.canceled.Add(1)
+		s.emitRequest(job, trace.StageCanceled, "")
 	case JobFailed:
 		s.failed.Add(1)
+		s.emitRequest(job, trace.StageFailed, fmt.Sprintf("ran=%v", job.RunTime()))
 	case JobDone:
 		s.completed.Add(1)
+		s.emitRequest(job, trace.StageDone, fmt.Sprintf("ran=%v", job.RunTime()))
 		s.alarms.Add(int64(ans.Alarms()))
 		if !ans.Accepted {
 			s.integrityRejected.Add(1)
@@ -397,7 +428,31 @@ func (s *Station) retire(job *Job) {
 // cancelFinished lets Job.Cancel retire a still-queued job immediately.
 func (s *Station) cancelFinished(job *Job) {
 	s.canceled.Add(1)
+	s.metrics.finished(job.spec.Kind, JobCanceled)
+	s.emitRequest(job, trace.StageCanceled, "queued=true")
 	s.retire(job)
+}
+
+// emitRequest records one request lifecycle stage into the serve-trace
+// sink (no-op when tracing is off). Every event carries req= and job=
+// tokens so aggtrace -why request can rebuild the span tree.
+func (s *Station) emitRequest(job *Job, stage, extra string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	detail := "req=" + job.RequestID() + " job=" + job.id
+	if extra != "" {
+		detail += " " + extra
+	}
+	s.cfg.Trace.Emit(trace.Event{
+		At:      time.Since(s.started),
+		Node:    topo.NodeID(job.Worker()),
+		Cluster: trace.NoCluster,
+		Phase:   trace.PhaseServe,
+		Type:    trace.TypeRequest,
+		Cause:   stage,
+		Detail:  detail,
+	})
 }
 
 // Drain gracefully shuts the station down: schedules stop, admission

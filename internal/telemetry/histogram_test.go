@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIdxBoundaries(t *testing.T) {
+	// Everything below the floor lands in the underflow bucket.
+	for _, v := range []int64{-5, 0, 1, 1<<histMinShift - 1} {
+		if got := bucketIdx(v); got != 0 {
+			t.Fatalf("bucketIdx(%d) = %d, want underflow bucket 0", v, got)
+		}
+	}
+	// The floor itself is the first real bucket.
+	if got := bucketIdx(1 << histMinShift); got != 1 {
+		t.Fatalf("bucketIdx(floor) = %d, want 1", got)
+	}
+	// Monotone non-decreasing across a sweep of the whole range.
+	prev := 0
+	for v := int64(1); v > 0 && v < 1<<45; v += v/3 + 1 {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx not monotone: bucketIdx(%d)=%d after %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	// Values past the top octave clamp to the last bucket.
+	if got := bucketIdx(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("bucketIdx(MaxInt64) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestBucketUpperContainsValue(t *testing.T) {
+	// Every value must fall strictly below its bucket's upper bound and at
+	// or above the previous bucket's upper bound.
+	for v := int64(1); v > 0 && v < 1<<40; v = v*2 + 7 {
+		idx := bucketIdx(v)
+		if upper := bucketUpper(idx); v >= upper {
+			t.Fatalf("value %d >= bucketUpper(%d)=%d", v, idx, upper)
+		}
+		if idx > 0 && idx < histBuckets-1 {
+			if lower := bucketUpper(idx - 1); v < lower {
+				t.Fatalf("value %d < bucketUpper(%d)=%d (previous bucket)", v, idx-1, lower)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	// 100 observations, 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("Max = %v, want 100ms", h.Max())
+	}
+	// Relative error bound of the scheme is 1/histSub.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 50 * time.Millisecond}, {0.95, 95 * time.Millisecond}, {0.99, 99 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*(1+1.0/histSub)+1 {
+			t.Errorf("Quantile(%v) = %v, want within +%.1f%% of %v", c.q, got, 100.0/histSub, c.want)
+		}
+	}
+	// Quantile(1) is the exact max, and quantiles are monotone in q.
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1) = %v, want max %v", h.Quantile(1), h.Max())
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	// Out-of-range q clamps rather than panicking.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles must clamp")
+	}
+}
+
+func TestHistogramMeanSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Sum() != 40*time.Millisecond {
+		t.Fatalf("Sum = %v, want 40ms", h.Sum())
+	}
+	if h.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", h.Mean())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	want := time.Duration(workers*(workers+1)/2*per) * time.Millisecond
+	if h.Sum() != want {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Max() != time.Duration(workers)*time.Millisecond {
+		t.Fatalf("Max = %v, want %dms", h.Max(), workers)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(4 * time.Millisecond)   // <= 0.005
+	h.Observe(2 * time.Second)        // <= 2.5
+	buckets, count, sum := h.cumulative()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if sum != 2*time.Second+4*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("sum = %v", sum)
+	}
+	if len(buckets) != len(exposeBounds) {
+		t.Fatalf("bucket count %d != bounds %d", len(buckets), len(exposeBounds))
+	}
+	// Cumulative counts must be non-decreasing and end at the total.
+	prev := int64(0)
+	for i, b := range buckets {
+		if b < prev {
+			t.Fatalf("cumulative bucket %d decreased: %d < %d", i, b, prev)
+		}
+		prev = b
+	}
+	if buckets[len(buckets)-1] != count {
+		t.Fatalf("final bucket %d != count %d", buckets[len(buckets)-1], count)
+	}
+	// Spot-check: the 0.005s bound must already include the first two.
+	idx005 := -1
+	for i, b := range exposeBounds {
+		if b == 0.005 {
+			idx005 = i
+		}
+	}
+	if buckets[idx005] < 2 {
+		t.Fatalf("le=0.005 bucket = %d, want >= 2", buckets[idx005])
+	}
+}
+
+// TestHistogramRecordZeroAlloc is the AllocsPerRun gate from the issue:
+// the record path must stay allocation-free.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per call, want 0", n)
+	}
+}
+
+func TestCounterRecordZeroAlloc(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per call, want 0", n)
+	}
+}
+
+func TestGaugeRecordZeroAlloc(t *testing.T) {
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per call, want 0", n)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3 * time.Millisecond)
+		}
+	})
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package telemetry is the serving stack's aggregated time-series layer:
+// lock-striped atomic counters, gauges, a log-linear latency histogram
+// with an allocation-free record path, and a registry that renders
+// everything as Prometheus text exposition. It complements (does not
+// replace) internal/trace: trace records typed *events* for forensics,
+// telemetry maintains *aggregates* for scrapers and SLOs.
+//
+// The contract mirrors the flight recorder's: instruments are resolved
+// once at construction time (registry getters lock; handles do not), the
+// record path is a handful of atomic adds with zero allocations — gated
+// by make metrics-smoke the same way the disabled-trace path is gated by
+// bench-gate — and everything degrades to nothing when unused.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripes is the counter stripe count; power of two so the index mask is
+// one AND. Eight stripes cover the worker-pool parallelism this repo runs
+// at without bloating Value()'s sum loop.
+const stripes = 8
+
+// pad keeps adjacent stripes on distinct cache lines so concurrent Adds
+// from different goroutines do not false-share.
+type stripe struct {
+	n atomic.Int64
+	_ [7]int64
+}
+
+// Counter is a monotonically increasing counter, lock-striped to spread
+// contended Adds across cache lines. Add is wait-free and allocation-free.
+type Counter struct {
+	cells [stripes]stripe
+}
+
+// stripeIdx picks a stripe from the caller's stack address: distinct
+// goroutines own distinct stacks, so concurrent writers spread across
+// stripes without any per-goroutine state or locking. The shift discards
+// the intra-frame bits that are identical for every caller.
+func stripeIdx() int {
+	var marker byte
+	return int((uintptr(unsafe.Pointer(&marker)) >> 12) & (stripes - 1))
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.cells[stripeIdx()].n.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. The sum is not a point-in-time snapshot under
+// concurrent writers, but it is always between the true values at the
+// start and end of the call — monotone, which is the counter contract.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value. Gauges are written at state
+// transitions (queue depth, shard states), not on the hot path, so a
+// single atomic suffices.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value loads the gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Instrument kinds, used as the Prometheus TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instrument inside a family. Exactly one of the
+// value fields is set, matching the family's kind; fn-backed series read
+// a live value at exposition time (counters and gauges mirrored off
+// existing atomics, so the serving path keeps single bookkeeping).
+type series struct {
+	labels string // rendered `k="v",…` signature, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family is one metric name: its kind, help text, and labeled series.
+type family struct {
+	name, help, kind string
+	order            []string
+	series           map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Getter methods are get-or-create and safe for concurrent use; they are
+// meant for construction time, not the record path — resolve handles once
+// and Add/Observe on the handle.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// lookup get-or-creates the (family, series) pair, enforcing that a name
+// keeps one kind and one label signature space. Misuse (kind clash, odd
+// label pairs) panics: these are programmer errors at construction time,
+// never data-dependent.
+func (r *Registry) lookup(name, help, kind string, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic("telemetry: labels must be key/value pairs: " + name)
+	}
+	sig := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic("telemetry: metric " + name + " registered as " + f.kind + ", requested as " + kind)
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// Labels are alternating key, value strings.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil && s.fn == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil && s.fn == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = &Histogram{}
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — the bridge for counters that already live as atomics
+// elsewhere (station outcome counters), avoiding double bookkeeping on
+// the serving path. fn must be safe for concurrent use and monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.lookup(name, help, kindCounter, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge series computed at exposition time (queue
+// depth, availability ratios, shard states). fn must be safe for
+// concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.lookup(name, help, kindGauge, labels).fn = fn
+}

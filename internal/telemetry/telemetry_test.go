@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d, want 3", g.Value())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("agg_test_total", "help", "kind", "query")
+	b := r.Counter("agg_test_total", "help", "kind", "query")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter handle")
+	}
+	other := r.Counter("agg_test_total", "help", "kind", "epoch")
+	if other == a {
+		t.Fatal("distinct labels must return distinct handles")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agg_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name under two kinds must panic")
+		}
+	}()
+	r.Gauge("agg_clash", "")
+}
+
+func TestRegistryOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	r.Counter("agg_odd", "", "key_without_value")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agg_jobs_total", "jobs by kind", "kind", "query").Add(3)
+	r.Counter("agg_jobs_total", "jobs by kind", "kind", "epoch").Add(1)
+	r.Gauge("agg_queue_depth", "queued jobs").Set(2)
+	r.Histogram("agg_wait_seconds", "queue wait").Observe(4 * time.Millisecond)
+	r.GaugeFunc("agg_avail_ratio", "availability", func() float64 { return 0.75 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE agg_jobs_total counter",
+		`agg_jobs_total{kind="epoch"} 1`,
+		`agg_jobs_total{kind="query"} 3`,
+		"# TYPE agg_queue_depth gauge",
+		"agg_queue_depth 2",
+		"# TYPE agg_wait_seconds histogram",
+		`agg_wait_seconds_bucket{le="0.005"} 1`,
+		`agg_wait_seconds_bucket{le="+Inf"} 1`,
+		"agg_wait_seconds_sum 0.004",
+		"agg_wait_seconds_count 1",
+		"agg_avail_ratio 0.75",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// One TYPE line per family name, even with multiple series.
+	if strings.Count(text, "# TYPE agg_jobs_total") != 1 {
+		t.Fatalf("family must have exactly one TYPE line:\n%s", text)
+	}
+	if _, err := ParseText(strings.NewReader(text)); err != nil {
+		t.Fatalf("own output must parse: %v", err)
+	}
+}
+
+func TestWriteAllMergesShards(t *testing.T) {
+	// Two shard registries with the same family name must merge under one
+	// TYPE header, distinguished by the extra shard label.
+	r0, r1 := NewRegistry(), NewRegistry()
+	r0.Counter("agg_station_jobs_total", "jobs", "kind", "query").Add(2)
+	r1.Counter("agg_station_jobs_total", "jobs", "kind", "query").Add(5)
+
+	var sb strings.Builder
+	err := WriteAll(&sb,
+		Labeled{Registry: r0, Labels: []string{"shard", "0"}},
+		Labeled{Registry: r1, Labels: []string{"shard", "1"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Count(text, "# TYPE agg_station_jobs_total") != 1 {
+		t.Fatalf("merged family must have one TYPE line:\n%s", text)
+	}
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("merged exposition must parse: %v\n%s", err, text)
+	}
+	if samples[`agg_station_jobs_total{shard="0",kind="query"}`] != 2 {
+		t.Fatalf("shard 0 series wrong:\n%s", text)
+	}
+	if samples[`agg_station_jobs_total{shard="1",kind="query"}`] != 5 {
+		t.Fatalf("shard 1 series wrong:\n%s", text)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agg_esc_total", "", "target", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `target="a\"b\\c\nd"`) {
+		t.Fatalf("label value not escaped:\n%s", sb.String())
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"agg_x",            // no value
+		"agg_x notanumber", // bad value
+		"agg_x{unclosed 1", // malformed labels
+		"agg_x 1\nagg_x 2", // duplicate series
+		`{le="1"} 3`,       // empty name
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+func TestWindowAvailability(t *testing.T) {
+	now := time.Unix(1000, 0)
+	w := NewWindow(10*time.Second, time.Second)
+	w.now = func() time.Time { return now }
+
+	if w.Availability() != 1 {
+		t.Fatal("empty window must read 1.0")
+	}
+	for i := 0; i < 9; i++ {
+		w.Record(true)
+	}
+	w.Record(false)
+	if got := w.Availability(); got != 0.9 {
+		t.Fatalf("Availability = %v, want 0.9", got)
+	}
+	// Burn rate: 10% errors against a 99.9% target = 100x budget.
+	if got := w.BudgetBurn(0.999); got < 99.9 || got > 100.1 {
+		t.Fatalf("BudgetBurn = %v, want ~100", got)
+	}
+	if w.BudgetBurn(0) != 0 || w.BudgetBurn(1) != 0 {
+		t.Fatal("degenerate targets must read 0")
+	}
+	// Advance past the window span: the failure ages out.
+	now = now.Add(11 * time.Second)
+	w.Record(true)
+	if got := w.Availability(); got != 1 {
+		t.Fatalf("Availability after expiry = %v, want 1", got)
+	}
+	if got := w.BudgetBurn(0.999); got != 0 {
+		t.Fatalf("BudgetBurn after expiry = %v, want 0", got)
+	}
+}
+
+func TestWindowPartialExpiry(t *testing.T) {
+	now := time.Unix(2000, 0)
+	w := NewWindow(4*time.Second, time.Second)
+	w.now = func() time.Time { return now }
+	w.Record(false) // t=0
+	now = now.Add(2 * time.Second)
+	w.Record(true) // t=2
+	if got := w.Availability(); got != 0.5 {
+		t.Fatalf("Availability = %v, want 0.5", got)
+	}
+	now = now.Add(2 * time.Second) // t=4: the failure bucket rotates out
+	if got := w.Availability(); got != 1 {
+		t.Fatalf("Availability after partial expiry = %v, want 1", got)
+	}
+}

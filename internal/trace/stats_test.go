@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	if got := MergeSnapshots(); len(got) != 0 {
+		t.Fatalf("MergeSnapshots() = %v, want empty", got)
+	}
+	if got := MergeSnapshots(nil, nil); len(got) != 0 {
+		t.Fatalf("MergeSnapshots(nil, nil) = %v, want empty", got)
+	}
+	if got := MergeSnapshots(map[string]int64{}, nil); len(got) != 0 {
+		t.Fatalf("MergeSnapshots(empty, nil) = %v, want empty", got)
+	}
+	// A nil snapshot alongside a real one must not disturb it.
+	a := map[string]int64{"type.alarm": 3}
+	if got := MergeSnapshots(nil, a, nil); !reflect.DeepEqual(got, a) {
+		t.Fatalf("MergeSnapshots(nil, a, nil) = %v, want %v", got, a)
+	}
+}
+
+func TestMergeSnapshotsDisjointKeys(t *testing.T) {
+	a := map[string]int64{"type.alarm": 2, "phase.announce": 5}
+	b := map[string]int64{"type.drop": 7, "phase.radio": 1}
+	got := MergeSnapshots(a, b)
+	want := map[string]int64{
+		"type.alarm": 2, "phase.announce": 5,
+		"type.drop": 7, "phase.radio": 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disjoint merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeSnapshotsOverlappingKeys(t *testing.T) {
+	a := map[string]int64{"type.alarm": 2, "events_total": 10}
+	b := map[string]int64{"type.alarm": 3, "events_total": 4, "type.drop": 1}
+	got := MergeSnapshots(a, b)
+	if got["type.alarm"] != 5 || got["events_total"] != 14 || got["type.drop"] != 1 {
+		t.Fatalf("overlapping merge = %v", got)
+	}
+}
+
+func TestMergeSnapshotsHighWaterKeys(t *testing.T) {
+	// "round" and "sim_time_ns" are progress marks: max, never sum.
+	a := map[string]int64{"round": 7, "sim_time_ns": 900}
+	b := map[string]int64{"round": 3, "sim_time_ns": 1500}
+	got := MergeSnapshots(a, b)
+	if got["round"] != 7 {
+		t.Fatalf("round = %d, want max 7", got["round"])
+	}
+	if got["sim_time_ns"] != 1500 {
+		t.Fatalf("sim_time_ns = %d, want max 1500", got["sim_time_ns"])
+	}
+}
+
+func TestMergeSnapshotsAssociative(t *testing.T) {
+	// Merging three shards must give the same answer regardless of
+	// grouping — ((a,b),c) == (a,(b,c)) == (a,b,c) — so a fleet can fold
+	// shard snapshots in any order.
+	s0 := map[string]int64{"type.alarm": 1, "events_total": 10, "round": 4, "sim_time_ns": 100}
+	s1 := map[string]int64{"type.alarm": 2, "type.drop": 5, "events_total": 20, "round": 9, "sim_time_ns": 50}
+	s2 := map[string]int64{"type.drop": 3, "events_total": 30, "round": 6, "sim_time_ns": 400}
+
+	flat := MergeSnapshots(s0, s1, s2)
+	leftAssoc := MergeSnapshots(MergeSnapshots(s0, s1), s2)
+	rightAssoc := MergeSnapshots(s0, MergeSnapshots(s1, s2))
+
+	if !reflect.DeepEqual(flat, leftAssoc) {
+		t.Fatalf("left association differs: %v vs %v", flat, leftAssoc)
+	}
+	if !reflect.DeepEqual(flat, rightAssoc) {
+		t.Fatalf("right association differs: %v vs %v", flat, rightAssoc)
+	}
+	want := map[string]int64{
+		"type.alarm": 3, "type.drop": 8, "events_total": 60,
+		"round": 9, "sim_time_ns": 400,
+	}
+	if !reflect.DeepEqual(flat, want) {
+		t.Fatalf("three-shard merge = %v, want %v", flat, want)
+	}
+}
+
+func TestMergeSnapshotsDoesNotMutateInputs(t *testing.T) {
+	a := map[string]int64{"type.alarm": 2}
+	b := map[string]int64{"type.alarm": 3}
+	MergeSnapshots(a, b)
+	if a["type.alarm"] != 2 || b["type.alarm"] != 3 {
+		t.Fatalf("inputs mutated: a=%v b=%v", a, b)
+	}
+}

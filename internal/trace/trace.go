@@ -39,6 +39,7 @@ const (
 	PhaseMAC       = "mac"       // MAC-level events (queue drops, ARQ exhaustion)
 	PhaseEngine    = "engine"    // simulation-engine events (run lifecycle)
 	PhaseFleet     = "fleet"     // serving-fleet events (faults, shard health, breakers)
+	PhaseServe     = "serve"     // request lifecycle across proxy, fleet, and station
 )
 
 // Event types. Lifecycle events carry the cluster's new state in Cause;
@@ -60,6 +61,23 @@ const (
 	TypeShard     = "shard"     // a supervised shard's health state advanced (state in Cause)
 	TypeBreaker   = "breaker"   // a proxy circuit breaker transitioned (state in Cause)
 	TypeDegraded  = "degraded"  // a fan-out answered partially (missing shards in Detail)
+	TypeRequest   = "request"   // a served request advanced one stage (stage in Cause)
+)
+
+// Request lifecycle stages carried in the Cause field of TypeRequest
+// events. Detail holds space-separated k=v tokens, always starting with
+// req=<request-id>; station stages add job=<job-id> so the span tree can
+// group per-job work, and timing stages add their measured durations
+// (queue_wait=…, ran=…, took=…).
+const (
+	StageForward  = "forward"  // proxy relayed the request to a target
+	StageFanout   = "fanout"   // fleet submitted one shard's slice of a fan-out
+	StageMerge    = "merge"    // fleet merged fan-out answers
+	StageAdmit    = "admit"    // station accepted the job into its queue
+	StageRun      = "run"      // a worker picked the job up (queue_wait=…)
+	StageDone     = "done"     // the job finished successfully (ran=…)
+	StageFailed   = "failed"   // the job finished in error (ran=…)
+	StageCanceled = "canceled" // the job was canceled or timed out
 )
 
 // Cluster lifecycle states carried in the Cause field of TypeLifecycle
