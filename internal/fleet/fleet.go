@@ -115,7 +115,10 @@ type Fleet struct {
 
 	// watchers tracks fan-out observer goroutines (per-shard latency plus
 	// the merge event) so Drain can wait for the last emit before the
-	// caller closes the trace sink.
+	// caller closes the trace sink. watchMu makes registration atomic with
+	// Drain's draining flip: without it a SubmitAll that passed the
+	// draining check could Add after Drain's Wait already returned.
+	watchMu  sync.Mutex
 	watchers sync.WaitGroup
 
 	supStop chan struct{}
@@ -378,6 +381,16 @@ func (f *Fleet) SubmitAll(spec station.QuerySpec, partial bool) ([]*station.Job,
 // shard's histogram and emits the merge stage once every job settles —
 // the fleet-side half of the request span tree.
 func (f *Fleet) watchFanout(reqID string, jobs []*station.Job, shards []int) {
+	// Register under watchMu so Drain's watchers.Wait cannot return with a
+	// registration in flight; once draining is set the caller may be about
+	// to close the sink, so skip the async observers entirely.
+	f.watchMu.Lock()
+	if f.draining.Load() {
+		f.watchMu.Unlock()
+		return
+	}
+	f.watchers.Add(1)
+	f.watchMu.Unlock()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, job := range jobs {
@@ -388,7 +401,6 @@ func (f *Fleet) watchFanout(reqID string, jobs []*station.Job, shards []int) {
 			f.metrics.fanout[shard].Observe(time.Since(start))
 		}(shards[i], job)
 	}
-	f.watchers.Add(1)
 	go func() {
 		defer f.watchers.Done()
 		wg.Wait()
@@ -559,7 +571,12 @@ func (f *Fleet) Health() station.Health {
 // every shard drains concurrently (schedules stop, admitted epochs
 // finish, sinks flush). Idempotent; the context bounds the wait.
 func (f *Fleet) Drain(ctx context.Context) error {
+	// The flip shares watchMu with watchFanout: any watcher registered
+	// before it is seen by the Wait below, any after it sees draining and
+	// bails — no registration can slip between Wait and the sink close.
+	f.watchMu.Lock()
 	f.draining.Store(true)
+	f.watchMu.Unlock()
 	f.stopSupervisor()
 	errs := make([]error, len(f.slots))
 	var wg sync.WaitGroup

@@ -45,10 +45,10 @@ func TestProxyHedgesSlowTarget(t *testing.T) {
 		t.Fatalf("hedgeDelay with empty histogram = %v, want 0", d)
 	}
 
-	// Teach the target's shared histogram a fast baseline, as a warm proxy
-	// would have learned from real traffic.
+	// Teach the target's latency instruments a fast baseline, as a warm
+	// proxy would have learned from real traffic.
 	for i := 0; i < hedgeMinSamples; i++ {
-		p.metrics.lat[0].Observe(10 * time.Millisecond)
+		p.metrics.observeLatency(0, 10*time.Millisecond)
 	}
 	if d := p.hedgeDelay(0); d <= 0 || d > 100*time.Millisecond {
 		t.Fatalf("hedgeDelay after warm-up = %v, want a small p99-derived delay", d)
@@ -68,6 +68,39 @@ func TestProxyHedgesSlowTarget(t *testing.T) {
 	}
 	if n := p.metrics.attempts[0].Value(); n < 2 {
 		t.Errorf("attempts counter = %d, want both racing attempts counted", n)
+	}
+}
+
+// TestHedgeDelayTracksRegimeChange pins the rolling-window property: a
+// long fast history must not anchor the hedge delay. After the window
+// fills with slow samples the delay follows the new regime, even though
+// the slow samples are a tiny fraction of the lifetime total — the
+// failure mode a cumulative p99 has (hedging every GET against a target
+// that turned slow) and the one the old 64-sample ring never did.
+func TestHedgeDelayTracksRegimeChange(t *testing.T) {
+	p, err := NewProxy([]string{"http://127.0.0.1:1"}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate long uptime: tens of thousands of fast exchanges.
+	for i := 0; i < 50_000; i++ {
+		p.metrics.observeLatency(0, 10*time.Millisecond)
+	}
+	if d := p.hedgeDelay(0); d > 100*time.Millisecond {
+		t.Fatalf("hedgeDelay over fast history = %v, want fast", d)
+	}
+	// The target turns slow. Two window rotations of slow samples (<1% of
+	// the lifetime count) must drag the hedge delay up to the new regime.
+	for i := 0; i < 2*hedgeWindow; i++ {
+		p.metrics.observeLatency(0, 500*time.Millisecond)
+	}
+	if d := p.hedgeDelay(0); d < 400*time.Millisecond {
+		t.Fatalf("hedgeDelay after regime change = %v, want ~500ms: the window "+
+			"must forget the fast history", d)
+	}
+	// The cumulative exposition histogram keeps the lifetime view.
+	if got := p.metrics.lat[0].Count(); got != 50_000+2*hedgeWindow {
+		t.Fatalf("cumulative histogram count = %d, want all samples", got)
 	}
 }
 

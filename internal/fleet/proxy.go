@@ -561,7 +561,7 @@ func (p *Proxy) roundTrip(idx int, rid, method, path string, body []byte) (*shar
 	took := time.Since(start)
 	p.metrics.avail.Record(err == nil)
 	if err == nil {
-		p.metrics.lat[idx].Observe(took)
+		p.metrics.observeLatency(idx, took)
 	}
 	if state, changed := br.report(err == nil, probe); changed {
 		p.emit(idx, trace.TypeBreaker, state, fmt.Sprintf("target=%s", p.targets[idx]))
@@ -677,13 +677,17 @@ func (p *Proxy) getHedged(idx int, rid, path string) (*shardResponse, error) {
 }
 
 // hedgeDelay resolves the hedge wait for a target: the fixed option when
-// set, the observed p99 from the target's shared latency histogram once
-// enough samples exist, otherwise no hedging.
+// set, the p99 of the target's rolling latency window once enough samples
+// exist, otherwise no hedging. The window — not the cumulative /metricsz
+// histogram — is deliberate: a control decision must track the current
+// latency regime, and after long uptime a suddenly slow target would need
+// its slow samples to outvote the entire fast history before a cumulative
+// p99 moved, hedging every GET against it in the meantime.
 func (p *Proxy) hedgeDelay(idx int) time.Duration {
 	if p.opts.HedgeDelay != 0 {
 		return p.opts.HedgeDelay // negative disables
 	}
-	h := p.metrics.lat[idx]
+	h := p.metrics.latWin[idx]
 	if h.Count() < hedgeMinSamples {
 		return 0
 	}
@@ -730,8 +734,9 @@ func writeProxyJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // breaker is one target's circuit breaker. (Its former private latency
-// ring moved to the shared per-target telemetry histogram, which now
-// feeds both the hedge delay and /metricsz from one sample stream.)
+// ring moved to the per-target telemetry instruments: one roundTrip
+// sample point feeds both the cumulative /metricsz histogram and the
+// rolling window the hedge delay reads.)
 //
 //	closed ── threshold consecutive transport failures ──▶ open
 //	  ▲                                                     │ cooldown

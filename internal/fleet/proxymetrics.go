@@ -3,6 +3,7 @@ package fleet
 import (
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -21,6 +22,13 @@ import (
 // used before the shared histogram replaced it.
 const hedgeMinSamples = 16
 
+// hedgeWindow is the rolling window's rotation size: the hedge p99 is
+// computed over the last hedgeWindow..2×hedgeWindow exchanges, so a
+// target that turns slow re-teaches the delay within ~64 requests — the
+// adaptation speed the old private sample ring had — instead of having to
+// outvote the cumulative histogram's lifetime history.
+const hedgeWindow = 64
+
 type proxyMetrics struct {
 	reg   *telemetry.Registry
 	avail *telemetry.Window
@@ -29,7 +37,16 @@ type proxyMetrics struct {
 	hedges    []*telemetry.Counter
 	retryXpt  []*telemetry.Counter // transport-failure retries
 	retryBusy []*telemetry.Counter // 503-with-Retry-After retries
-	lat       []*telemetry.Histogram
+	lat       []*telemetry.Histogram // cumulative, exposed at /metricsz
+	latWin    []*telemetry.Rolling   // recent window, feeds the hedge delay
+}
+
+// observeLatency records one successful exchange into both views of the
+// target's latency — the cumulative exposition histogram and the rolling
+// hedge window — from the single roundTrip sample point.
+func (m *proxyMetrics) observeLatency(idx int, took time.Duration) {
+	m.lat[idx].Observe(took)
+	m.latWin[idx].Observe(took)
 }
 
 func (p *Proxy) newMetrics() *proxyMetrics {
@@ -50,8 +67,9 @@ func (p *Proxy) newMetrics() *proxyMetrics {
 		m.retryBusy = append(m.retryBusy, reg.Counter("agg_proxy_retries_total",
 			"Idempotent-GET retries by reason.", "target", ord, "reason", "busy"))
 		m.lat = append(m.lat, reg.Histogram("agg_proxy_target_seconds",
-			"Per-target round-trip latency of successful exchanges (the hedge-delay source).",
+			"Per-target round-trip latency of successful exchanges.",
 			"target", ord))
+		m.latWin = append(m.latWin, telemetry.NewRolling(hedgeWindow))
 		for _, state := range breakerStates {
 			state := state
 			reg.GaugeFunc("agg_proxy_breaker_state",

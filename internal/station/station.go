@@ -272,13 +272,17 @@ func (s *Station) Submit(spec QuerySpec) (*Job, error) {
 		job.timerStop()
 		return nil, ErrDraining
 	}
+	// Stamp identity BEFORE the send: the channel's happens-before edge is
+	// what lets the worker read job.id and job.requestID lock-free; writes
+	// after the send would race a worker that picks the job up immediately.
+	// A sequence number burned on rejection is a harmless gap.
+	job.id = fmt.Sprintf("%sjob-%d", s.cfg.IDPrefix, s.nextJob.Add(1))
+	job.requestID = spec.RequestID
+	if job.requestID == "" {
+		job.requestID = job.id
+	}
 	select {
 	case s.queue <- job:
-		job.id = fmt.Sprintf("%sjob-%d", s.cfg.IDPrefix, s.nextJob.Add(1))
-		job.requestID = spec.RequestID
-		if job.requestID == "" {
-			job.requestID = job.id
-		}
 		s.jobs[job.id] = job
 		s.accepted.Add(1)
 		s.emitRequest(job, trace.StageAdmit, "kind="+spec.Kind.String())

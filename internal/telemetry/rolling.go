@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Rolling is a recent-window latency estimator: a pair of Histograms where
+// observations land in the active half, the halves rotate every
+// rotateEvery samples, and quantile reads merge both halves — so a read
+// covers between rotateEvery and 2×rotateEvery of the most recent
+// observations and nothing older. It exists for control decisions that
+// must track the CURRENT latency regime (the proxy's hedge delay): a
+// cumulative Histogram is the right exposition instrument but adapts to a
+// regime change only once new samples outvote the lifetime history, which
+// after long uptime is never. Rolling forgets the past within one window.
+//
+// Observe is lock-free and allocation-free like Histogram.Observe. The
+// rotation race is benign by design: a writer holding a stale generation
+// may drop its sample into a half being reset, losing one observation
+// from an estimate that is approximate anyway.
+type Rolling struct {
+	rotateEvery int64
+	gen         atomic.Uint64 // active half = gen & 1
+	halves      [2]Histogram
+}
+
+// NewRolling returns a Rolling that rotates every rotateEvery samples
+// (minimum 1).
+func NewRolling(rotateEvery int) *Rolling {
+	if rotateEvery < 1 {
+		rotateEvery = 1
+	}
+	return &Rolling{rotateEvery: int64(rotateEvery)}
+}
+
+// Observe records one latency into the active half, rotating (and zeroing
+// the retired half) once the active half fills.
+func (r *Rolling) Observe(d time.Duration) {
+	g := r.gen.Load()
+	r.halves[g&1].Observe(d)
+	if r.halves[g&1].Count() >= r.rotateEvery && r.gen.CompareAndSwap(g, g+1) {
+		r.halves[(g+1)&1].Reset()
+	}
+}
+
+// Count returns the number of observations currently in the window.
+func (r *Rolling) Count() int64 {
+	return r.halves[0].Count() + r.halves[1].Count()
+}
+
+// Quantile returns the q-quantile over the window — both halves merged —
+// with the same bucket-upper-bound-capped-at-max contract as
+// Histogram.Quantile. Empty windows return 0.
+func (r *Rolling) Quantile(q float64) time.Duration {
+	total := r.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	hi := r.halves[0].max.Load()
+	if m := r.halves[1].max.Load(); m > hi {
+		hi = m
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += r.halves[0].buckets[i].Load() + r.halves[1].buckets[i].Load()
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > hi {
+				upper = hi
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(hi) // torn read straggler: best effort
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRollingForgetsOldRegime(t *testing.T) {
+	r := NewRolling(64)
+	if r.Quantile(0.99) != 0 || r.Count() != 0 {
+		t.Fatal("empty window must read zero")
+	}
+	// A long fast history...
+	for i := 0; i < 10_000; i++ {
+		r.Observe(10 * time.Millisecond)
+	}
+	if d := r.Quantile(0.99); d > 20*time.Millisecond {
+		t.Fatalf("fast-regime p99 = %v, want ~10ms", d)
+	}
+	// ...must be fully displaced by two rotations of slow samples.
+	for i := 0; i < 128; i++ {
+		r.Observe(500 * time.Millisecond)
+	}
+	if d := r.Quantile(0.99); d < 400*time.Millisecond {
+		t.Fatalf("p99 after regime change = %v, want ~500ms", d)
+	}
+	// The window never holds more than two halves' worth of samples.
+	if n := r.Count(); n > 128 {
+		t.Fatalf("window Count = %d, want <= 128", n)
+	}
+}
+
+func TestRollingQuantileSpansBothHalves(t *testing.T) {
+	// 96 observations into a 64-rotation window: one full (retired) half
+	// plus a partial active one. The quantile must see all 96.
+	r := NewRolling(64)
+	for i := 1; i <= 96; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if n := r.Count(); n != 96 {
+		t.Fatalf("Count = %d, want 96", n)
+	}
+	if d := r.Quantile(1); d != 96*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want the exact max 96ms", d)
+	}
+	if d := r.Quantile(0); d > 2*time.Millisecond {
+		t.Fatalf("Quantile(0) = %v, want ~1ms from the retired half", d)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset must zero the histogram")
+	}
+	h.Observe(7 * time.Millisecond)
+	if h.Count() != 1 || h.Max() != 7*time.Millisecond {
+		t.Fatal("histogram must keep working after Reset")
+	}
+}
+
+func TestRollingRecordZeroAlloc(t *testing.T) {
+	r := NewRolling(64)
+	if n := testing.AllocsPerRun(1000, func() { r.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Rolling.Observe allocates %v per call, want 0", n)
+	}
+}

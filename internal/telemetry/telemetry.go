@@ -151,7 +151,12 @@ func (r *Registry) lookup(name, help, kind string, labels []string) *series {
 // Labels are alternating key, value strings.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	s := r.lookup(name, help, kindCounter, labels)
-	if s.c == nil && s.fn == nil {
+	if s.fn != nil {
+		// Surface the clash here, at construction, not as a nil-handle
+		// panic at some later Inc() far from the misregistration.
+		panic("telemetry: metric " + name + " already registered via CounterFunc")
+	}
+	if s.c == nil {
 		s.c = &Counter{}
 	}
 	return s.c
@@ -160,7 +165,10 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 // Gauge returns the gauge for name+labels, creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	s := r.lookup(name, help, kindGauge, labels)
-	if s.g == nil && s.fn == nil {
+	if s.fn != nil {
+		panic("telemetry: metric " + name + " already registered via GaugeFunc")
+	}
+	if s.g == nil {
 		s.g = &Gauge{}
 	}
 	return s.g
@@ -181,12 +189,20 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 // elsewhere (station outcome counters), avoiding double bookkeeping on
 // the serving path. fn must be safe for concurrent use and monotone.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
-	r.lookup(name, help, kindCounter, labels).fn = fn
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c != nil {
+		panic("telemetry: metric " + name + " already registered as a handle-backed counter")
+	}
+	s.fn = fn
 }
 
 // GaugeFunc registers a gauge series computed at exposition time (queue
 // depth, availability ratios, shard states). fn must be safe for
 // concurrent use.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	r.lookup(name, help, kindGauge, labels).fn = fn
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g != nil {
+		panic("telemetry: metric " + name + " already registered as a handle-backed gauge")
+	}
+	s.fn = fn
 }

@@ -59,6 +59,40 @@ func TestRegistryKindClashPanics(t *testing.T) {
 	r.Gauge("agg_clash", "")
 }
 
+func TestRegistryFuncClashPanics(t *testing.T) {
+	// A series first registered via CounterFunc must not hand out a nil
+	// counter handle later — the clash surfaces at construction time.
+	r := NewRegistry()
+	r.CounterFunc("agg_fn_total", "", func() float64 { return 1 })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Counter after CounterFunc on the same series must panic")
+			}
+		}()
+		r.Counter("agg_fn_total", "")
+	}()
+	r.GaugeFunc("agg_fn_gauge", "", func() float64 { return 1 })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Gauge after GaugeFunc on the same series must panic")
+			}
+		}()
+		r.Gauge("agg_fn_gauge", "")
+	}()
+	// And the reverse direction: fn over an existing handle.
+	r.Counter("agg_handle_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CounterFunc after Counter on the same series must panic")
+			}
+		}()
+		r.CounterFunc("agg_handle_total", "", func() float64 { return 1 })
+	}()
+}
+
 func TestRegistryOddLabelsPanics(t *testing.T) {
 	r := NewRegistry()
 	defer func() {
