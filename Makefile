@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke chaos-smoke metrics-smoke
+.PHONY: check vet build test race bench-smoke bench bench-gate f17-smoke f18-smoke trace-smoke service-smoke par-smoke fleet-smoke chaos-smoke metrics-smoke attack-smoke
 
 ## check: the full local verify — vet, build, tests (race on the
 ## concurrency-sensitive packages), quick resilience- and failover-
@@ -9,7 +9,7 @@ GO ?= go
 ## drill, the telemetry/exposition smoke, the parallel-determinism smoke,
 ## a one-iteration benchmark smoke through the trend harness, and the
 ## deterministic allocation gate on the tracing-disabled hot path.
-check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke chaos-smoke metrics-smoke par-smoke bench-smoke bench-gate
+check: vet build test race f17-smoke f18-smoke trace-smoke service-smoke fleet-smoke chaos-smoke metrics-smoke attack-smoke par-smoke bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +87,27 @@ metrics-smoke:
 	$(GO) test -count=1 -run 'TestAggtraceRequestSpanTree' ./cmd/aggtrace/
 	$(GO) test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
 	@echo "metrics-smoke OK: exposition parses, series monotone, span tree reconstructed, record path alloc-free"
+
+## attack-smoke: the adversary-campaign gate — the seeded campaign drill
+## must detect 100% of effective tampering/forgery actions with zero false
+## alarms on clean rounds (under -race, alongside the replay/sybil/takeover
+## containment tests and the exhaustive reconstruction parity sweep); a
+## recorded campaign must reconstruct through aggtrace -why breach (both a
+## caught forgery and a silent collusion breach); and the disabled policy
+## seam must stay allocation-free — the same ±2% allocs/op gate as
+## bench-gate, since the MAC tap hooks sit on the round hot path.
+attack-smoke:
+	$(GO) test -race -count=1 -run 'TestDetectionGate|TestNoFalseAlarmsWithoutAttacker|TestCollusionReconstructsAtFullEavesdrop|TestReplayRejectedAsStale|TestTakeoverForgeryRebutted|TestSybilContained|TestCampaignTraceForensics' .
+	$(GO) test -count=1 -run 'TestSystemMatchesKnowledge' ./internal/attack/
+	$(GO) run ./cmd/aggsim -nodes 120 -seed 7 -rounds 3 -attack 'collude:2:1.0,tamper,replay,takeover' -traceout attack-smoke.jsonl > /dev/null
+	$(GO) run ./cmd/aggtrace -expect attack attack-smoke.jsonl
+	$(GO) run ./cmd/aggtrace -expect breach attack-smoke.jsonl
+	$(GO) run ./cmd/aggtrace -why breach attack-smoke.jsonl | grep 'truth=' > /dev/null
+	$(GO) run ./cmd/aggtrace -why breach attack-smoke.jsonl | grep 'own-row-forged' > /dev/null
+	@rm -f attack-smoke.jsonl
+	$(GO) run ./cmd/benchtrend -dry -metric allocs -threshold 0.02 \
+		-bench '^BenchmarkRoundCluster$$' -benchtime 5x
+	@echo "attack-smoke OK: forgeries detected, breaches reconstructed, tap seam alloc-free"
 
 ## par-smoke: the round engine's determinism gate — a parallel multi-round
 ## failover simulation (lossy radio, head crashes, churn repair) must report

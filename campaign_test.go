@@ -1,0 +1,216 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// runCampaign builds a fresh deployment and runs one campaign over it,
+// failing the test on any plumbing error.
+func runCampaign(t *testing.T, nodes int, seed int64, rounds int, pols ...attack.Policy) ([]Result, attack.Report) {
+	t.Helper()
+	dep, err := NewDeployment(Options{Nodes: nodes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := attack.NewCampaign(seed, rounds, pols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, rep, err := dep.RunClusterCampaign(ClusterOptions{}, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, rep
+}
+
+// TestNoFalseAlarmsWithoutAttacker is the clean-baseline half of the
+// detection gate: attack-free multi-round runs across seeds must never
+// raise a witness alarm or reject a round.
+func TestNoFalseAlarmsWithoutAttacker(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		dep, err := NewDeployment(Options{Nodes: 120, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := dep.RunClusterRounds(3, ClusterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Alarms != 0 {
+				t.Errorf("seed %d round %d: %d alarms on a clean run", seed, i+1, r.Alarms)
+			}
+			if !r.Accepted {
+				t.Errorf("seed %d round %d: clean round rejected", seed, i+1)
+			}
+		}
+	}
+}
+
+// TestDetectionGate is the campaign drill behind `make attack-smoke`: every
+// effective active forgery (share tampering, echo forgery, announce replay,
+// takeover forgery) must be caught by a witness, and rounds in which no
+// policy acted must stay alarm-free.
+func TestDetectionGate(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, rep := runCampaign(t, 120, seed, 3,
+			&attack.ShareTamper{},
+			&attack.EchoForge{},
+			&attack.Replay{},
+			&attack.TakeoverForge{},
+		)
+		if rep.FalseAlarms != 0 {
+			t.Errorf("seed %d: %d false alarms on clean rounds", seed, rep.FalseAlarms)
+		}
+		if len(rep.Actions) == 0 {
+			t.Fatalf("seed %d: campaign recorded no actions", seed)
+		}
+		for _, a := range rep.Actions {
+			if a.Moot {
+				continue
+			}
+			if !a.Detected || a.Cause == "" {
+				t.Errorf("seed %d: %s action %d (round %d, node %d) escaped detection: %s",
+					seed, a.Policy, a.ID, a.Round, a.Node, a.Detail)
+			}
+			if a.Breach {
+				t.Errorf("seed %d: %s action %d was a silent breach", seed, a.Policy, a.ID)
+			}
+		}
+		if got := rep.DetectionRate(); got != 1.0 {
+			t.Errorf("seed %d: detection rate %g, want 1.0", seed, got)
+		}
+	}
+}
+
+// TestCollusionReconstructsAtFullEavesdrop: with every link overheard
+// (px=1), the Sen–Maitra system is fully determined and the campaign must
+// recover the victim's exact reading — silently, with no witness involved.
+func TestCollusionReconstructsAtFullEavesdrop(t *testing.T) {
+	_, rep := runCampaign(t, 120, 7, 2, &attack.Collusion{Colluders: 2, Px: 1.0})
+	if rep.FalseAlarms != 0 {
+		t.Errorf("%d false alarms during passive collusion", rep.FalseAlarms)
+	}
+	breaches := 0
+	for _, a := range rep.Actions {
+		if a.Detected {
+			t.Errorf("passive collusion action %d reported as detected (%s)", a.ID, a.Cause)
+		}
+		if !a.Breach {
+			continue
+		}
+		breaches++
+		if a.Victim < 0 || a.Value != a.Truth {
+			t.Errorf("breach %d: victim=%d value=%d truth=%d", a.ID, a.Victim, a.Value, a.Truth)
+		}
+	}
+	if breaches == 0 {
+		t.Fatal("px=1 collusion never reconstructed a reading")
+	}
+}
+
+// TestReplayRejectedAsStale drives the replayed-announce policy against the
+// stale-round guard: the re-injected previous-round announce must be
+// witnessed as stale and discarded without disturbing the live round.
+func TestReplayRejectedAsStale(t *testing.T) {
+	results, rep := runCampaign(t, 120, 7, 3, &attack.Replay{})
+	acted := false
+	for _, a := range rep.Actions {
+		if a.Moot {
+			continue
+		}
+		acted = true
+		if !a.Detected || a.Cause != "stale-round" {
+			t.Errorf("replay action %d: detected=%v cause=%q, want stale-round", a.ID, a.Detected, a.Cause)
+		}
+	}
+	if !acted {
+		t.Fatal("replay policy never acted")
+	}
+	for i, r := range results {
+		if !r.Accepted {
+			t.Errorf("round %d rejected: a stale replay must not poison the live round", i+1)
+		}
+	}
+	if rep.FalseAlarms != 0 {
+		t.Errorf("%d false alarms", rep.FalseAlarms)
+	}
+}
+
+// TestTakeoverForgeryRebutted exercises PR 3's deputy/failover machinery
+// under attack: a deputy forging a takeover while the head is alive must be
+// rebutted and flagged as a dual announce, and the alarm must reach the
+// base station.
+func TestTakeoverForgeryRebutted(t *testing.T) {
+	results, rep := runCampaign(t, 120, 7, 2, &attack.TakeoverForge{})
+	acted := 0
+	for _, a := range rep.Actions {
+		if a.Moot {
+			continue
+		}
+		acted++
+		if !a.Detected || a.Cause != "dual-announce" {
+			t.Errorf("takeover action %d: detected=%v cause=%q, want dual-announce", a.ID, a.Detected, a.Cause)
+		}
+		r := results[a.Round-1]
+		if r.Alarms == 0 {
+			t.Errorf("round %d: forged takeover raised no alarm at the base station", a.Round)
+		}
+	}
+	if acted == 0 {
+		t.Fatal("takeover policy never acted")
+	}
+}
+
+// TestSybilContained: phantom joiners must not inflate the reported count
+// or trigger alarms on unrelated clusters — the join either fails share
+// exchange and is shed by degraded recovery, or is flagged.
+func TestSybilContained(t *testing.T) {
+	results, rep := runCampaign(t, 120, 7, 2, &attack.Sybil{Count: 2})
+	for _, a := range rep.Actions {
+		if a.Breach {
+			t.Errorf("sybil action %d inflated the count: %s", a.ID, a.Detail)
+		}
+	}
+	for i, r := range results {
+		if r.ReportedCnt > r.TrueCount {
+			t.Errorf("round %d: reported count %d exceeds true count %d", i+1, r.ReportedCnt, r.TrueCount)
+		}
+	}
+	if rep.FalseAlarms != 0 {
+		t.Errorf("%d false alarms", rep.FalseAlarms)
+	}
+}
+
+// TestCampaignTraceForensics runs a composed campaign with tracing enabled
+// and asserts the forensic chain: attack events are present, and a breach
+// (or detection) can be tied back to its action id in the trace.
+func TestCampaignTraceForensics(t *testing.T) {
+	dep, err := NewDeployment(Options{Nodes: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	flush := dep.TraceTo(&sb)
+	camp, err := attack.NewCampaign(7, 2, &attack.Collusion{Colluders: 2, Px: 1.0}, &attack.ShareTamper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := dep.RunClusterCampaign(ClusterOptions{}, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"type":"attack"`) {
+		t.Error("trace has no attack events")
+	}
+	if rep.Breaches() > 0 && !strings.Contains(out, `"type":"breach"`) {
+		t.Error("campaign reported breaches but trace has no breach events")
+	}
+}

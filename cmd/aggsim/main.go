@@ -23,7 +23,9 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/attack"
 	"repro/internal/cliutil"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +56,7 @@ func run(args []string) (*flag.FlagSet, error) {
 		pc       = fs.Float64("pc", 0, "cluster-head probability (cluster protocol)")
 		slices   = fs.Int("slices", 0, "slices per tree (ipda)")
 		polluter = fs.String("polluter", "", "attacker node ID, or 'auto'")
+		attackS  = fs.String("attack", "", "adversary campaign spec: comma-separated policies (collude:N[:px] | tamper | echo | replay | sybil[:N] | takeover); cluster protocol only")
 		delta    = fs.Int64("delta", 1000, "pollution delta")
 		localize = fs.Bool("localize", false, "run O(log N) attacker localization")
 		traceCap = fs.Int("trace", 0, "record and dump up to N protocol trace events")
@@ -69,6 +72,17 @@ func run(args []string) (*flag.FlagSet, error) {
 	if err := validate(*nodes, *field, *radio, *loss, *crash, *hcrash,
 		*pc, *rounds, *slices, *traceCap, *par, *observe, *protocol); err != nil {
 		return fs, err
+	}
+	if *attackS != "" {
+		if *protocol != "cluster" {
+			return fs, cliutil.Usagef("-attack applies to the cluster protocol only")
+		}
+		if *localize || *polluter != "" {
+			return fs, cliutil.Usagef("-attack composes its own adversaries; drop -localize/-polluter")
+		}
+		if _, err := attack.ParseSpec(*attackS); err != nil {
+			return fs, cliutil.Usagef("%v", err)
+		}
 	}
 	simulate := func() error {
 		opts := repro.Options{
@@ -138,6 +152,37 @@ func run(args []string) (*flag.FlagSet, error) {
 				Pc: *pc, Polluter: attacker, PollutionDelta: *delta,
 				NoDegrade: *nodeg, CrashRate: *crash, HeadCrashRate: *hcrash,
 				CrashRecover: *recov, NoFailover: *nofail, Parallelism: *par,
+			}
+			if *attackS != "" {
+				pols, err := attack.ParseSpec(*attackS)
+				if err != nil {
+					return err
+				}
+				camp, err := attack.NewCampaign(*seed, *rounds, pols...)
+				if err != nil {
+					return err
+				}
+				if *observe != "" {
+					reg := telemetry.NewRegistry()
+					camp.Instrument(reg)
+					http.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+						w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+						if err := reg.WritePrometheus(w); err != nil {
+							http.Error(w, err.Error(), http.StatusInternalServerError)
+						}
+					})
+				}
+				results, rep, err := dep.RunClusterCampaign(copts, camp)
+				if err != nil {
+					return err
+				}
+				for i, r := range results {
+					fmt.Printf("--- round %d ---\n", i+1)
+					printResult(r)
+				}
+				printCampaign(rep)
+				printStats(snapshot)
+				return dumpIfEnabled(dumpTrace)
 			}
 			if *localize {
 				loc, err := dep.LocalizePolluter(copts)
@@ -255,6 +300,30 @@ func dumpIfEnabled(dumpTrace func(io.Writer) error) error {
 	}
 	fmt.Println("\n--- protocol trace ---")
 	return dumpTrace(os.Stdout)
+}
+
+// printCampaign renders the adversary campaign's typed report: one line per
+// attacker action with its witness verdict, then the aggregate counters.
+func printCampaign(rep attack.Report) {
+	fmt.Println("\n--- campaign report ---")
+	for _, a := range rep.Actions {
+		verdict := "SILENT BREACH"
+		switch {
+		case a.Detected:
+			verdict = "detected (" + a.Cause + ")"
+		case a.Moot:
+			verdict = "no effect"
+		}
+		fmt.Printf("action %d  round %d  %-8s node %-4d %s — %s\n",
+			a.ID, a.Round, a.Policy, a.Node, a.Detail, verdict)
+		if a.Breach && a.Victim > 0 {
+			fmt.Printf("          reconstructed reading of node %d: %d (truth %d)\n",
+				a.Victim, a.Value, a.Truth)
+		}
+	}
+	fmt.Printf("rounds %d (%d clean)  actions %d  detected %d  breaches %d  false alarms %d  detection rate %.3f\n",
+		rep.Rounds, rep.CleanRounds, len(rep.Actions), rep.Detections(),
+		rep.Breaches(), rep.FalseAlarms, rep.DetectionRate())
 }
 
 func printResult(r repro.Result) {

@@ -24,11 +24,24 @@ type ClusterScenario struct {
 	M         int     // cluster size (>= shares.MinClusterSize)
 	Px        float64 // per-link compromise probability
 	Colluders int     // cluster members cooperating with the adversary
-	// RelayFraction is the fraction of member pairs whose share travels
-	// via the head (two radio hops). Link compromise is modelled per pair
-	// key, so relaying does not change the algebraic exposure; it is kept
-	// for the overhead accounting experiments.
+	// RelayFraction is the fraction of ordered member pairs whose share
+	// travels via the head (two radio hops out of mutual range).
 	RelayFraction float64
+	// TwoHopPx, when positive, is the compromise probability applied to
+	// relayed pairs instead of Px. A relayed share stays sealed under the
+	// end-to-end pair key, so algebraically one broken key still exposes
+	// it — but the frame is on the air twice, and an eavesdropper keying
+	// on traffic capture gets two interception chances. TwoHopCompromise
+	// gives the standard 1-(1-px)² value for that model. Zero keeps the
+	// legacy per-pair-key behaviour (relaying changes nothing), which the
+	// overhead experiments and the simulated campaigns then agree on.
+	TwoHopPx float64
+}
+
+// TwoHopCompromise converts a per-transmission capture probability into
+// the per-pair exposure of a share heard on two hops: 1 - (1-px)².
+func TwoHopCompromise(px float64) float64 {
+	return 1 - (1-px)*(1-px)
 }
 
 // Validate checks scenario sanity.
@@ -44,6 +57,12 @@ func (s ClusterScenario) Validate() error {
 	}
 	if s.RelayFraction < 0 || s.RelayFraction > 1 {
 		return fmt.Errorf("attack: relay fraction %g out of [0, 1]", s.RelayFraction)
+	}
+	if s.TwoHopPx < 0 || s.TwoHopPx > 1 {
+		return fmt.Errorf("attack: two-hop px %g out of [0, 1]", s.TwoHopPx)
+	}
+	if s.TwoHopPx > 0 && s.RelayFraction == 0 {
+		return fmt.Errorf("attack: two-hop px %g set with no relayed pairs", s.TwoHopPx)
 	}
 	return nil
 }
@@ -80,13 +99,20 @@ func DiscloseTrial(rng *rand.Rand, s ClusterScenario) (bool, error) {
 		}
 	}
 	// Eavesdropped share links: every transmitted share (i != j) is
-	// exposed when the (i, j) pair key is broken.
+	// exposed when the (i, j) pair key is broken. Under the two-hop model
+	// a relayed pair (drawn with probability RelayFraction) is exposed
+	// with TwoHopPx instead; with TwoHopPx unset the legacy single draw
+	// per pair is preserved exactly.
 	for i := 0; i < s.M; i++ {
 		for j := 0; j < s.M; j++ {
 			if i == j {
 				continue
 			}
-			if rng.Float64() < s.Px {
+			px := s.Px
+			if s.TwoHopPx > 0 && rng.Float64() < s.RelayFraction {
+				px = s.TwoHopPx
+			}
+			if rng.Float64() < px {
 				if err := k.AddShare(i, j); err != nil {
 					return false, err
 				}

@@ -30,6 +30,19 @@ func (p *Protocol) sendHello(from topo.NodeID, role uint8, hops int) {
 
 // receive dispatches every frame delivered to (or overheard by) a node.
 func (p *Protocol) receive(at topo.NodeID, msg *message.Message) {
+	if msg.Round < p.round {
+		// Every round drains the engine completely before the next one
+		// starts, so no legitimate frame can carry an earlier round stamp:
+		// a stale frame is a replay, and absorbing it would double-count
+		// its cluster. Drop it and record the catch.
+		cluster := trace.NoCluster
+		if st := &p.nodes[at]; st.head >= 0 {
+			cluster = st.head
+		}
+		p.emit(at, cluster, "", trace.TypeWitness, "stale-round",
+			"replayed %s from %d round=%d current=%d", msg.Kind, msg.From, msg.Round, p.round)
+		return
+	}
 	switch msg.Kind {
 	case message.KindHello:
 		p.onHello(at, msg)

@@ -165,6 +165,22 @@ func (p *Protocol) PickAttacker(needChildren bool) topo.NodeID {
 	return -1
 }
 
+// DirectChildOf returns a cluster head that announced directly to the given
+// parent head in the last Run — the child whose echoed entry the
+// child-echo witness check protects. Returns -1 when the parent absorbed no
+// direct child.
+func (p *Protocol) DirectChildOf(parent topo.NodeID) topo.NodeID {
+	if p.nodes == nil || int(parent) >= len(p.nodes) {
+		return -1
+	}
+	for _, c := range p.Heads() {
+		if p.nodes[c].sentTo == parent {
+			return c
+		}
+	}
+	return -1
+}
+
 // rootedAtBaseStation walks the flood-parent chain: every node the query
 // flood reached has a loss-free relay path back to the base station.
 func (p *Protocol) rootedAtBaseStation(head topo.NodeID) bool {

@@ -9,7 +9,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"F1-coverage", "F10-collusive", "F11-energy", "F12-crash",
 		"F13-breakdown", "F14-statistical", "F15-fading", "F16-integritycost",
-		"F17-resilience", "F18-failover", "F2-overhead", "F3-accuracy",
+		"F17-resilience", "F18-failover", "F2-overhead", "F20-privacy-capacity",
+		"F21-detection", "F3-accuracy",
 		"F4-privacy",
 		"F5-integrity", "F6-agreement", "F7-localization", "F8-collusion",
 		"F9-keyscheme", "T1-density", "T2-clusters",

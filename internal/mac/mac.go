@@ -29,6 +29,22 @@ import (
 // processing.
 type Receiver func(at topo.NodeID, msg *message.Message)
 
+// Tap is the adversary seam: a single observer/interceptor sitting between
+// the MAC and the protocol receivers, mirroring how internal/chaos wraps
+// the serving stack's backend and transport seams. OnSend observes every
+// frame a port queues (after the sequence number is assigned, so the tap
+// sees the wire frame). OnDeliver runs once per (node, frame) delivery,
+// after ACKing and duplicate suppression but before the protocol receiver:
+// returning the message unchanged is pure observation, returning a
+// different message substitutes it for this receiver only, and returning
+// nil swallows the delivery. A tap must never mutate the passed message —
+// the medium hands the same pointer to every node in range — and must not
+// draw from any environment RNG, or deterministic replay breaks.
+type Tap interface {
+	OnSend(msg *message.Message)
+	OnDeliver(at topo.NodeID, msg *message.Message) *message.Message
+}
+
 // Config tunes the MAC.
 type Config struct {
 	Slot         time.Duration // backoff slot length
@@ -67,6 +83,7 @@ type Layer struct {
 	retxTx  int
 	recvers []Receiver
 	sink    trace.Sink // flight recorder; nil = disabled
+	tap     Tap        // adversary seam; nil = disabled
 }
 
 // port field order is deliberate: every reception in the simulation loads
@@ -176,6 +193,22 @@ func (l *Layer) Reset() {
 // crash injection — never per successful frame.
 func (l *Layer) SetSink(s trace.Sink) { l.sink = s }
 
+// SetTap installs (or, with nil, removes) the adversary tap. Reset leaves
+// the tap untouched — the campaign harness installs and removes it
+// explicitly around each attacked run.
+func (l *Layer) SetTap(t Tap) { l.tap = t }
+
+// Inject transmits a frame onto the medium as node from, bypassing the
+// port queue, carrier sense, and sequence assignment entirely — the
+// attacker's raw radio. The caller controls every field including Seq
+// (a replayed frame that reuses its original Seq is eaten by receiver
+// dedup; a fresh Seq gets through). Returns the medium's encode error,
+// if any.
+func (l *Layer) Inject(from topo.NodeID, msg *message.Message) error {
+	_, err := l.medium.Transmit(from, msg)
+	return err
+}
+
 // emitDrop records one abandoned frame and its cause.
 func (l *Layer) emitDrop(id topo.NodeID, cause string, format string, args ...any) {
 	if l.sink == nil {
@@ -233,6 +266,9 @@ func (l *Layer) Send(msg *message.Message) {
 	}
 	p.seq++
 	msg.Seq = p.seq
+	if l.tap != nil {
+		l.tap.OnSend(msg)
+	}
 	p.queue = append(p.queue, msg)
 	l.kick(p)
 }
@@ -395,6 +431,11 @@ func (l *Layer) onReceive(at topo.NodeID, msg *message.Message) {
 	}
 	p.dedup = append(p.dedup, seqEntry{from: msg.From, seq: msg.Seq})
 accept:
+	if l.tap != nil {
+		if msg = l.tap.OnDeliver(at, msg); msg == nil {
+			return
+		}
+	}
 	if r := l.recvers[at]; r != nil {
 		r(at, msg)
 	}

@@ -1,0 +1,183 @@
+package shares
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+)
+
+// System is the numeric companion of Knowledge: where Knowledge answers
+// *whether* a reading is determined by the adversary's facts (pure rank
+// arithmetic, right-hand sides irrelevant), System carries the observed
+// values too and *recovers* the reading when it is determined. The
+// campaign engine feeds it everything a colluding coalition overhears in
+// a simulated round and compares the solved value against the ground
+// truth — a breach only counts when the reconstruction is exact.
+//
+// The unknown layout matches Knowledge: m readings v_0…v_{m-1} followed
+// by each member's m-1 masking coefficients.
+type System struct {
+	algebra *Algebra
+	rows    [][]field.Element // coefficient rows
+	rhs     []field.Element   // observed value per row
+}
+
+// NewSystem starts an empty valued system over a cluster's algebra.
+func NewSystem(a *Algebra) *System {
+	return &System{algebra: a}
+}
+
+// unknowns mirrors Knowledge.unknowns: m readings + m(m-1) coefficients.
+func (s *System) unknowns() int {
+	m := s.algebra.Size()
+	return m * m
+}
+
+func (s *System) varReading(i int) int { return i }
+
+func (s *System) varCoeff(i, deg int) int {
+	m := s.algebra.Size()
+	return m + i*(m-1) + (deg - 1)
+}
+
+func (s *System) push(row []field.Element, y field.Element) {
+	s.rows = append(s.rows, row)
+	s.rhs = append(s.rhs, y)
+}
+
+// AddShare records the observed share y_ij = v_i + Σ_deg r_{i,deg}·x_j^deg
+// (member i's share for member j).
+func (s *System) AddShare(i, j int, y field.Element) error {
+	m := s.algebra.Size()
+	if i < 0 || i >= m || j < 0 || j >= m {
+		return fmt.Errorf("shares: member index out of range (%d, %d)", i, j)
+	}
+	row := make([]field.Element, s.unknowns())
+	row[s.varReading(i)] = 1
+	x := s.algebra.seeds[j]
+	pow := x
+	for deg := 1; deg < m; deg++ {
+		row[s.varCoeff(i, deg)] = pow
+		pow = pow.Mul(x)
+	}
+	s.push(row, y)
+	return nil
+}
+
+// AddAssembled records the overheard cleartext column sum F_j = Σ_i y_ij.
+func (s *System) AddAssembled(j int, f field.Element) error {
+	m := s.algebra.Size()
+	if j < 0 || j >= m {
+		return fmt.Errorf("shares: member index out of range %d", j)
+	}
+	row := make([]field.Element, s.unknowns())
+	x := s.algebra.seeds[j]
+	for i := 0; i < m; i++ {
+		row[s.varReading(i)] = 1
+		pow := x
+		for deg := 1; deg < m; deg++ {
+			row[s.varCoeff(i, deg)] = pow
+			pow = pow.Mul(x)
+		}
+	}
+	s.push(row, f)
+	return nil
+}
+
+// AddClusterSum records the public cluster sum Σ v_i.
+func (s *System) AddClusterSum(sum field.Element) {
+	row := make([]field.Element, s.unknowns())
+	for i := 0; i < s.algebra.Size(); i++ {
+		row[s.varReading(i)] = 1
+	}
+	s.push(row, sum)
+}
+
+// AddReading records a known private reading v_i (a colluder's own input).
+func (s *System) AddReading(i int, v field.Element) error {
+	m := s.algebra.Size()
+	if i < 0 || i >= m {
+		return fmt.Errorf("shares: member index out of range %d", i)
+	}
+	row := make([]field.Element, s.unknowns())
+	row[s.varReading(i)] = 1
+	s.push(row, v)
+	return nil
+}
+
+// EquationCount returns how many valued facts the system holds.
+func (s *System) EquationCount() int { return len(s.rows) }
+
+// Solve reports whether reading v_i is uniquely determined by the recorded
+// facts and, when it is, returns the reconstructed value. An inconsistent
+// system (contradictory observations) reports not-determined.
+func (s *System) Solve(i int) (field.Element, bool, error) {
+	m := s.algebra.Size()
+	if i < 0 || i >= m {
+		return 0, false, fmt.Errorf("shares: member index out of range %d", i)
+	}
+	cols := s.unknowns()
+	// Augmented working copy: coefficient columns then the RHS.
+	work := make([][]field.Element, len(s.rows))
+	for r, row := range s.rows {
+		w := make([]field.Element, cols+1)
+		copy(w, row)
+		w[cols] = s.rhs[r]
+		work[r] = w
+	}
+	// Reduced row echelon form over the coefficient columns.
+	pivotRow := make([]int, cols) // column → row index, -1 when free
+	for c := range pivotRow {
+		pivotRow[c] = -1
+	}
+	rk := 0
+	for col := 0; col < cols && rk < len(work); col++ {
+		pivot := -1
+		for r := rk; r < len(work); r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rk], work[pivot] = work[pivot], work[rk]
+		inv := work[rk][col].Inv()
+		for c := col; c <= cols; c++ {
+			work[rk][c] = work[rk][c].Mul(inv)
+		}
+		for r := 0; r < len(work); r++ {
+			if r == rk || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for c := col; c <= cols; c++ {
+				work[r][c] = work[r][c].Sub(f.Mul(work[rk][c]))
+			}
+		}
+		pivotRow[col] = rk
+		rk++
+	}
+	// Inconsistency: a zero coefficient row with a non-zero RHS.
+	for r := rk; r < len(work); r++ {
+		if work[r][cols] != 0 {
+			return 0, false, nil
+		}
+	}
+	// v_i is determined iff its column is a pivot whose row touches no
+	// free column: the row then reads exactly v_i = RHS.
+	pr := pivotRow[s.varReading(i)]
+	if pr < 0 {
+		return 0, false, nil
+	}
+	for c := 0; c < cols; c++ {
+		if c == s.varReading(i) {
+			continue
+		}
+		if work[pr][c] != 0 {
+			return 0, false, nil
+		}
+	}
+	return work[pr][cols], true, nil
+}

@@ -419,6 +419,59 @@ func OutageChains(events []Event, q Query) []Chain {
 	return out
 }
 
+// actionOf extracts the campaign action id an attack or breach event's
+// detail names (the "action=<id>" token every campaign event leads with).
+func actionOf(e Event) (int, bool) {
+	var id int
+	if _, err := fmt.Sscanf(e.Detail, "action=%d", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// BreachChains builds one causal chain per adversary action: the culprit
+// is the TypeAttack event recording the action (tamper, forgery, replay,
+// collusion capture), the context everything the trace shows following
+// from it — breach events carrying the same action id, plus every
+// same-round witness verdict, alarm, and lifecycle transition scoped to
+// the attacked cluster, in time order. A chain ending in an alarm reads
+// as a catch; one ending in a TypeBreach event reads as a silent breach.
+// Unlike AlarmChains this looks forward: the attack precedes its
+// consequences.
+func BreachChains(events []Event, q Query) []Chain {
+	aq := q
+	aq.Type = TypeAttack
+	var out []Chain
+	for _, a := range events {
+		if !aq.Match(a) {
+			continue
+		}
+		id, hasID := actionOf(a)
+		var ctx []Event
+		for _, e := range events {
+			if e.Round != a.Round || e == a {
+				continue
+			}
+			switch e.Type {
+			case TypeBreach:
+				if eid, ok := actionOf(e); ok && hasID && eid == id {
+					ctx = append(ctx, e)
+				}
+				continue
+			case TypeWitness, TypeAlarm, TypeLifecycle:
+			default:
+				continue
+			}
+			if a.Cluster >= 0 && e.Cluster == a.Cluster {
+				ctx = append(ctx, e)
+			}
+		}
+		sort.SliceStable(ctx, func(x, y int) bool { return ctx[x].At < ctx[y].At })
+		out = append(out, Chain{Culprit: a, Context: ctx})
+	}
+	return out
+}
+
 // WriteChains renders chains: the culprit line, then its context indented.
 func WriteChains(w io.Writer, chains []Chain, maxContext int) {
 	for i, c := range chains {

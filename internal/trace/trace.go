@@ -40,6 +40,7 @@ const (
 	PhaseEngine    = "engine"    // simulation-engine events (run lifecycle)
 	PhaseFleet     = "fleet"     // serving-fleet events (faults, shard health, breakers)
 	PhaseServe     = "serve"     // request lifecycle across proxy, fleet, and station
+	PhaseAttack    = "attack"    // adversary campaign events (actions, breaches)
 )
 
 // Event types. Lifecycle events carry the cluster's new state in Cause;
@@ -62,6 +63,8 @@ const (
 	TypeBreaker   = "breaker"   // a proxy circuit breaker transitioned (state in Cause)
 	TypeDegraded  = "degraded"  // a fan-out answered partially (missing shards in Detail)
 	TypeRequest   = "request"   // a served request advanced one stage (stage in Cause)
+	TypeAttack    = "attack"    // an adversary policy acted (policy in Cause, action id in Detail)
+	TypeBreach    = "breach"    // an attack succeeded silently (reconstruction or accepted tamper)
 )
 
 // Request lifecycle stages carried in the Cause field of TypeRequest

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/ipda"
@@ -376,6 +377,84 @@ func (d *Deployment) RunClusterRounds(rounds int, o ClusterOptions) ([]Result, e
 		out = append(out, fromRound(res))
 	}
 	return out, nil
+}
+
+// RunClusterCampaign drives an adversary campaign (package internal/attack)
+// against the cluster protocol. It first scouts a clean dry run of round 1
+// with tracing detached, so every policy can lock its targets against the
+// real cluster structure; the deployment is then rewound to its own seed —
+// the attacked run replays the dry run bit-for-bit — and the campaign is
+// installed at the MAC tap seam and in the trace fan for the real rounds.
+// It returns the per-round base-station results alongside the campaign's
+// breach/detection report.
+func (d *Deployment) RunClusterCampaign(o ClusterOptions, camp *attack.Campaign) ([]Result, attack.Report, error) {
+	rounds := camp.Rounds()
+	if rounds > math.MaxUint16 {
+		return nil, attack.Report{}, fmt.Errorf("repro: campaign rounds %d exceed the 16-bit round counter", rounds)
+	}
+	seed := d.env.Cfg.Seed
+
+	// Scouting dry run: fresh state, no sinks, no taps.
+	if err := d.env.Reset(seed); err != nil {
+		return nil, attack.Report{}, fmt.Errorf("repro: %w", err)
+	}
+	prevSink := d.env.Sink
+	d.env.SetSink(nil)
+	scout, err := core.New(d.env, o.config())
+	if err != nil {
+		d.env.SetSink(prevSink)
+		return nil, attack.Report{}, fmt.Errorf("repro: %w", err)
+	}
+	if _, err := scout.Run(1); err != nil {
+		d.env.SetSink(prevSink)
+		return nil, attack.Report{}, fmt.Errorf("repro: scout round: %w", err)
+	}
+	if err := camp.Scout(scout, d.env); err != nil {
+		d.env.SetSink(prevSink)
+		return nil, attack.Report{}, fmt.Errorf("repro: %w", err)
+	}
+
+	// Attacked replay: same seed, campaign tapped into the MAC and the
+	// trace fan, policy config hooks applied.
+	if err := d.env.Reset(seed); err != nil {
+		d.env.SetSink(prevSink)
+		return nil, attack.Report{}, fmt.Errorf("repro: %w", err)
+	}
+	cfg := o.config()
+	camp.Configure(&cfg)
+	p, err := core.New(d.env, cfg)
+	if err != nil {
+		d.env.SetSink(prevSink)
+		return nil, attack.Report{}, fmt.Errorf("repro: %w", err)
+	}
+	d.env.SetSink(trace.Fan(prevSink, camp))
+	d.env.MAC.SetTap(camp)
+	defer func() {
+		d.env.MAC.SetTap(nil)
+		d.env.SetSink(prevSink)
+	}()
+
+	out := make([]Result, 0, rounds)
+	for r := 1; r <= rounds; r++ {
+		camp.BeginRound(uint16(r))
+		var res metrics.RoundResult
+		if r == 1 {
+			res, err = p.Run(uint16(r))
+		} else {
+			d.env.ResampleReadings()
+			res, err = p.RunRetaining(uint16(r))
+		}
+		if err != nil {
+			return nil, attack.Report{}, fmt.Errorf("repro: round %d: %w", r, err)
+		}
+		camp.EndRound(attack.RoundStats{
+			Accepted:    res.Accepted,
+			ReportedCnt: res.ReportedCnt,
+			TrueCount:   res.TrueCount,
+		})
+		out = append(out, fromRound(res))
+	}
+	return out, camp.Report(), nil
 }
 
 // LocalizationResult reports the bisection search outcome.
